@@ -1,0 +1,299 @@
+// Wall-clock benchmarks complementing the step-count experiments of
+// internal/bench (one benchmark group per experiment id; see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the recorded reference run).
+// These run the same algorithm code with no scheduler gates, so the
+// primitives compile to raw sync/atomic operations.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/baseline"
+	"repro/internal/consensus"
+	"repro/internal/memory"
+	"repro/internal/spec"
+	"repro/internal/tas"
+)
+
+// --- E1: solo step complexity ------------------------------------------
+
+func BenchmarkE1_A1Solo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a1 := tas.NewA1()
+		a1.Invoke(p, spec.Request{ID: 1}, nil)
+	}
+}
+
+func BenchmarkE1_ComposedSoloCycle(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	ll := tas.NewLongLived(1)
+	ll.Preallocate(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<21) == 1<<21-1 {
+			ll = tas.NewLongLived(1) // each cycle consumes a round; stay under the array bound
+			ll.Preallocate(p, 1)
+		}
+		ll.TestAndSet(p)
+		ll.Reset(p)
+	}
+}
+
+func benchBakerySolo(b *testing.B, n int) {
+	env := memory.NewEnv(n)
+	p := env.Proc(0)
+	for i := 0; i < b.N; i++ {
+		bk := consensus.NewBakery(n)
+		bk.Propose(p, consensus.Bottom, 5)
+	}
+}
+
+func BenchmarkE1_BakerySolo_n2(b *testing.B)  { benchBakerySolo(b, 2) }
+func BenchmarkE1_BakerySolo_n8(b *testing.B)  { benchBakerySolo(b, 8) }
+func BenchmarkE1_BakerySolo_n32(b *testing.B) { benchBakerySolo(b, 32) }
+
+// --- E2: contended long-lived TAS ---------------------------------------
+
+func BenchmarkE2_LongLivedContended(b *testing.B) {
+	const n = 4
+	env := memory.NewEnv(n)
+	ll := tas.NewLongLived(n)
+	ll.Preallocate(env.Proc(0), 4)
+	b.SetParallelism(1)
+	var wg sync.WaitGroup
+	per := b.N/n + 1
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := env.Proc(i)
+			for k := 0; k < per; k++ {
+				if ll.TestAndSet(p) == spec.Winner {
+					ll.Reset(p)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- E3: universal construction -----------------------------------------
+
+func BenchmarkE3_UniversalCounterSolo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	o := abstract.NewObject(spec.FetchIncType{}, 1,
+		abstract.StageSpec{Name: "cf", MkCons: func(int) consensus.Abortable { return consensus.NewSplitConsensus() }},
+		abstract.StageSpec{Name: "wf", MkCons: func(int) consensus.Abortable { return consensus.NewCASConsensus() }},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Invoke(p, spec.Request{ID: int64(i + 1), Proc: 0, Op: spec.OpInc})
+	}
+}
+
+func BenchmarkE3_UniversalQueueSolo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	o := abstract.NewObject(spec.QueueType{}, 1,
+		abstract.StageSpec{Name: "wf", MkCons: func(int) consensus.Abortable { return consensus.NewCASConsensus() }},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := spec.OpEnq
+		if i%2 == 1 {
+			op = spec.OpDeq
+		}
+		o.Invoke(p, spec.Request{ID: int64(i + 1), Proc: 0, Op: op, Arg: int64(i)})
+	}
+}
+
+func BenchmarkE3_UniversalCounterContended4(b *testing.B) {
+	const n = 4
+	env := memory.NewEnv(n)
+	o := abstract.NewObject(spec.FetchIncType{}, n,
+		abstract.StageSpec{Name: "cf", MkCons: func(int) consensus.Abortable { return consensus.NewSplitConsensus() }},
+		abstract.StageSpec{Name: "wf", MkCons: func(int) consensus.Abortable { return consensus.NewCASConsensus() }},
+	)
+	per := b.N/n + 1
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := env.Proc(i)
+			for k := 0; k < per; k++ {
+				o.Invoke(p, spec.Request{ID: int64(i*per + k + 1), Proc: i, Op: spec.OpInc})
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- E4/E5: abortable consensus -----------------------------------------
+
+func BenchmarkE4_SplitConsensusSolo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	for i := 0; i < b.N; i++ {
+		c := consensus.NewSplitConsensus()
+		c.Propose(p, consensus.Bottom, 5)
+	}
+}
+
+func BenchmarkE5_ChainSolo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	for i := 0; i < b.N; i++ {
+		c := consensus.NewChain(consensus.NewSplitConsensus(), consensus.NewCASConsensus())
+		c.Propose(p, consensus.Bottom, 5)
+	}
+}
+
+// --- E6: lock flavours, uncontended reacquisition ------------------------
+
+func BenchmarkE6_SpeculativeTASLock(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	ll := tas.NewLongLived(1)
+	ll.Preallocate(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<21) == 1<<21-1 {
+			ll = tas.NewLongLived(1)
+			ll.Preallocate(p, 1)
+		}
+		ll.TestAndSet(p)
+		ll.Reset(p)
+	}
+}
+
+func BenchmarkE6_BiasedLock(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	l := baseline.NewBiasedLock(1)
+	l.Lock(p)
+	l.Unlock(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock(p)
+		l.Unlock(p)
+	}
+}
+
+func BenchmarkE6_TTASLock(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	l := baseline.NewTTASLock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock(p)
+		l.Unlock(p)
+	}
+}
+
+func BenchmarkE6_HardwareTASCycle(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	hw := baseline.NewHardwareLongLived(1)
+	hw.Preallocate(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<21) == 1<<21-1 {
+			hw = baseline.NewHardwareLongLived(1)
+			hw.Preallocate(p, 1)
+		}
+		hw.TestAndSet(p)
+		hw.Reset(p)
+	}
+}
+
+// --- E7: consensus from an Abstract --------------------------------------
+
+func BenchmarkE7_ConsensusFromAbstract4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 4
+		env := memory.NewEnv(n)
+		o := abstract.NewObject(spec.QueueType{}, n,
+			abstract.StageSpec{Name: "wf", MkCons: func(int) consensus.Abortable { return consensus.NewCASConsensus() }},
+		)
+		var wg sync.WaitGroup
+		for j := 0; j < n; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				m := spec.Request{ID: int64(i*n + j + 1), Proc: j, Op: spec.OpEnq, Arg: int64(j)}
+				_, _ = abstract.DecideFirstWins(o, env.Proc(j), m)
+			}(j)
+		}
+		wg.Wait()
+	}
+}
+
+// --- E8: solo-fast variant ------------------------------------------------
+
+func BenchmarkE8_SoloFastSoloCycle(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	ll := tas.NewSoloFastLongLived(1)
+	ll.Preallocate(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<21) == 1<<21-1 {
+			ll = tas.NewSoloFastLongLived(1)
+			ll.Preallocate(p, 1)
+		}
+		ll.TestAndSet(p)
+		ll.Reset(p)
+	}
+}
+
+// --- E9: ablations / speculative fetch-and-increment ----------------------
+
+func BenchmarkE9_SpecFetchIncSolo(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	s := tas.NewSpecFetchInc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Inc(p)
+	}
+}
+
+func BenchmarkE9_SpecFetchIncContended(b *testing.B) {
+	const n = 4
+	env := memory.NewEnv(n)
+	s := tas.NewSpecFetchInc()
+	per := b.N/n + 1
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := env.Proc(i)
+			for k := 0; k < per; k++ {
+				s.Inc(p)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func BenchmarkE9_HardwareFetchInc(b *testing.B) {
+	env := memory.NewEnv(1)
+	p := env.Proc(0)
+	c := memory.NewFetchInc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc(p)
+	}
+}

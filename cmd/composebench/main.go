@@ -1,0 +1,56 @@
+// Command composebench runs the experiment suite that regenerates the
+// paper's quantitative claims (DESIGN.md, E1–E8) and prints each result as
+// a markdown table. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	composebench              # run every experiment
+//	composebench -exp E3      # run one experiment
+//	composebench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := bench.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Desc)
+		for _, t := range e.Run() {
+			fmt.Println(t.Markdown())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "composebench: no experiment matches %q (try -list)\n", *expFlag)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command tascheck drives the model-checking side of the reproduction: it
+// explores interleavings of the speculative test-and-set (exhaustively for
+// two processes, seeded-randomly beyond) and checks Lemma 4's invariants,
+// linearizability (Theorem 3 / Lemma 7), and the safe-composability
+// conditions of Definition 2 on every explored execution.
+//
+// Usage:
+//
+//	tascheck                          # invariants, 2 processes, exhaustive
+//	tascheck -mode def2 -n 2          # Definition 2 on every interleaving
+//	tascheck -mode composed -n 3 -samples 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/linearize"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/tas"
+	"repro/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "invariants", "invariants | def2 | composed")
+	n := flag.Int("n", 2, "number of processes")
+	maxExecs := flag.Int("max", 200000, "max interleavings for exhaustive exploration")
+	samples := flag.Int("samples", 3000, "random schedules when n > 2")
+	seed := flag.Int64("seed", 1, "base seed for random schedules")
+	flag.Parse()
+
+	var h explore.Harness
+	switch *mode {
+	case "invariants", "def2":
+		h = a1Harness(*n, *mode == "def2")
+	case "composed":
+		h = composedHarness(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "tascheck: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var rep explore.Report
+	var err error
+	if *n <= 2 {
+		rep, err = explore.Run(h, explore.Config{MaxExecutions: *maxExecs})
+	} else {
+		rep, err = explore.Sample(h, *samples, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d executions: %v\n", rep.Executions, err)
+		os.Exit(1)
+	}
+	how := "exhaustive"
+	if rep.Partial {
+		how = "partial (hit -max)"
+	}
+	if *n > 2 {
+		how = "sampled"
+	}
+	fmt.Printf("tascheck %s: OK — %d interleavings (%s), max depth %d\n",
+		*mode, rep.Executions, how, rep.MaxDepth)
+}
+
+func a1Harness(n int, withDef2 bool) explore.Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(n)
+		a1 := tas.NewA1()
+		rec := trace.NewRecorder(n)
+		winners := 0
+		bodies := make([]func(p *memory.Proc), n)
+		for i := 0; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				rec.RecordInvoke(i, m)
+				out, resp, sv := a1.Invoke(p, m, nil)
+				if out == core.Committed {
+					if resp == spec.Winner {
+						winners++
+					}
+					rec.RecordCommit(i, m, resp, "A1")
+				} else {
+					rec.RecordAbort(i, m, sv, "A1")
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			if winners > 1 {
+				return fmt.Errorf("%d winners", winners)
+			}
+			if err := checkProjection(rec.Ops()); err != nil {
+				return err
+			}
+			if withDef2 {
+				return core.CheckDefinition2(spec.TASType{}, tas.MConstraint{}, rec.Events())
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+}
+
+func composedHarness(n int) explore.Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(n)
+		o := tas.NewOneShot()
+		rec := trace.NewRecorder(n)
+		winners := 0
+		bodies := make([]func(p *memory.Proc), n)
+		for i := 0; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				rec.RecordInvoke(i, m)
+				v := o.TestAndSet(p)
+				if v == spec.Winner {
+					winners++
+				}
+				rec.RecordCommit(i, m, v, "")
+			}
+		}
+		check := func(res *sched.Result) error {
+			if winners != 1 {
+				return fmt.Errorf("%d winners", winners)
+			}
+			return checkProjection(rec.Ops())
+		}
+		return env, bodies, check
+	}
+}
+
+// checkProjection runs the TAS linearizability check on the invoke/commit
+// projection (aborted operations become pending invocations, Theorem 3).
+func checkProjection(ops []trace.Op) error {
+	proj := make([]trace.Op, 0, len(ops))
+	for _, op := range ops {
+		if op.Aborted {
+			op.Aborted = false
+			op.Pending = true
+			op.Ret = 0
+		}
+		proj = append(proj, op)
+	}
+	if lr := linearize.CheckTAS(proj); !lr.Ok {
+		return fmt.Errorf("not linearizable: %s", lr.Reason)
+	}
+	return nil
+}

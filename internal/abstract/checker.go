@@ -1,0 +1,163 @@
+// Package abstract implements Section 4 of the paper: the Abstract — an
+// abortable replicated state machine (Definition 1) — as (i) a mechanical
+// checker for the Abstract trace properties, and (ii) the composable
+// universal construction built from Herlihy's consensus-based universal
+// construction with abortable consensus instances, together with the
+// composition of Abstract stages (Theorem 1) into objects that use only
+// registers in uncontended executions and revert to compare-and-swap
+// otherwise (Proposition 1).
+package abstract
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// CheckTrace verifies the safety properties of Definition 1 on a recorded
+// trace whose commit, abort, and init events carry histories
+// (spec.History) in their SV field:
+//
+//  2. Commit Order: commit histories are totally ordered by prefix.
+//  3. Abort Ordering: every commit history is a prefix of every abort
+//     history.
+//  4. Validity: no commit/abort history contains duplicates, every request
+//     in it was invoked before the carrying operation returned, and the
+//     history of a response to m contains m.
+//  6. Init Ordering: the longest common prefix of all init histories is a
+//     prefix of every commit and abort history.
+//
+// Termination (1) and Non-Triviality (5) are liveness properties checked by
+// the harnesses that drive executions (all processes return; solo runs
+// commit).
+func CheckTrace(events []trace.Event) error {
+	invokedAt := map[int64]int64{} // request id -> invocation stamp
+	var commits, aborts []trace.Event
+	var inits []spec.History
+	for _, e := range events {
+		switch e.Kind {
+		case trace.Invoke:
+			recordInvocation(invokedAt, e)
+		case trace.Init:
+			recordInvocation(invokedAt, e)
+			h, ok := e.SV.(spec.History)
+			if !ok {
+				return fmt.Errorf("abstract: init event %v carries %T, want spec.History", e, e.SV)
+			}
+			inits = append(inits, h)
+			// Requests of the init history count as invoked (they were
+			// invoked in the previous stage and are re-submitted here).
+			for _, r := range h {
+				if _, seen := invokedAt[r.ID]; !seen {
+					invokedAt[r.ID] = e.Seq
+				}
+			}
+		case trace.Commit:
+			commits = append(commits, e)
+		case trace.Abort:
+			aborts = append(aborts, e)
+		}
+	}
+
+	histOf := func(e trace.Event) (spec.History, error) {
+		h, ok := e.SV.(spec.History)
+		if !ok {
+			return nil, fmt.Errorf("abstract: %v carries %T, want spec.History", e, e.SV)
+		}
+		return h, nil
+	}
+
+	// Validity (4) for every commit and abort history.
+	for _, e := range append(append([]trace.Event{}, commits...), aborts...) {
+		h, err := histOf(e)
+		if err != nil {
+			return err
+		}
+		if h.HasDuplicates() {
+			return fmt.Errorf("abstract: validity: duplicate request in history of %v", e)
+		}
+		if !h.Contains(e.Req.ID) {
+			return fmt.Errorf("abstract: termination: history of %v does not contain the request", e)
+		}
+		for _, r := range h {
+			inv, ok := invokedAt[r.ID]
+			if !ok {
+				return fmt.Errorf("abstract: validity: %v in history of %v was never invoked", r, e)
+			}
+			if inv > e.Seq {
+				return fmt.Errorf("abstract: validity: %v invoked after %v returned", r, e)
+			}
+		}
+	}
+
+	// Commit Order (2).
+	for i := range commits {
+		hi, err := histOf(commits[i])
+		if err != nil {
+			return err
+		}
+		for j := i + 1; j < len(commits); j++ {
+			hj, err := histOf(commits[j])
+			if err != nil {
+				return err
+			}
+			if !hi.IsPrefixOf(hj) && !hj.IsPrefixOf(hi) {
+				return fmt.Errorf("abstract: commit order: %v and %v are not prefix-related", hi, hj)
+			}
+		}
+	}
+
+	// Abort Ordering (3).
+	for _, ce := range commits {
+		ch, err := histOf(ce)
+		if err != nil {
+			return err
+		}
+		for _, ae := range aborts {
+			ah, err := histOf(ae)
+			if err != nil {
+				return err
+			}
+			if !ch.IsPrefixOf(ah) {
+				return fmt.Errorf("abstract: abort ordering: commit history %v is not a prefix of abort history %v", ch, ah)
+			}
+		}
+	}
+
+	// Init Ordering (6).
+	if len(inits) > 0 {
+		lcp := inits[0]
+		for _, h := range inits[1:] {
+			lcp = commonPrefix(lcp, h)
+		}
+		for _, e := range append(append([]trace.Event{}, commits...), aborts...) {
+			h, err := histOf(e)
+			if err != nil {
+				return err
+			}
+			if !lcp.IsPrefixOf(h) {
+				return fmt.Errorf("abstract: init ordering: common init prefix %v not a prefix of %v", lcp, h)
+			}
+		}
+	}
+	return nil
+}
+
+func recordInvocation(invokedAt map[int64]int64, e trace.Event) {
+	if _, seen := invokedAt[e.Req.ID]; !seen {
+		invokedAt[e.Req.ID] = e.Seq
+	}
+}
+
+func commonPrefix(a, b spec.History) spec.History {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i].ID == b[i].ID {
+		i++
+	}
+	return a[:i]
+}

@@ -1,0 +1,152 @@
+// Package baseline implements the comparators the paper positions its
+// speculative test-and-set against (Sections 1 and 2): a long-lived object
+// that always uses the hardware test-and-set, a test-and-test-and-set spin
+// lock, and a biased (quickly reacquirable) lock in the style of Dice, Moir
+// and Scherer [9] / Vasudevan et al. [19]. Experiment E6 compares their
+// uncontended step and RMW (fence) costs against the composed TAS.
+package baseline
+
+import (
+	"repro/internal/memory"
+	"repro/internal/spec"
+)
+
+// HardwareLongLived is the non-speculative baseline: every operation of
+// every round goes to a hardware test-and-set (1 RMW per test-and-set,
+// contended or not).
+type HardwareLongLived struct {
+	count *memory.FetchInc
+	arr   *memory.GrowArray[memory.HardwareTAS]
+	win   []bool
+}
+
+// NewHardwareLongLived returns a long-lived hardware-only TAS for n
+// processes.
+func NewHardwareLongLived(n int) *HardwareLongLived {
+	return &HardwareLongLived{
+		count: memory.NewFetchInc(0),
+		arr:   memory.NewGrowArray[memory.HardwareTAS](func(int) *memory.HardwareTAS { return memory.NewHardwareTAS() }),
+		win:   make([]bool, n),
+	}
+}
+
+// TestAndSet performs one long-lived operation.
+func (t *HardwareLongLived) TestAndSet(p *memory.Proc) int64 {
+	c := t.count.Read(p)
+	if t.arr.Get(p, int(c)).TestAndSet(p) == 0 {
+		t.win[p.ID()] = true
+		return spec.Winner
+	}
+	return spec.Loser
+}
+
+// Reset advances to a fresh round (winner only).
+func (t *HardwareLongLived) Reset(p *memory.Proc) {
+	if !t.win[p.ID()] {
+		return
+	}
+	next := t.count.Read(p) + 1
+	t.arr.Get(p, int(next))
+	t.count.Write(p, next)
+	t.win[p.ID()] = false
+}
+
+// Preallocate materializes the first k rounds (see tas.LongLived).
+func (t *HardwareLongLived) Preallocate(p *memory.Proc, k int) {
+	for i := 0; i < k; i++ {
+		t.arr.Get(p, i)
+	}
+}
+
+// TTASLock is a test-and-test-and-set spin lock: acquire spins reading the
+// word and attempts the swap only when it observes it free. Every
+// successful acquisition costs at least one RMW.
+type TTASLock struct {
+	word *memory.CASReg
+}
+
+// NewTTASLock returns an unlocked TTAS lock.
+func NewTTASLock() *TTASLock { return &TTASLock{word: memory.NewCASReg(0)} }
+
+// TryLock attempts one acquisition round: a read and, if free, one CAS. It
+// reports whether the lock was acquired.
+func (l *TTASLock) TryLock(p *memory.Proc) bool {
+	if l.word.Read(p) != 0 {
+		return false
+	}
+	return l.word.CompareAndSwap(p, 0, 1)
+}
+
+// Lock spins until acquired.
+func (l *TTASLock) Lock(p *memory.Proc) {
+	for !l.TryLock(p) {
+	}
+}
+
+// Unlock releases the lock.
+func (l *TTASLock) Unlock(p *memory.Proc) { l.word.Write(p, 0) }
+
+// BiasedLock is a quickly reacquirable lock: the first acquirer claims the
+// bias with one CAS, after which its acquire/release fast path uses only
+// reads and writes (zero RMWs). Any other process must first revoke the
+// bias with an asymmetric Dekker-style handshake — expensive, exactly as in
+// [9] — after which every acquisition (the former owner's included) goes
+// through a CAS word.
+//
+// Safety of the RMW-free fast path rests on sequential consistency of the
+// simulated memory: the owner publishes intent before rechecking the revoke
+// flag, and a revoker publishes the flag before waiting for the intent to
+// drop, so they can never both enter.
+type BiasedLock struct {
+	biasOwner *memory.CASReg  // -1 until the first acquire (CAS-claimed once)
+	intent    *memory.BoolReg // owner's fast-path lock
+	revoke    *memory.BoolReg // sticky: set by the first non-owner
+	word      *memory.CASReg  // slow-path lock word
+	fastHeld  []bool          // per-process: last acquisition used the fast path
+}
+
+// NewBiasedLock returns an unbiased, unlocked lock for n processes.
+func NewBiasedLock(n int) *BiasedLock {
+	return &BiasedLock{
+		biasOwner: memory.NewCASReg(-1),
+		intent:    memory.NewBoolReg(false),
+		revoke:    memory.NewBoolReg(false),
+		word:      memory.NewCASReg(0),
+		fastHeld:  make([]bool, n),
+	}
+}
+
+// Lock acquires the lock for p.
+func (l *BiasedLock) Lock(p *memory.Proc) {
+	id := int64(p.ID())
+	owner := l.biasOwner.Read(p)
+	if owner == -1 && l.biasOwner.CompareAndSwap(p, -1, id) {
+		owner = id // bias claimed: one CAS, paid once per lock lifetime
+	}
+	if owner == id && !l.revoke.Read(p) {
+		// Biased fast path: publish intent, recheck the revoke flag.
+		l.intent.Write(p, true)
+		if !l.revoke.Read(p) {
+			l.fastHeld[p.ID()] = true
+			return // acquired with 0 RMWs
+		}
+		l.intent.Write(p, false)
+	}
+	// Revocation/slow path: raise the sticky flag, wait out the owner's
+	// intent, then compete on the CAS word like everyone else.
+	l.revoke.Write(p, true)
+	for l.intent.Read(p) {
+	}
+	for !l.word.CompareAndSwap(p, 0, 1) {
+	}
+	l.fastHeld[p.ID()] = false
+}
+
+// Unlock releases the lock for p.
+func (l *BiasedLock) Unlock(p *memory.Proc) {
+	if l.fastHeld[p.ID()] {
+		l.intent.Write(p, false)
+		return
+	}
+	l.word.Write(p, 0)
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellInt(t *testing.T, tab *Table, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(tab.Rows[row][col])
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %q not an int", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %q not a float", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestE1Shapes(t *testing.T) {
+	tab := RunE1()[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	first := cellInt(t, tab, 0, 1)
+	for i := range tab.Rows {
+		if got := cellInt(t, tab, i, 1); got != first {
+			t.Fatalf("A1 steps not flat: row %d = %d, first = %d", i, got, first)
+		}
+		if cellInt(t, tab, i, 2) != 0 || cellInt(t, tab, i, 4) != 0 {
+			t.Fatalf("TAS rows must have zero RMWs")
+		}
+	}
+	// Bakery grows: last n (64) must exceed first (1) several-fold.
+	if cellInt(t, tab, 6, 5) < 8*cellInt(t, tab, 0, 5) {
+		t.Fatalf("bakery steps did not grow linearly: %v", tab.Rows)
+	}
+}
+
+func TestE2Shapes(t *testing.T) {
+	tab := RunE2()[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// A1 share decreases monotonically with contention; RMW/op increases.
+	prevA1, prevRMW := 101.0, -1.0
+	for i := range tab.Rows {
+		a1 := cellFloat(t, tab, i, 2)
+		rmw := cellFloat(t, tab, i, 5)
+		if a1 > prevA1 {
+			t.Fatalf("A1 share increased with contention: %v", tab.Rows)
+		}
+		if rmw < prevRMW {
+			t.Fatalf("RMW/op decreased with contention: %v", tab.Rows)
+		}
+		prevA1, prevRMW = a1, rmw
+	}
+	if cellFloat(t, tab, 0, 2) != 100.0 {
+		t.Fatalf("0%% contention must be fully A1-served: %v", tab.Rows[0])
+	}
+	if cellFloat(t, tab, 0, 5) != 0 {
+		t.Fatalf("0%% contention must be RMW-free: %v", tab.Rows[0])
+	}
+}
+
+func TestE3Shapes(t *testing.T) {
+	tabs := RunE3()
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	ta := tabs[0]
+	// Universal switch cost grows with H; TAS column constant.
+	firstTAS := cellInt(t, ta, 0, 2)
+	for i := range ta.Rows {
+		if cellInt(t, ta, i, 2) != firstTAS {
+			t.Fatalf("TAS switch cost not constant: %v", ta.Rows)
+		}
+	}
+	n := len(ta.Rows)
+	if cellInt(t, ta, n-1, 1) < 4*cellInt(t, ta, 1, 1) {
+		t.Fatalf("universal switch cost did not grow: %v", ta.Rows)
+	}
+	tb := tabs[1]
+	if cellFloat(t, tb, len(tb.Rows)-1, 1) < 2*cellFloat(t, tb, 0, 1) {
+		t.Fatalf("universal per-op cost did not grow with n: %v", tb.Rows)
+	}
+	lastTAS := cellInt(t, tb, len(tb.Rows)-1, 2)
+	if lastTAS != cellInt(t, tb, 0, 2) {
+		t.Fatalf("TAS per-op cost not flat: %v", tb.Rows)
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	tab := RunE4()[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Solo: all commits, no aborts.
+	if cellInt(t, tab, 0, 1) != 2 || cellInt(t, tab, 0, 2) != 0 {
+		t.Fatalf("solo row: %v", tab.Rows[0])
+	}
+	// Register-only: zero RMW everywhere.
+	for i := range tab.Rows {
+		if cellFloat(t, tab, i, 4) != 0 {
+			t.Fatalf("split consensus used RMWs: %v", tab.Rows[i])
+		}
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	tab := RunE5()[0]
+	for i := range tab.Rows {
+		if cellInt(t, tab, i, 3) != 0 {
+			t.Fatalf("bakery used RMWs: %v", tab.Rows[i])
+		}
+		ratio := cellFloat(t, tab, i, 2)
+		if ratio < 3 || ratio > 9 {
+			t.Fatalf("steps/n = %v outside Θ(n) band: %v", ratio, tab.Rows[i])
+		}
+	}
+}
+
+func TestE6Shapes(t *testing.T) {
+	tab := RunE6()[0]
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	for _, zero := range []string{"speculative TAS (this paper)", "solo-fast TAS (Appendix B)", "biased lock [9]"} {
+		if byName[zero][2] != "0.00" {
+			t.Fatalf("%s should be RMW-free: %v", zero, byName[zero])
+		}
+	}
+	for _, one := range []string{"TTAS lock", "hardware TAS"} {
+		if byName[one][2] != "1.00" {
+			t.Fatalf("%s should pay exactly one RMW: %v", one, byName[one])
+		}
+	}
+}
+
+func TestE7Shapes(t *testing.T) {
+	tabs := RunE7()
+	ta, tb := tabs[0], tabs[1]
+	for _, r := range ta.Rows {
+		if r[2] != "0" || r[3] != "0" {
+			t.Fatalf("Proposition 2 violated: %v", r)
+		}
+	}
+	// Composed TAS: zero CAS; universal: nonzero CAS.
+	if tb.Rows[0][4] != "0" {
+		t.Fatalf("composed TAS used CAS: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][4] == "0" {
+		t.Fatalf("universal construction should use CAS under contention: %v", tb.Rows[1])
+	}
+	if v, _ := strconv.Atoi(tb.Rows[0][2]); v > 4 {
+		t.Fatalf("composed TAS should use at most one hardware TAS op per process: %v", tb.Rows[0])
+	}
+}
+
+func TestE8Shapes(t *testing.T) {
+	tab := RunE8()[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][2], "A2") {
+		t.Fatalf("original variant should route the bystander to A2: %v", tab.Rows[0])
+	}
+	if !strings.Contains(tab.Rows[1][2], "A1") {
+		t.Fatalf("solo-fast variant should keep the bystander on A1: %v", tab.Rows[1])
+	}
+	for i := range tab.Rows {
+		if tab.Rows[i][4] != "0" {
+			t.Fatalf("bystander paid an RMW: %v", tab.Rows[i])
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Claim: "c", Columns: []string{"a", "bb"}, Notes: "n"}
+	tab.AddRow(1, "x")
+	md := tab.Markdown()
+	for _, want := range []string{"### X — t", "*Paper claim:* c", "| a ", "| bb ", "| 1 ", "n"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.Run == nil || e.Desc == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestE9Shapes(t *testing.T) {
+	tabs := RunE9()
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	ta := tabs[0]
+	// The bare CAS stack pays at least one more solo RMW/op than any
+	// register-front stack (the consensus CAS itself).
+	casOnly := cellFloat(t, ta, 0, 2)
+	for i := 1; i < len(ta.Rows); i++ {
+		if cellFloat(t, ta, i, 2) >= casOnly {
+			t.Fatalf("register-front stack row %d should pay fewer solo RMWs than bare CAS: %v", i, ta.Rows)
+		}
+	}
+	tb := tabs[1]
+	if tb.Rows[0][2] != "0.00" {
+		t.Fatalf("speculative dispenser solo path must be RMW-free: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][2] != "1.00" {
+		t.Fatalf("hardware dispenser pays exactly one RMW per ticket: %v", tb.Rows[1])
+	}
+}

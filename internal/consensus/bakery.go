@@ -1,0 +1,183 @@
+package consensus
+
+import "repro/internal/memory"
+
+// Bakery is the AbortableBakery algorithm of Appendix A (Algorithm 4), an
+// abortable variant of the solo-fast consensus of Attiya, Guerraoui,
+// Hendler and Kuznetsov [6]. It uses only registers, commits in the absence
+// of step contention, and performs Θ(n) collects per attempt — the linear
+// solo cost that experiment E5 measures against the paper's Ω(log n) lower
+// bound discussion for obstruction-free perturbable objects.
+//
+// Each process tries to impose its value by associating it with the highest
+// timestamp in the arrays (A_i); a value survives two clean collects before
+// being decided. Any failed check raises Quit and aborts with the current
+// value of Dec.
+type Bakery struct {
+	n    int
+	a    []*memory.Reg[tsval]
+	b    []*memory.Reg[tsval]
+	quit *memory.BoolReg
+	dec  *memory.IntReg
+}
+
+// tsval is a (timestamp, value) pair stored in the collect arrays.
+type tsval struct {
+	ts  int64
+	val int64
+}
+
+// NewBakery returns a fresh instance for n processes.
+func NewBakery(n int) *Bakery {
+	bk := &Bakery{
+		n:    n,
+		a:    make([]*memory.Reg[tsval], n),
+		b:    make([]*memory.Reg[tsval], n),
+		quit: memory.NewBoolReg(false),
+		dec:  memory.NewIntReg(Bottom),
+	}
+	for i := 0; i < n; i++ {
+		bk.a[i] = memory.NewReg[tsval](nil)
+		bk.b[i] = memory.NewReg[tsval](nil)
+	}
+	return bk
+}
+
+// Name implements Abortable.
+func (bk *Bakery) Name() string { return "abortable-bakery" }
+
+// collect reads an entire register array (n steps).
+func collect(p *memory.Proc, regs []*memory.Reg[tsval]) []*tsval {
+	out := make([]*tsval, len(regs))
+	for i, r := range regs {
+		out[i] = r.Read(p)
+	}
+	return out
+}
+
+// chooseK returns the minimal k such that the collect contains no values
+// with timestamp > k and no two distinct values with timestamp k (line 6).
+// An empty collect yields 1, the first timestamp.
+func chooseK(v []*tsval) int64 {
+	var maxTS int64
+	for _, e := range v {
+		if e != nil && e.ts > maxTS {
+			maxTS = e.ts
+		}
+	}
+	if maxTS == 0 {
+		return 1
+	}
+	var seen *int64
+	for _, e := range v {
+		if e == nil || e.ts != maxTS {
+			continue
+		}
+		if seen == nil {
+			val := e.val
+			seen = &val
+		} else if *seen != e.val {
+			return maxTS + 1
+		}
+	}
+	return maxTS
+}
+
+// clean reports whether the collect contains no timestamp larger than k and
+// no value other than val with timestamp k (lines 15 and 18).
+func clean(v []*tsval, k, val int64) bool {
+	for _, e := range v {
+		if e == nil {
+			continue
+		}
+		if e.ts > k {
+			return false
+		}
+		if e.ts == k && e.val != val {
+			return false
+		}
+	}
+	return true
+}
+
+// propose is the body of Algorithm 4's propose procedure.
+func (bk *Bakery) propose(p *memory.Proc, input int64) (Outcome, int64) {
+	i := p.ID()
+	v := collect(p, bk.a)
+	k := chooseK(v)
+
+	vi := input
+	adopted := false
+	for _, e := range v {
+		if e != nil && e.ts == k {
+			vi = e.val
+			adopted = true
+			break
+		}
+	}
+	if !adopted {
+		vb := collect(p, bk.b)
+		var best *tsval
+		for _, e := range vb {
+			if e != nil && (best == nil || e.ts > best.ts) {
+				best = e
+			}
+		}
+		if best != nil {
+			vi = best.val
+		}
+	}
+
+	bk.a[i].Write(p, &tsval{ts: k, val: vi})
+	v = collect(p, bk.a)
+	if clean(v, k, vi) {
+		bk.b[i].Write(p, &tsval{ts: k, val: vi})
+		v = collect(p, bk.a)
+		if clean(v, k, vi) {
+			if !bk.quit.Read(p) {
+				bk.dec.Write(p, vi)
+				return Commit, vi
+			}
+		}
+	}
+	bk.quit.Write(p, true)
+	// Algorithm 4 aborts with the current value of Dec. A commit, however,
+	// writes Dec only after reading Quit = false, so a concurrent abort
+	// could read Dec = ⊥ while the commit lands — harmless inside the
+	// universal construction (the Abstract-level Aborted flag orders
+	// commits before abort-history queries) but fatal when consensus
+	// instances are chained directly: the next stage would decide a fresh
+	// value against the committed one. We therefore abort with the full
+	// tentative estimate (Dec, else the highest-timestamped B entry, else
+	// A): a committer's B-write precedes its Quit read, which precedes
+	// every aborter's Quit write and hence this scan, so any committed
+	// value is always visible here. DESIGN.md records the strengthening.
+	return Abort, bk.Query(p)
+}
+
+// Propose implements Abortable via the Algorithm 4 wrapper.
+func (bk *Bakery) Propose(p *memory.Proc, old, v int64) (Outcome, int64) {
+	return wrap(p, old, v, bk.propose)
+}
+
+// Query implements Abortable: the committed value is published in Dec
+// before any commit returns; failing that, the highest-timestamped entry of
+// (B_i) — unique per timestamp — is the best tentative value, then (A_i),
+// then ⊥.
+func (bk *Bakery) Query(p *memory.Proc) int64 {
+	if d := bk.dec.Read(p); d != Bottom {
+		return d
+	}
+	for _, regs := range [][]*memory.Reg[tsval]{bk.b, bk.a} {
+		var best *tsval
+		for _, e := range collect(p, regs) {
+			if e != nil && (best == nil || e.ts > best.ts) {
+				best = e
+			}
+		}
+		if best != nil {
+			return best.val
+		}
+	}
+	return Bottom
+}

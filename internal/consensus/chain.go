@@ -1,0 +1,83 @@
+package consensus
+
+import (
+	"strings"
+
+	"repro/internal/memory"
+)
+
+// Chain composes abortable consensus instances in increasing order of
+// progress-condition strength: when stage k aborts with value x, stage k+1
+// is initialized with x (the "old" argument of its wrapper). A chain whose
+// final stage never aborts (CASConsensus) is itself a never-aborting,
+// wait-free consensus; a chain of register-only stages is an abortable
+// consensus with the weakest stage's progress predicate on its fast path.
+//
+// Agreement across stages holds because a stage that committed value x
+// forces every one of its aborts to carry x (the stages' contention flags
+// order commits before abort reads), so all later-stage proposals equal x.
+type Chain struct {
+	stages []Abortable
+}
+
+// NewChain composes the given stages in order. At least one is required.
+func NewChain(stages ...Abortable) *Chain {
+	if len(stages) == 0 {
+		panic("consensus: empty chain")
+	}
+	return &Chain{stages: stages}
+}
+
+// Name implements Abortable.
+func (c *Chain) Name() string {
+	names := make([]string, len(c.stages))
+	for i, s := range c.stages {
+		names[i] = s.Name()
+	}
+	return "chain(" + strings.Join(names, "→") + ")"
+}
+
+// Stages returns the number of composed stages.
+func (c *Chain) Stages() int { return len(c.stages) }
+
+// Propose implements Abortable: it walks the stages, threading abort values
+// forward, and returns the first commit; if every stage aborts it aborts
+// with the final inherited value.
+func (c *Chain) Propose(p *memory.Proc, old, v int64) (Outcome, int64) {
+	cur := old
+	for _, st := range c.stages {
+		out, res := st.Propose(p, cur, v)
+		if out == Commit {
+			return Commit, res
+		}
+		cur = res
+	}
+	return Abort, cur
+}
+
+// ProposeTraced behaves like Propose but also reports the index of the
+// stage that committed (len(stages) if every stage aborted), for the
+// module-usage experiments.
+func (c *Chain) ProposeTraced(p *memory.Proc, old, v int64) (Outcome, int64, int) {
+	cur := old
+	for i, st := range c.stages {
+		out, res := st.Propose(p, cur, v)
+		if out == Commit {
+			return Commit, res, i
+		}
+		cur = res
+	}
+	return Abort, cur, len(c.stages)
+}
+
+// Query implements Abortable. Stages are scanned from last to first: a
+// committed value at stage k forces all stage->k+1 proposals to equal it,
+// so the latest non-⊥ estimate is consistent with any commit.
+func (c *Chain) Query(p *memory.Proc) int64 {
+	for i := len(c.stages) - 1; i >= 0; i-- {
+		if v := c.stages[i].Query(p); v != Bottom {
+			return v
+		}
+	}
+	return Bottom
+}

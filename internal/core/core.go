@@ -1,0 +1,304 @@
+// Package core implements the paper's primary contribution: the
+// light-weight framework for safely composable shared-memory objects of
+// Section 5.
+//
+// A safely composable implementation of an object O is parameterized by a
+// set of switch values V and a constraint function M mapping every set of
+// switch tokens (request, switch-value pairs) to the set of histories it
+// may encode. Definition 2 requires that for every trace τ that is valid
+// w.r.t. M and every equivalence class e of eq(aborts(τ), M), some history
+// h_abort ∈ e admits a valid interpretation φ: a substitution of histories
+// for the trace's commit and switch values under which the trace becomes an
+// Abstract trace (Definition 1) with all init indices mapped to one history
+// of M(inits(τ)), all abort indices mapped to h_abort, and every commit's
+// history β-consistent with its response.
+//
+// The two payoff theorems are executable here:
+//
+//   - Theorem 2 (composition): the composition of two safely composable
+//     implementations is safely composable — exercised by checking traces
+//     of composed modules (package tas) against the same V and M.
+//   - Theorem 3 (linearization): an init-free trace's invoke/commit
+//     projection is linearizable — cross-checked against package linearize.
+//
+// CheckDefinition2 performs the interpretation search mechanically on
+// recorded traces. The search mirrors the constructive proof of Lemma 4:
+// candidate histories are orderings of invoked requests filtered by M;
+// commits are mapped to prefixes of the abort history (the "spine"), which
+// by construction satisfies Commit Order and Abort Ordering; the candidate
+// interpretation is then re-validated with the Definition 1 checker.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// SwitchValue is an element of the set V. Its dynamic type is
+// implementation-specific (e.g. tas.SV); values are compared with ==.
+type SwitchValue any
+
+// Token is a switch token: a request paired with the switch value it
+// aborted with (or was initialized with).
+type Token struct {
+	Req spec.Request
+	Val SwitchValue
+}
+
+// Constraint is the constraint function M: 2^T → 2^H. Because M's history
+// sets are infinite, a Constraint exposes membership plus a finite
+// candidate enumeration sufficient for checking Definition 2 on a trace:
+// Candidates must return at least one member of every equivalence class of
+// eq(tokens, M) that is representable over the trace's invoked requests.
+type Constraint interface {
+	// Contains reports h ∈ M(tokens).
+	Contains(tokens []Token, h spec.History) bool
+	// Candidates enumerates members of M(tokens) built from the available
+	// (invoked) requests.
+	Candidates(tokens []Token, available []spec.Request) []spec.History
+}
+
+// maxSearchRequests bounds the brute-force candidate space.
+const maxSearchRequests = 9
+
+// CheckDefinition2 verifies that the recorded trace is consistent with a
+// safely composable implementation of typ w.r.t. the constraint m: for
+// every equivalence class of abort-history candidates there must exist a
+// class member and a valid interpretation. Commit, abort and init events
+// must carry their switch values in Event.SV (histories are *not* expected:
+// the interpretation invents them, that is the point of the definition).
+func CheckDefinition2(typ spec.Type, m Constraint, events []trace.Event) error {
+	var invoked []spec.Request
+	invokedAt := map[int64]int64{}
+	var initTokens, abortTokens []Token
+	for _, e := range events {
+		switch e.Kind {
+		case trace.Invoke, trace.Init:
+			if _, ok := invokedAt[e.Req.ID]; !ok {
+				invokedAt[e.Req.ID] = e.Seq
+				invoked = append(invoked, e.Req)
+			}
+			if e.Kind == trace.Init {
+				initTokens = append(initTokens, Token{Req: e.Req, Val: e.SV})
+			}
+		case trace.Abort:
+			abortTokens = append(abortTokens, Token{Req: e.Req, Val: e.SV})
+		}
+	}
+	if len(invoked) > maxSearchRequests {
+		return fmt.Errorf("core: trace has %d requests; CheckDefinition2 is bounded to %d", len(invoked), maxSearchRequests)
+	}
+
+	// Trace validity: M(inits(τ)) must be non-empty.
+	if len(initTokens) > 0 && len(m.Candidates(initTokens, invoked)) == 0 {
+		return fmt.Errorf("core: trace invalid: M(inits) has no representable member")
+	}
+
+	// Enumerate abort-history candidates and group them into equivalence
+	// classes of ≡_{requests(aborts)} within M(aborts).
+	if len(abortTokens) == 0 {
+		// No abort indices: the abort-history mapping is vacuous; a single
+		// interpretation (with h_abort = ⊥) must exist.
+		if err := findInterpretation(typ, m, events, invoked, invokedAt, initTokens, nil); err != nil {
+			return fmt.Errorf("core: no valid interpretation for abort-free trace: %w", err)
+		}
+		return nil
+	}
+	cands := m.Candidates(abortTokens, invoked)
+	if len(cands) == 0 {
+		return fmt.Errorf("core: M(aborts) has no representable member")
+	}
+	ids := tokenIDs(abortTokens)
+	var classes []spec.History // one representative per class seen so far
+	classMembers := map[int][]spec.History{}
+	for _, h := range cands {
+		placed := false
+		for ci, rep := range classes {
+			if spec.EquivalentOver(typ, ids, rep, h) {
+				classMembers[ci] = append(classMembers[ci], h)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, h)
+			classMembers[len(classes)-1] = []spec.History{h}
+		}
+	}
+	for ci := range classes {
+		ok := false
+		var lastErr error
+		for _, habort := range classMembers[ci] {
+			if err := findInterpretation(typ, m, events, invoked, invokedAt, initTokens, habort); err == nil {
+				ok = true
+				break
+			} else {
+				lastErr = err
+			}
+		}
+		if !ok {
+			return fmt.Errorf("core: equivalence class %d (rep %v) admits no valid interpretation: %w",
+				ci, classes[ci], lastErr)
+		}
+	}
+	return nil
+}
+
+func tokenIDs(tokens []Token) []int64 {
+	out := make([]int64, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Req.ID
+	}
+	return out
+}
+
+// findInterpretation attempts to build a valid interpretation for the trace
+// given a fixed h_abort (nil when the trace has no abort events, in which
+// case a spine is searched over orderings of invoked requests). On success
+// it returns nil after re-validating the substituted trace with the
+// Definition 1 checker.
+func findInterpretation(typ spec.Type, m Constraint, events []trace.Event,
+	invoked []spec.Request, invokedAt map[int64]int64,
+	initTokens []Token, habort spec.History) error {
+
+	// Candidate hinit values (condition 1). With no init events the init
+	// mapping is vacuous; use an empty history.
+	var initCands []spec.History
+	if len(initTokens) == 0 {
+		initCands = []spec.History{nil}
+	} else {
+		initCands = m.Candidates(initTokens, invoked)
+	}
+
+	// The first init event's stamp: requests appearing only in hinit (e.g.
+	// the previous module's unseen winner heading the init history) count
+	// as invoked there, mirroring abstract.CheckTrace's accounting.
+	firstInitSeq := int64(-1)
+	for _, e := range events {
+		if e.Kind == trace.Init {
+			firstInitSeq = e.Seq
+			break
+		}
+	}
+
+	trySpine := func(hinit, spine spec.History) error {
+		if len(hinit) > 0 && !hinit.IsPrefixOf(spine) {
+			return fmt.Errorf("hinit %v not a prefix of spine %v", hinit, spine)
+		}
+		inv := invokedAt
+		if firstInitSeq >= 0 && len(hinit) > 0 {
+			inv = make(map[int64]int64, len(invokedAt)+len(hinit))
+			for k, v := range invokedAt {
+				inv[k] = v
+			}
+			for _, r := range hinit {
+				if v, ok := inv[r.ID]; !ok || firstInitSeq < v {
+					inv[r.ID] = firstInitSeq
+				}
+			}
+		}
+		phi := map[int64]spec.History{} // event seq -> assigned history
+		for _, e := range events {
+			switch e.Kind {
+			case trace.Init:
+				phi[e.Seq] = hinit
+			case trace.Abort:
+				phi[e.Seq] = spine
+			case trace.Commit:
+				p, err := commitPrefix(typ, spine, hinit, e, inv)
+				if err != nil {
+					return err
+				}
+				phi[e.Seq] = p
+			}
+		}
+		// Re-validate with the Definition 1 checker on the substituted
+		// trace (condition 4).
+		sub := make([]trace.Event, len(events))
+		for i, e := range events {
+			se := e
+			if h, ok := phi[e.Seq]; ok && e.Kind != trace.Invoke {
+				se.SV = h
+			}
+			sub[i] = se
+		}
+		if err := abstract.CheckTrace(sub); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	var lastErr error = fmt.Errorf("no spine candidates")
+	for _, hinit := range initCands {
+		if habort != nil {
+			if err := trySpine(hinit, habort); err == nil {
+				return nil
+			} else {
+				lastErr = err
+			}
+			continue
+		}
+		// Abort-free trace: search spines over orderings of subsets of the
+		// invoked requests plus any hinit-only requests.
+		pool := append([]spec.Request(nil), invoked...)
+		for _, r := range hinit {
+			if _, ok := invokedAt[r.ID]; !ok {
+				pool = append(pool, r)
+			}
+		}
+		found := false
+		spec.Subsets(pool, func(sub []spec.Request) bool {
+			subCopy := append([]spec.Request(nil), sub...)
+			spec.Permutations(subCopy, func(spine spec.History) bool {
+				if err := trySpine(hinit, spine); err == nil {
+					found = true
+					return false
+				} else {
+					lastErr = err
+				}
+				return true
+			})
+			return !found
+		})
+		if found {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// commitPrefix finds a prefix p of spine such that hinit ⊑ p, the committed
+// request appears in p with β(p, m) equal to the committed response
+// (condition 3 — read as the response matching m: Lemma 5's interpretation
+// for the wait-free module appends loser requests after the winner, which
+// only type-checks under the per-request reading of β), and every request
+// of p was invoked before the commit returned.
+func commitPrefix(typ spec.Type, spine, hinit spec.History, e trace.Event, invokedAt map[int64]int64) (spec.History, error) {
+	for l := 1; l <= len(spine); l++ {
+		p := spine[:l]
+		if len(p) < len(hinit) {
+			continue
+		}
+		if len(hinit) > 0 && !hinit.IsPrefixOf(p) {
+			continue
+		}
+		if r, ok := spec.BetaAt(typ, p, e.Req.ID); !ok || r != e.Resp {
+			continue
+		}
+		ok := true
+		for _, req := range p {
+			inv, known := invokedAt[req.ID]
+			if !known || inv > e.Seq {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no spine prefix matches commit %v (resp %d) in %v", e.Req, e.Resp, spine)
+}

@@ -1,0 +1,157 @@
+// Package explore enumerates interleavings of a controlled execution
+// exhaustively (small-scope model checking). Because an execution under
+// sched.Run is fully determined by the sequence of scheduler choices, the
+// space of executions is a tree: each node is a decision point with one
+// branch per parked process (plus, optionally, one crash branch per parked
+// process). Explore performs a stateless depth-first walk of that tree by
+// re-running the system from scratch with successive choice prefixes.
+//
+// The paper's correctness arguments (invariants 1–5 of Lemma 4, Lemma 6,
+// linearizability of the composed TAS) are universally quantified over
+// executions; this package checks them over *every* execution for small
+// process counts, and the tests fall back to seeded random sampling beyond
+// that.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Harness builds one fresh instance of the system under test: a new
+// environment, one body per process, and a predicate checked on the
+// resulting execution. It is invoked once per explored interleaving, so all
+// shared state must be created inside it.
+type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error)
+
+// Config bounds an exploration.
+type Config struct {
+	// MaxExecutions aborts the walk after this many executions (0 = no
+	// bound). When hit, Run returns Partial=true rather than an error.
+	MaxExecutions int
+	// Crashes adds one crash branch per parked process at every decision
+	// point. This grows the tree roughly 2^depth-fold; use with tight
+	// process counts.
+	Crashes bool
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	// Executions is the number of distinct interleavings run.
+	Executions int
+	// Partial reports whether the walk was cut off by MaxExecutions.
+	Partial bool
+	// MaxDepth is the largest number of scheduler decisions seen.
+	MaxDepth int
+}
+
+// CheckError wraps a check failure with the schedule that produced it, so a
+// failing interleaving can be replayed with sched.NewReplay.
+type CheckError struct {
+	Schedule []sched.Choice
+	Err      error
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("explore: check failed on schedule %v: %v", e.Schedule, e.Err)
+}
+
+func (e *CheckError) Unwrap() error { return e.Err }
+
+// enumStrategy replays a prefix of branch indices and records, for every
+// decision point, the branching degree and the index taken, enabling
+// odometer-style enumeration of the next unexplored leaf.
+type enumStrategy struct {
+	prefix  []int
+	crashes bool
+
+	degrees []int
+	taken   []int
+	bad     error
+}
+
+func (s *enumStrategy) Next(step int, parked []int) sched.Choice {
+	deg := len(parked)
+	if s.crashes {
+		deg *= 2
+	}
+	idx := 0
+	if step < len(s.prefix) {
+		idx = s.prefix[step]
+	}
+	if idx >= deg {
+		// The tree is deterministic, so a prefix index can never exceed the
+		// degree observed when the prefix was recorded. Seeing it means the
+		// harness is nondeterministic (e.g. shared state escaping the
+		// Harness closure).
+		s.bad = fmt.Errorf("explore: nondeterministic harness: step %d has degree %d, prefix wants branch %d", step, deg, idx)
+		idx = 0
+	}
+	s.degrees = append(s.degrees, deg)
+	s.taken = append(s.taken, idx)
+	if idx < len(parked) {
+		return sched.Choice{Proc: parked[idx]}
+	}
+	return sched.Choice{Proc: parked[idx-len(parked)], Crash: true}
+}
+
+// Run walks the interleaving tree of h depth-first and returns after the
+// first check failure (as a *CheckError), an internal error, exhaustion of
+// the tree, or hitting cfg.MaxExecutions.
+func Run(h Harness, cfg Config) (Report, error) {
+	var rep Report
+	prefix := []int{}
+	for {
+		if cfg.MaxExecutions > 0 && rep.Executions >= cfg.MaxExecutions {
+			rep.Partial = true
+			return rep, nil
+		}
+		env, bodies, check := h()
+		st := &enumStrategy{prefix: prefix, crashes: cfg.Crashes}
+		res := sched.Run(env, st, bodies)
+		rep.Executions++
+		if len(st.taken) > rep.MaxDepth {
+			rep.MaxDepth = len(st.taken)
+		}
+		if st.bad != nil {
+			return rep, st.bad
+		}
+		if err := check(res); err != nil {
+			return rep, &CheckError{Schedule: res.Schedule, Err: err}
+		}
+		// Advance the odometer: bump the deepest decision that still has an
+		// unexplored sibling, truncating everything after it.
+		next := -1
+		for i := len(st.taken) - 1; i >= 0; i-- {
+			if st.taken[i]+1 < st.degrees[i] {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return rep, nil // tree exhausted
+		}
+		prefix = append(append([]int{}, st.taken[:next]...), st.taken[next]+1)
+	}
+}
+
+// Sample runs k seeded-random interleavings of h (seeds seed..seed+k-1) and
+// returns after the first check failure. It is the fallback for process
+// counts where exhaustive exploration is infeasible.
+func Sample(h Harness, k int, seed int64) (Report, error) {
+	var rep Report
+	for i := 0; i < k; i++ {
+		env, bodies, check := h()
+		res := sched.Run(env, sched.NewRandom(seed+int64(i)), bodies)
+		rep.Executions++
+		if d := len(res.Schedule); d > rep.MaxDepth {
+			rep.MaxDepth = d
+		}
+		if err := check(res); err != nil {
+			return rep, &CheckError{Schedule: res.Schedule, Err: err}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,166 @@
+package linearize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// bruteForce decides linearizability by enumerating every permutation of
+// every subset of pending ops appended to the completed ops, checking
+// real-time order and responses directly. It is exponential without
+// memoization and serves as an independent oracle for Check.
+func bruteForce(t spec.Type, ops []trace.Op) bool {
+	var completed, pending []trace.Op
+	for _, o := range ops {
+		if o.Pending {
+			pending = append(pending, o)
+		} else {
+			completed = append(completed, o)
+		}
+	}
+	ok := false
+	spec.Subsets(opReqs(pending), func(sub []spec.Request) bool {
+		chosen := append([]trace.Op{}, completed...)
+		for _, r := range sub {
+			for _, o := range pending {
+				if o.Req.ID == r.ID {
+					chosen = append(chosen, o)
+				}
+			}
+		}
+		spec.Permutations(opReqs(chosen), func(h spec.History) bool {
+			if validLinearization(t, h, chosen) {
+				ok = true
+				return false
+			}
+			return true
+		})
+		return !ok
+	})
+	return ok
+}
+
+func opReqs(ops []trace.Op) []spec.Request {
+	out := make([]spec.Request, len(ops))
+	for i, o := range ops {
+		out[i] = o.Req
+	}
+	return out
+}
+
+func validLinearization(t spec.Type, h spec.History, ops []trace.Op) bool {
+	byID := map[int64]trace.Op{}
+	for _, o := range ops {
+		byID[o.Req.ID] = o
+	}
+	// Real-time order: if a returns before b is invoked, a must precede b.
+	pos := map[int64]int{}
+	for i, r := range h {
+		pos[r.ID] = i
+	}
+	for _, a := range ops {
+		for _, b := range ops {
+			if !a.Pending && b.Inv > a.Ret && pos[a.Req.ID] > pos[b.Req.ID] {
+				return false
+			}
+		}
+	}
+	// Responses of completed ops must match.
+	state := t.Init()
+	for _, r := range h {
+		var resp int64
+		state, resp = t.Apply(state, r)
+		if o := byID[r.ID]; !o.Pending && resp != o.Resp {
+			return false
+		}
+	}
+	return true
+}
+
+// randomOps generates a small random execution over the given op set.
+func randomOps(rng *rand.Rand, mkOp func(i int, rng *rand.Rand) (string, int64, int64)) []trace.Op {
+	k := 1 + rng.Intn(4)
+	ops := make([]trace.Op, 0, k)
+	stamp := int64(1)
+	for i := 0; i < k; i++ {
+		op, arg, resp := mkOp(i, rng)
+		inv := stamp
+		stamp++
+		o := trace.Op{Req: spec.Request{ID: int64(i + 1), Op: op, Arg: arg}, Inv: inv}
+		if rng.Intn(5) == 0 {
+			o.Pending = true
+		} else {
+			o.Ret = stamp + int64(rng.Intn(2*k))
+			stamp++
+			o.Resp = resp
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func TestCrossValidateGenericCheckerQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	okCount, badCount := 0, 0
+	for iter := 0; iter < 1500; iter++ {
+		ops := randomOps(rng, func(i int, rng *rand.Rand) (string, int64, int64) {
+			if rng.Intn(2) == 0 {
+				return spec.OpEnq, int64(10 + i), 0
+			}
+			// Random (often wrong) dequeue responses probe the reject side.
+			resps := []int64{spec.EmptyQueue, 10, 11, 12, 13}
+			return spec.OpDeq, 0, resps[rng.Intn(len(resps))]
+		})
+		got := Check(spec.QueueType{}, ops).Ok
+		want := bruteForce(spec.QueueType{}, ops)
+		if got != want {
+			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)
+		}
+		if got {
+			okCount++
+		} else {
+			badCount++
+		}
+	}
+	if okCount == 0 || badCount == 0 {
+		t.Fatalf("degenerate sampling: ok=%d bad=%d", okCount, badCount)
+	}
+}
+
+func TestCrossValidateGenericCheckerStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 1500; iter++ {
+		ops := randomOps(rng, func(i int, rng *rand.Rand) (string, int64, int64) {
+			if rng.Intn(2) == 0 {
+				return spec.OpPush, int64(10 + i), 0
+			}
+			resps := []int64{spec.EmptyStack, 10, 11, 12, 13}
+			return spec.OpPop, 0, resps[rng.Intn(len(resps))]
+		})
+		got := Check(spec.StackType{}, ops).Ok
+		want := bruteForce(spec.StackType{}, ops)
+		if got != want {
+			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)
+		}
+	}
+}
+
+func TestCrossValidateGenericCheckerMaxRegister(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 1000; iter++ {
+		ops := randomOps(rng, func(i int, rng *rand.Rand) (string, int64, int64) {
+			if rng.Intn(2) == 0 {
+				return spec.OpWriteMax, int64(rng.Intn(4)), 0
+			}
+			return spec.OpReadMax, 0, int64(rng.Intn(4))
+		})
+		got := Check(spec.MaxRegisterType{}, ops).Ok
+		want := bruteForce(spec.MaxRegisterType{}, ops)
+		if got != want {
+			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package linearize checks linearizability [15] of recorded concurrent
+// executions. It provides the general Wing–Gong-style search (exponential,
+// memoized, fine for the small-scope executions the explore package
+// produces) and a specialized constant-factor checker for test-and-set
+// histories used by the stress tests, where thousands of operations make
+// the general search infeasible. The two are cross-validated against each
+// other by property tests.
+//
+// Theorem 3 of the paper reduces correctness of a safely composable object
+// with no init requests to linearizability of its invoke/commit projection;
+// this package is the executable form of that projection check.
+package linearize
+
+import (
+	"sort"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	Ok bool
+	// Witness is a linearization (as a history) when Ok; it includes any
+	// pending operations the search decided took effect.
+	Witness spec.History
+	// Reason explains a failure (best-effort).
+	Reason string
+}
+
+// Check decides whether ops — the invoke/commit projection of an execution
+// on an object of type t — is linearizable. Committed operations must
+// appear in the linearization with their observed responses; pending
+// operations (no response recorded: crashed or cut off) may take effect
+// with any response, or not at all. Aborted operations must be filtered
+// out by the caller (per Theorem 3 the projection is onto invoke and
+// commit events).
+//
+// Check runs a memoized depth-first search over linearization prefixes; it
+// panics if given more than 64 operations (use CheckTAS for large TAS
+// histories).
+func Check(t spec.Type, ops []trace.Op) Result {
+	for _, o := range ops {
+		if o.Aborted {
+			panic("linearize: Check requires aborted operations to be projected out")
+		}
+	}
+	if len(ops) > 64 {
+		panic("linearize: Check limited to 64 operations")
+	}
+	ops = append([]trace.Op(nil), ops...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+
+	type key struct {
+		mask  uint64
+		state string
+	}
+	visited := map[key]bool{}
+	full := uint64(1)
+	if len(ops) > 0 {
+		full = uint64(1)<<uint(len(ops)) - 1
+	} else {
+		full = 0
+	}
+
+	var witness spec.History
+	var dfs func(mask uint64, state string) bool
+	dfs = func(mask uint64, state string) bool {
+		if mask == full {
+			return true
+		}
+		k := key{mask, state}
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+
+		// A remaining op may linearize next only if no other remaining op
+		// returned before it was invoked (real-time order preservation).
+		minRet := int64(1<<62 - 1)
+		for i, o := range ops {
+			if mask&(1<<uint(i)) != 0 || o.Pending {
+				continue
+			}
+			if o.Ret < minRet {
+				minRet = o.Ret
+			}
+		}
+		for i, o := range ops {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			if o.Inv > minRet {
+				continue // some remaining completed op really precedes o
+			}
+			if o.Pending {
+				// Branch 1: the pending op takes effect here (any response).
+				next, _ := t.Apply(state, o.Req)
+				witness = append(witness, o.Req)
+				if dfs(mask|bit, next) {
+					return true
+				}
+				witness = witness[:len(witness)-1]
+				// Branch 2: the pending op never takes effect.
+				if dfs(mask|bit, state) {
+					return true
+				}
+				continue
+			}
+			next, resp := t.Apply(state, o.Req)
+			if resp != o.Resp {
+				continue // cannot linearize here; maybe later in another order
+			}
+			witness = append(witness, o.Req)
+			if dfs(mask|bit, next) {
+				return true
+			}
+			witness = witness[:len(witness)-1]
+		}
+		return false
+	}
+
+	if dfs(0, t.Init()) {
+		return Result{Ok: true, Witness: witness}
+	}
+	return Result{Ok: false, Reason: "no linearization matches observed responses"}
+}
+
+// CheckTAS decides linearizability of a (possibly large) one-shot
+// test-and-set execution in O(k log k): committed operations respond Winner
+// or Loser; pending operations may or may not have taken effect.
+//
+// A TAS execution is linearizable iff
+//  1. at most one committed operation won;
+//  2. if a committed winner w exists, every committed loser l satisfies
+//     Inv(w) < Ret(l) (w can be placed before l); and
+//  3. if losers committed but no winner did, some pending operation p has
+//     Inv(p) < Ret(l) for every committed loser l (p took the win).
+func CheckTAS(ops []trace.Op) Result {
+	var winner *trace.Op
+	minLoserRet := int64(1<<62 - 1)
+	losers := 0
+	for i := range ops {
+		o := &ops[i]
+		if o.Aborted {
+			panic("linearize: CheckTAS requires aborted operations to be projected out")
+		}
+		if o.Pending {
+			continue
+		}
+		switch o.Resp {
+		case spec.Winner:
+			if winner != nil {
+				return Result{Ok: false, Reason: "two committed winners"}
+			}
+			winner = o
+		case spec.Loser:
+			losers++
+			if o.Ret < minLoserRet {
+				minLoserRet = o.Ret
+			}
+		default:
+			return Result{Ok: false, Reason: "non-TAS response"}
+		}
+	}
+	if winner != nil {
+		if winner.Inv > minLoserRet {
+			return Result{Ok: false, Reason: "a loser completed before the winner was invoked"}
+		}
+		return Result{Ok: true, Witness: tasWitness(winner, ops)}
+	}
+	if losers == 0 {
+		return Result{Ok: true}
+	}
+	// No committed winner: a pending op must account for the set bit.
+	for i := range ops {
+		o := &ops[i]
+		if o.Pending && o.Inv < minLoserRet {
+			return Result{Ok: true, Witness: tasWitness(o, ops)}
+		}
+	}
+	return Result{Ok: false, Reason: "losers committed but no possible winner precedes them"}
+}
+
+// tasWitness builds a linearization placing w first and the committed
+// losers after it in return order.
+func tasWitness(w *trace.Op, ops []trace.Op) spec.History {
+	h := spec.History{w.Req}
+	rest := make([]trace.Op, 0, len(ops))
+	for _, o := range ops {
+		if !o.Pending && o.Resp == spec.Loser {
+			rest = append(rest, o)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Ret < rest[j].Ret })
+	for _, o := range rest {
+		h = append(h, o.Req)
+	}
+	return h
+}

@@ -1,0 +1,109 @@
+package memory
+
+import "sync/atomic"
+
+// GrowArray is the unbounded shared array the paper assumes for the
+// consensus vector Cons[...] of the universal construction and the TAS[...]
+// array of Algorithm 2. Slots are created on first access by a user-supplied
+// factory and published with a single compare-and-swap, so all processes
+// agree on the slot object; losing initializers simply adopt the winner.
+//
+// The array is segmented: a fixed directory of lazily allocated chunks.
+// Capacity is bounded by dirSize*chunkSize (2^22 slots), which substitutes
+// for the paper's truly unbounded array; DESIGN.md records the substitution.
+// Slot lookup charges one read step; a slot-creating access additionally
+// charges one RMW (the publishing CAS).
+type GrowArray[T any] struct {
+	mk  func(i int) *T
+	dir [dirSize]atomic.Pointer[chunk[T]]
+}
+
+const (
+	chunkSize = 1 << 10
+	dirSize   = 1 << 12
+)
+
+type chunk[T any] struct {
+	slots [chunkSize]atomic.Pointer[T]
+}
+
+// NewGrowArray returns an unbounded array whose slot i is created by mk(i)
+// on first access.
+func NewGrowArray[T any](mk func(i int) *T) *GrowArray[T] {
+	return &GrowArray[T]{mk: mk}
+}
+
+// Cap returns the maximum number of addressable slots.
+func (a *GrowArray[T]) Cap() int { return dirSize * chunkSize }
+
+// Get returns slot i, creating it if necessary. It charges one read step,
+// plus one CAS if this call had to publish the slot.
+func (a *GrowArray[T]) Get(p *Proc, i int) *T {
+	if i < 0 || i >= a.Cap() {
+		panic("memory: GrowArray index out of range")
+	}
+	p.enter(OpRead)
+	ci, si := i/chunkSize, i%chunkSize
+	c := a.dir[ci].Load()
+	if c == nil {
+		fresh := &chunk[T]{}
+		if a.dir[ci].CompareAndSwap(nil, fresh) {
+			c = fresh
+		} else {
+			c = a.dir[ci].Load()
+		}
+	}
+	s := c.slots[si].Load()
+	if s != nil {
+		return s
+	}
+	fresh := a.mk(i)
+	p.enter(OpCAS)
+	if c.slots[si].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return c.slots[si].Load()
+}
+
+// GetOrPut returns slot i, publishing v as its value if the slot is still
+// empty (one CAS). All processes agree on the slot's final value. It is the
+// write-once registry primitive the universal construction uses to map
+// request ids to requests before proposing them.
+func (a *GrowArray[T]) GetOrPut(p *Proc, i int, v *T) *T {
+	if i < 0 || i >= a.Cap() {
+		panic("memory: GrowArray index out of range")
+	}
+	p.enter(OpRead)
+	ci, si := i/chunkSize, i%chunkSize
+	c := a.dir[ci].Load()
+	if c == nil {
+		fresh := &chunk[T]{}
+		if a.dir[ci].CompareAndSwap(nil, fresh) {
+			c = fresh
+		} else {
+			c = a.dir[ci].Load()
+		}
+	}
+	if s := c.slots[si].Load(); s != nil {
+		return s
+	}
+	p.enter(OpCAS)
+	if c.slots[si].CompareAndSwap(nil, v) {
+		return v
+	}
+	return c.slots[si].Load()
+}
+
+// Peek returns slot i if it has already been created, without creating it.
+// It charges one read step.
+func (a *GrowArray[T]) Peek(p *Proc, i int) *T {
+	if i < 0 || i >= a.Cap() {
+		panic("memory: GrowArray index out of range")
+	}
+	p.enter(OpRead)
+	c := a.dir[i/chunkSize].Load()
+	if c == nil {
+		return nil
+	}
+	return c.slots[i%chunkSize].Load()
+}

@@ -1,0 +1,215 @@
+// Package memory implements the shared-memory substrate of the paper's model
+// (Section 3): n asynchronous processes, up to n-1 of which may crash,
+// communicating through linearizable base objects — multi-writer multi-reader
+// atomic registers, and the read-modify-write primitives the paper's
+// algorithms rely on (hardware test-and-set, compare-and-swap, and a
+// fetch-and-increment counter).
+//
+// Every primitive operation takes the calling process handle (*Proc) and is
+// accounted against it: plain reads and writes count as steps, RMW
+// operations additionally count as RMWs (the paper's "fence complexity" [7]
+// proxy). This makes the paper's complexity metric — shared-memory steps per
+// high-level operation — directly measurable, independent of wall-clock
+// noise.
+//
+// A Proc may carry a Gate. When set, each shared-memory access first parks
+// at the gate, which lets the sched and explore packages serialize accesses
+// into one fully controlled, sequentially consistent interleaving. With no
+// gate, primitives compile down to raw sync/atomic operations plus two
+// uncontended counter increments, so the same algorithm code is usable in
+// wall-clock benchmarks.
+package memory
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OpKind identifies the kind of a shared-memory access, for accounting and
+// for schedulers that want to branch on it.
+type OpKind uint8
+
+// The access kinds produced by the primitives in this package.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpTAS
+	OpFetchInc
+	OpSwap
+)
+
+// IsRMW reports whether the access kind is a read-modify-write (and thus
+// counts against the RMW/fence budget as well as the step budget).
+func (k OpKind) IsRMW() bool { return k >= OpCAS }
+
+// String returns the conventional name of the access kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpTAS:
+		return "tas"
+	case OpFetchInc:
+		return "fetch-inc"
+	case OpSwap:
+		return "swap"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Gate serializes shared-memory accesses. Enter blocks until the scheduler
+// grants the calling process its next step; the access executes immediately
+// after Enter returns, before the process parks again. Implementations must
+// guarantee that at most one gated process is between Enter-return and its
+// next Enter call at any time.
+type Gate interface {
+	Enter(p *Proc, kind OpKind)
+}
+
+// Env models the shared-memory system: a fixed set of n processes and
+// aggregate step accounting. An Env is not itself a memory; base objects are
+// created independently and shared by closure.
+type Env struct {
+	procs []*Proc
+}
+
+// NewEnv creates an environment with n processes, ids 0..n-1.
+func NewEnv(n int) *Env {
+	if n <= 0 {
+		panic("memory: NewEnv requires n >= 1")
+	}
+	e := &Env{procs: make([]*Proc, n)}
+	for i := range e.procs {
+		e.procs[i] = &Proc{id: i, env: e}
+	}
+	return e
+}
+
+// N returns the number of processes in the environment.
+func (e *Env) N() int { return len(e.procs) }
+
+// Proc returns the handle of process i.
+func (e *Env) Proc(i int) *Proc { return e.procs[i] }
+
+// Procs returns all process handles, in id order. The slice is shared; do
+// not mutate it.
+func (e *Env) Procs() []*Proc { return e.procs }
+
+// TotalSteps returns the sum of step counts over all processes.
+func (e *Env) TotalSteps() int64 {
+	var t int64
+	for _, p := range e.procs {
+		t += p.Steps()
+	}
+	return t
+}
+
+// TotalRMWs returns the sum of RMW counts over all processes.
+func (e *Env) TotalRMWs() int64 {
+	var t int64
+	for _, p := range e.procs {
+		t += p.RMWs()
+	}
+	return t
+}
+
+// ResetCounters zeroes the step and RMW counters of every process.
+func (e *Env) ResetCounters() {
+	for _, p := range e.procs {
+		p.ResetCounters()
+	}
+}
+
+// SetGate installs the same gate on every process (nil removes gates).
+func (e *Env) SetGate(g Gate) {
+	for _, p := range e.procs {
+		p.SetGate(g)
+	}
+}
+
+// Proc is the per-process handle threaded through every shared-memory
+// access. It carries the process id, the step/RMW accounting, an optional
+// scheduling gate, and a crash flag (a crashed process simply stops taking
+// steps; the flag exists for reporting).
+type Proc struct {
+	id      int
+	env     *Env
+	gate    Gate
+	steps   atomic.Int64
+	rmws    atomic.Int64
+	kinds   [6]atomic.Int64
+	crashed atomic.Bool
+}
+
+// ID returns the process id (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Env returns the environment the process belongs to, or nil for a detached
+// process created by NewDetachedProc.
+func (p *Proc) Env() *Env { return p.env }
+
+// Steps returns the number of shared-memory accesses performed so far.
+func (p *Proc) Steps() int64 { return p.steps.Load() }
+
+// RMWs returns the number of read-modify-write accesses performed so far.
+func (p *Proc) RMWs() int64 { return p.rmws.Load() }
+
+// KindCount returns the number of accesses of the given kind performed so
+// far. The primitive census of experiment E7 uses it to certify, e.g., that
+// the composed TAS never issues a compare-and-swap.
+func (p *Proc) KindCount(k OpKind) int64 {
+	if int(k) >= len(p.kinds) {
+		return 0
+	}
+	return p.kinds[k].Load()
+}
+
+// ResetCounters zeroes the process's step, RMW and per-kind counters.
+func (p *Proc) ResetCounters() {
+	p.steps.Store(0)
+	p.rmws.Store(0)
+	for i := range p.kinds {
+		p.kinds[i].Store(0)
+	}
+}
+
+// SetGate installs (or removes, with nil) the scheduling gate. Must not be
+// called concurrently with the process taking steps.
+func (p *Proc) SetGate(g Gate) { p.gate = g }
+
+// MarkCrashed records that the process has crashed. Accounting only; the
+// scheduler enforces the crash by never granting further steps.
+func (p *Proc) MarkCrashed() { p.crashed.Store(true) }
+
+// Crashed reports whether the process was marked crashed.
+func (p *Proc) Crashed() bool { return p.crashed.Load() }
+
+// enter accounts for one access of the given kind and parks at the gate if
+// one is installed. Every primitive in this package calls enter exactly once
+// per shared-memory access, immediately before performing it. A nil receiver
+// is allowed and skips accounting, so algorithm code can also be driven
+// without instrumentation.
+func (p *Proc) enter(kind OpKind) {
+	if p == nil {
+		return
+	}
+	p.steps.Add(1)
+	if kind.IsRMW() {
+		p.rmws.Add(1)
+	}
+	if int(kind) < len(p.kinds) {
+		p.kinds[kind].Add(1)
+	}
+	if p.gate != nil {
+		p.gate.Enter(p, kind)
+	}
+}
+
+// NewDetachedProc creates a process handle that is not part of any Env.
+// Useful for examples and single-threaded harness code.
+func NewDetachedProc(id int) *Proc { return &Proc{id: id} }

@@ -1,0 +1,478 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvBasics(t *testing.T) {
+	e := NewEnv(4)
+	if e.N() != 4 {
+		t.Fatalf("N() = %d, want 4", e.N())
+	}
+	for i := 0; i < 4; i++ {
+		if e.Proc(i).ID() != i {
+			t.Fatalf("Proc(%d).ID() = %d", i, e.Proc(i).ID())
+		}
+		if e.Proc(i).Env() != e {
+			t.Fatalf("Proc(%d).Env() mismatch", i)
+		}
+	}
+	if len(e.Procs()) != 4 {
+		t.Fatalf("Procs() len = %d", len(e.Procs()))
+	}
+}
+
+func TestNewEnvPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEnv(0) did not panic")
+		}
+	}()
+	NewEnv(0)
+}
+
+func TestStepAccounting(t *testing.T) {
+	e := NewEnv(2)
+	p := e.Proc(0)
+	r := NewIntReg(-1)
+	c := NewCASReg(0)
+
+	if got := r.Read(p); got != -1 {
+		t.Fatalf("initial read = %d, want -1", got)
+	}
+	r.Write(p, 7)
+	if got := r.Read(p); got != 7 {
+		t.Fatalf("read after write = %d, want 7", got)
+	}
+	if !c.CompareAndSwap(p, 0, 5) {
+		t.Fatal("CAS 0->5 failed")
+	}
+	if c.CompareAndSwap(p, 0, 9) {
+		t.Fatal("CAS 0->9 unexpectedly succeeded")
+	}
+
+	if got := p.Steps(); got != 5 {
+		t.Fatalf("steps = %d, want 5", got)
+	}
+	if got := p.RMWs(); got != 2 {
+		t.Fatalf("rmws = %d, want 2", got)
+	}
+	if got := e.TotalSteps(); got != 5 {
+		t.Fatalf("total steps = %d, want 5", got)
+	}
+	if got := e.TotalRMWs(); got != 2 {
+		t.Fatalf("total rmws = %d, want 2", got)
+	}
+	e.ResetCounters()
+	if p.Steps() != 0 || p.RMWs() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestNilProcSkipsAccounting(t *testing.T) {
+	r := NewIntReg(3)
+	if got := r.Read(nil); got != 3 {
+		t.Fatalf("read with nil proc = %d, want 3", got)
+	}
+	r.Write(nil, 4)
+	if got := r.Read(nil); got != 4 {
+		t.Fatalf("read = %d, want 4", got)
+	}
+}
+
+func TestOpKind(t *testing.T) {
+	if OpRead.IsRMW() || OpWrite.IsRMW() {
+		t.Fatal("read/write must not be RMW")
+	}
+	for _, k := range []OpKind{OpCAS, OpTAS, OpFetchInc, OpSwap} {
+		if !k.IsRMW() {
+			t.Fatalf("%v must be RMW", k)
+		}
+	}
+	names := map[OpKind]string{
+		OpRead: "read", OpWrite: "write", OpCAS: "cas",
+		OpTAS: "tas", OpFetchInc: "fetch-inc", OpSwap: "swap",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown OpKind should still stringify")
+	}
+}
+
+func TestBoolReg(t *testing.T) {
+	p := NewDetachedProc(0)
+	b := NewBoolReg(false)
+	if b.Read(p) {
+		t.Fatal("initial value should be false")
+	}
+	b.Write(p, true)
+	if !b.Read(p) {
+		t.Fatal("value should be true after write")
+	}
+	b2 := NewBoolReg(true)
+	if !b2.Read(p) {
+		t.Fatal("NewBoolReg(true) should read true")
+	}
+}
+
+func TestGenericReg(t *testing.T) {
+	type pair struct{ ts, v int }
+	p := NewDetachedProc(0)
+	r := NewReg[pair](nil)
+	if r.Read(p) != nil {
+		t.Fatal("initial value should be ⊥ (nil)")
+	}
+	r.Write(p, &pair{ts: 1, v: 42})
+	got := r.Read(p)
+	if got == nil || got.ts != 1 || got.v != 42 {
+		t.Fatalf("read = %+v", got)
+	}
+	r.Write(p, nil)
+	if r.Read(p) != nil {
+		t.Fatal("write nil should reset to ⊥")
+	}
+}
+
+func TestRegArrayCollect(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewRegArray(4, -1)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for _, v := range a.Collect(p) {
+		if v != -1 {
+			t.Fatalf("initial collect saw %d, want -1", v)
+		}
+	}
+	a.Write(p, 2, 9)
+	got := a.Collect(p)
+	want := []int64{-1, -1, 9, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("collect[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Collect charges one step per register.
+	p.ResetCounters()
+	a.Collect(p)
+	if p.Steps() != 4 {
+		t.Fatalf("collect steps = %d, want 4", p.Steps())
+	}
+}
+
+func TestHardwareTASUniqueWinner(t *testing.T) {
+	const n = 8
+	e := NewEnv(n)
+	tas := NewHardwareTAS()
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = tas.TestAndSet(e.Proc(i))
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for _, r := range results {
+		if r == 0 {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+	if tas.Read(e.Proc(0)) != 1 {
+		t.Fatal("TAS value should be 1 after any TestAndSet")
+	}
+	tas.Reset(e.Proc(0))
+	if tas.Read(e.Proc(0)) != 0 {
+		t.Fatal("TAS value should be 0 after Reset")
+	}
+}
+
+func TestCASCell(t *testing.T) {
+	p := NewDetachedProc(0)
+	c := NewCASCell[int]()
+	if c.Read(p) != nil {
+		t.Fatal("cell should start empty")
+	}
+	v1, v2 := 10, 20
+	got, won := c.PutIfEmpty(p, &v1)
+	if !won || *got != 10 {
+		t.Fatalf("first put: won=%v got=%v", won, got)
+	}
+	got, won = c.PutIfEmpty(p, &v2)
+	if won || *got != 10 {
+		t.Fatalf("second put must lose and observe 10: won=%v got=%v", won, got)
+	}
+}
+
+func TestCASCellConcurrentAgreement(t *testing.T) {
+	const n = 16
+	e := NewEnv(n)
+	c := NewCASCell[int]()
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := i
+			got, _ := c.PutIfEmpty(e.Proc(i), &v)
+			out[i] = *got
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if out[i] != out[0] {
+			t.Fatalf("disagreement: out[%d]=%d out[0]=%d", i, out[i], out[0])
+		}
+	}
+}
+
+func TestFetchInc(t *testing.T) {
+	p := NewDetachedProc(0)
+	c := NewFetchInc(0)
+	if c.Read(p) != 0 {
+		t.Fatal("initial counter should be 0")
+	}
+	if c.Inc(p) != 1 || c.Inc(p) != 2 {
+		t.Fatal("Inc should return 1 then 2")
+	}
+	c.Write(p, 10)
+	if c.Read(p) != 10 {
+		t.Fatal("Write(10) not observed")
+	}
+}
+
+func TestFetchIncConcurrent(t *testing.T) {
+	const n, per = 8, 1000
+	e := NewEnv(n)
+	c := NewFetchInc(0)
+	var wg sync.WaitGroup
+	seen := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				seen[i] = append(seen[i], c.Inc(e.Proc(i)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	all := map[int64]bool{}
+	for _, s := range seen {
+		for _, v := range s {
+			if all[v] {
+				t.Fatalf("duplicate ticket %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if int64(len(all)) != n*per || c.Read(e.Proc(0)) != n*per {
+		t.Fatalf("tickets=%d final=%d want %d", len(all), c.Read(e.Proc(0)), n*per)
+	}
+}
+
+func TestGrowArraySlotAgreement(t *testing.T) {
+	e := NewEnv(8)
+	next := 0
+	a := NewGrowArray(func(i int) *int {
+		next++
+		v := i * 100
+		return &v
+	})
+	var wg sync.WaitGroup
+	got := make([]*int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = a.Get(e.Proc(i), 5)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if got[i] != got[0] {
+			t.Fatal("processes disagree on slot object identity")
+		}
+	}
+	if *got[0] != 500 {
+		t.Fatalf("slot value = %d, want 500", *got[0])
+	}
+}
+
+func TestGrowArrayPeek(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewGrowArray(func(i int) *int { v := i; return &v })
+	if a.Peek(p, 3) != nil {
+		t.Fatal("Peek before Get should be nil")
+	}
+	a.Get(p, 3)
+	if got := a.Peek(p, 3); got == nil || *got != 3 {
+		t.Fatalf("Peek after Get = %v", got)
+	}
+	// Peek of an index in an allocated chunk but never created slot.
+	if a.Peek(p, 4) != nil {
+		t.Fatal("Peek of uncreated slot in allocated chunk should be nil")
+	}
+}
+
+func TestGrowArrayCrossChunk(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewGrowArray(func(i int) *int { v := i; return &v })
+	idxs := []int{0, chunkSize - 1, chunkSize, chunkSize + 1, 3 * chunkSize}
+	for _, i := range idxs {
+		if got := a.Get(p, i); *got != i {
+			t.Fatalf("Get(%d) = %d", i, *got)
+		}
+	}
+}
+
+func TestGrowArrayBoundsPanic(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewGrowArray(func(i int) *int { v := i; return &v })
+	for _, idx := range []int{-1, a.Cap()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", idx)
+				}
+			}()
+			a.Get(p, idx)
+		}()
+	}
+}
+
+// Property: for any sequence of writes, a register read returns the last
+// value written (single-threaded register semantics).
+func TestQuickRegisterLastWriteWins(t *testing.T) {
+	p := NewDetachedProc(0)
+	f := func(vals []int64) bool {
+		r := NewIntReg(-1)
+		last := int64(-1)
+		for _, v := range vals {
+			r.Write(p, v)
+			last = v
+		}
+		return r.Read(p) == last
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: step count equals number of primitive accesses performed.
+func TestQuickStepCountMatchesAccesses(t *testing.T) {
+	f := func(reads, writes uint8) bool {
+		p := NewDetachedProc(0)
+		r := NewIntReg(0)
+		for i := 0; i < int(reads); i++ {
+			r.Read(p)
+		}
+		for i := 0; i < int(writes); i++ {
+			r.Write(p, int64(i))
+		}
+		return p.Steps() == int64(reads)+int64(writes) && p.RMWs() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fetch-and-increment issues strictly increasing values and each
+// Inc counts as exactly one RMW.
+func TestQuickFetchIncMonotone(t *testing.T) {
+	f := func(k uint8) bool {
+		p := NewDetachedProc(0)
+		c := NewFetchInc(0)
+		prev := int64(0)
+		for i := 0; i < int(k); i++ {
+			v := c.Inc(p)
+			if v != prev+1 {
+				return false
+			}
+			prev = v
+		}
+		return p.RMWs() == int64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashedFlag(t *testing.T) {
+	p := NewDetachedProc(3)
+	if p.Crashed() {
+		t.Fatal("fresh proc should not be crashed")
+	}
+	p.MarkCrashed()
+	if !p.Crashed() {
+		t.Fatal("MarkCrashed not observed")
+	}
+}
+
+func TestKindCounters(t *testing.T) {
+	p := NewDetachedProc(0)
+	r := NewIntReg(0)
+	c := NewCASReg(0)
+	tas := NewHardwareTAS()
+	fi := NewFetchInc(0)
+	r.Read(p)
+	r.Read(p)
+	r.Write(p, 1)
+	c.CompareAndSwap(p, 0, 1)
+	tas.TestAndSet(p)
+	fi.Inc(p)
+	want := map[OpKind]int64{OpRead: 2, OpWrite: 1, OpCAS: 1, OpTAS: 1, OpFetchInc: 1, OpSwap: 0}
+	for k, w := range want {
+		if got := p.KindCount(k); got != w {
+			t.Fatalf("KindCount(%v) = %d, want %d", k, got, w)
+		}
+	}
+	if p.KindCount(OpKind(99)) != 0 {
+		t.Fatal("unknown kind should count 0")
+	}
+	p.ResetCounters()
+	if p.KindCount(OpRead) != 0 {
+		t.Fatal("ResetCounters must zero kind counters")
+	}
+}
+
+func TestGetOrPutAgreement(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewGrowArray[int](func(i int) *int { panic("mk must not be called") })
+	v1, v2 := 10, 20
+	got := a.GetOrPut(p, 7, &v1)
+	if *got != 10 {
+		t.Fatalf("first GetOrPut = %d", *got)
+	}
+	got = a.GetOrPut(p, 7, &v2)
+	if *got != 10 {
+		t.Fatalf("second GetOrPut must observe the winner: %d", *got)
+	}
+	if got := a.Peek(p, 7); got == nil || *got != 10 {
+		t.Fatalf("Peek after GetOrPut = %v", got)
+	}
+}
+
+func TestGetOrPutBoundsPanic(t *testing.T) {
+	p := NewDetachedProc(0)
+	a := NewGrowArray[int](func(i int) *int { v := i; return &v })
+	v := 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.GetOrPut(p, -1, &v)
+}

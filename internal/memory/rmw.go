@@ -1,0 +1,135 @@
+package memory
+
+import "sync/atomic"
+
+// CASReg is an int64 register additionally exporting compare-and-swap.
+// CAS has consensus number ∞ (Herlihy [14]); the paper's generic universal
+// construction reverts to it under contention, while the speculative TAS
+// deliberately avoids it (Section 1: "only uses objects with consensus
+// number at most two").
+type CASReg struct {
+	v atomic.Int64
+}
+
+// NewCASReg returns a CAS register initialized to init.
+func NewCASReg(init int64) *CASReg {
+	r := &CASReg{}
+	r.v.Store(init)
+	return r
+}
+
+// Read atomically reads the register, charging one step to p.
+func (r *CASReg) Read(p *Proc) int64 {
+	p.enter(OpRead)
+	return r.v.Load()
+}
+
+// Write atomically writes v, charging one step to p.
+func (r *CASReg) Write(p *Proc, v int64) {
+	p.enter(OpWrite)
+	r.v.Store(v)
+}
+
+// CompareAndSwap atomically replaces old with new if the register holds old,
+// charging one step and one RMW to p. It reports whether the swap happened.
+func (r *CASReg) CompareAndSwap(p *Proc, old, new int64) bool {
+	p.enter(OpCAS)
+	return r.v.CompareAndSwap(old, new)
+}
+
+// CASCell is a write-once cell for structured values decided by
+// compare-and-swap: the first successful PutIfEmpty wins and every later
+// Read observes the winning value. It backs the wait-free consensus stage.
+type CASCell[T any] struct {
+	v atomic.Pointer[T]
+}
+
+// NewCASCell returns an empty cell (⊥).
+func NewCASCell[T any]() *CASCell[T] { return &CASCell[T]{} }
+
+// Read atomically reads the cell, charging one step to p. Nil means the
+// cell is still empty.
+func (c *CASCell[T]) Read(p *Proc) *T {
+	p.enter(OpRead)
+	return c.v.Load()
+}
+
+// PutIfEmpty installs v if the cell is empty, charging one step and one RMW
+// to p. It returns the cell's value after the operation (v itself if the
+// put won, the earlier winner otherwise) and whether the put won.
+func (c *CASCell[T]) PutIfEmpty(p *Proc, v *T) (*T, bool) {
+	p.enter(OpCAS)
+	if c.v.CompareAndSwap(nil, v) {
+		return v, true
+	}
+	return c.v.Load(), false
+}
+
+// HardwareTAS is the hardware test-and-set object of Section 6.2: initially
+// 0; TestAndSet atomically reads the value and sets it to 1. Its consensus
+// number is 2, which is exactly why the paper's composed TAS stays within
+// consensus power two. Reset reverts the object to 0 (used only by
+// baselines; the paper's long-lived construction instead advances to a
+// fresh instance).
+type HardwareTAS struct {
+	v atomic.Int32
+}
+
+// NewHardwareTAS returns a hardware test-and-set object in state 0.
+func NewHardwareTAS() *HardwareTAS { return &HardwareTAS{} }
+
+// TestAndSet atomically swaps 1 into the object and returns the previous
+// value (0 for the unique winner, 1 for losers), charging one step and one
+// RMW to p.
+func (t *HardwareTAS) TestAndSet(p *Proc) int {
+	p.enter(OpTAS)
+	return int(t.v.Swap(1))
+}
+
+// Read atomically reads the current value, charging one step to p.
+func (t *HardwareTAS) Read(p *Proc) int {
+	p.enter(OpRead)
+	return int(t.v.Load())
+}
+
+// Reset reverts the object to 0, charging one step to p.
+func (t *HardwareTAS) Reset(p *Proc) {
+	p.enter(OpWrite)
+	t.v.Store(0)
+}
+
+// FetchInc is an atomic fetch-and-increment counter (consensus number 2),
+// the paper's counter C used to assign timestamps to requests in the
+// universal construction and the Count register of Algorithm 2.
+type FetchInc struct {
+	v atomic.Int64
+}
+
+// NewFetchInc returns a counter initialized to init.
+func NewFetchInc(init int64) *FetchInc {
+	c := &FetchInc{}
+	c.v.Store(init)
+	return c
+}
+
+// Read atomically reads the counter, charging one step to p.
+func (c *FetchInc) Read(p *Proc) int64 {
+	p.enter(OpRead)
+	return c.v.Load()
+}
+
+// Inc atomically increments the counter and returns the new value, charging
+// one step and one RMW to p.
+func (c *FetchInc) Inc(p *Proc) int64 {
+	p.enter(OpFetchInc)
+	return c.v.Add(1)
+}
+
+// Write atomically stores v, charging one step to p. Algorithm 2's reset
+// uses a read followed by a write (Count ← Count.read()+1), which is safe
+// there because only the unique current winner resets; Write supports that
+// faithful transcription.
+func (c *FetchInc) Write(p *Proc, v int64) {
+	p.enter(OpWrite)
+	c.v.Store(v)
+}

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// body that performs k reads of r.
+func reader(r *memory.IntReg, k int) func(p *memory.Proc) {
+	return func(p *memory.Proc) {
+		for i := 0; i < k; i++ {
+			r.Read(p)
+		}
+	}
+}
+
+func TestRunRoundRobinInterleaves(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	res := Run(env, NewRoundRobin(), []func(p *memory.Proc){reader(r, 3), reader(r, 3)})
+	if !res.Finished[0] || !res.Finished[1] {
+		t.Fatal("both processes should finish")
+	}
+	want := []int{0, 1, 0, 1, 0, 1}
+	if len(res.Schedule) != len(want) {
+		t.Fatalf("schedule length %d, want %d", len(res.Schedule), len(want))
+	}
+	for i, c := range res.Schedule {
+		if c.Proc != want[i] || c.Crash {
+			t.Fatalf("schedule[%d] = %+v, want proc %d", i, c, want[i])
+		}
+	}
+	if res.Steps[0] != 3 || res.Steps[1] != 3 {
+		t.Fatalf("steps = %v", res.Steps)
+	}
+}
+
+func TestRunSoloOrder(t *testing.T) {
+	env := memory.NewEnv(3)
+	r := memory.NewIntReg(0)
+	res := Run(env, NewSolo(2, 0, 1), []func(p *memory.Proc){reader(r, 2), reader(r, 2), reader(r, 2)})
+	want := []int{2, 2, 0, 0, 1, 1}
+	for i, c := range res.Schedule {
+		if c.Proc != want[i] {
+			t.Fatalf("solo schedule %v, want order 2,2,0,0,1,1", res.Schedule)
+		}
+	}
+}
+
+func TestRunSequentialConsistency(t *testing.T) {
+	// Two processes do non-atomic increments (read then write). Under
+	// alternation the classic lost update must occur deterministically.
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	inc := func(p *memory.Proc) {
+		v := r.Read(p)
+		r.Write(p, v+1)
+	}
+	Run(env, NewRoundRobin(), []func(p *memory.Proc){inc, inc})
+	if got := r.Read(env.Proc(0)); got != 1 {
+		t.Fatalf("alternating schedule must lose an update: r = %d, want 1", got)
+	}
+
+	env2 := memory.NewEnv(2)
+	r2 := memory.NewIntReg(0)
+	inc2 := func(p *memory.Proc) {
+		v := r2.Read(p)
+		r2.Write(p, v+1)
+	}
+	Run(env2, NewSolo(0, 1), []func(p *memory.Proc){inc2, inc2})
+	if got := r2.Read(env2.Proc(0)); got != 2 {
+		t.Fatalf("solo schedule must keep both updates: r = %d, want 2", got)
+	}
+}
+
+func TestRunCrash(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	wrote := false
+	bodies := []func(p *memory.Proc){
+		func(p *memory.Proc) {
+			r.Read(p)
+			r.Write(p, 1) // never granted: crashed before second step
+			wrote = true
+		},
+		reader(r, 2),
+	}
+	res := Run(env, &CrashAfter{Inner: NewRoundRobin(), Victim: 0, K: 1}, bodies)
+	if !res.Crashed[0] {
+		t.Fatal("process 0 should have crashed")
+	}
+	if res.Finished[0] {
+		t.Fatal("crashed process must not be reported finished")
+	}
+	if wrote {
+		t.Fatal("crashed process must not take further steps")
+	}
+	if !res.Finished[1] {
+		t.Fatal("process 1 should finish despite the crash")
+	}
+	if !env.Proc(0).Crashed() {
+		t.Fatal("crash flag should be set on the proc")
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	mk := func() (*memory.Env, *memory.IntReg, []func(p *memory.Proc)) {
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		inc := func(p *memory.Proc) {
+			v := r.Read(p)
+			r.Write(p, v+1)
+		}
+		return env, r, []func(p *memory.Proc){inc, inc}
+	}
+	env1, r1, b1 := mk()
+	res1 := Run(env1, NewRandom(42), b1)
+	v1 := r1.Read(env1.Proc(0))
+
+	env2, r2, b2 := mk()
+	res2 := Run(env2, NewReplay(res1.Schedule), b2)
+	v2 := r2.Read(env2.Proc(0))
+
+	if v1 != v2 {
+		t.Fatalf("replay diverged: %d vs %d", v1, v2)
+	}
+	if len(res1.Schedule) != len(res2.Schedule) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(res1.Schedule), len(res2.Schedule))
+	}
+	for i := range res1.Schedule {
+		if res1.Schedule[i] != res2.Schedule[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+}
+
+func TestRunRandomDeterministicPerSeed(t *testing.T) {
+	runOnce := func(seed int64) []Choice {
+		env := memory.NewEnv(3)
+		r := memory.NewIntReg(0)
+		res := Run(env, NewRandom(seed), []func(p *memory.Proc){reader(r, 4), reader(r, 4), reader(r, 4)})
+		return res.Schedule
+	}
+	a, b := runOnce(7), runOnce(7)
+	if len(a) != len(b) {
+		t.Fatal("same seed must give same schedule length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRunPanicsOnBodyCountMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(memory.NewEnv(2), NewRoundRobin(), []func(p *memory.Proc){func(p *memory.Proc) {}})
+}
+
+func TestFuncStrategy(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	// Always pick the highest parked id.
+	st := Func(func(_ int, parked []int) Choice {
+		return Choice{Proc: parked[len(parked)-1]}
+	})
+	res := Run(env, st, []func(p *memory.Proc){reader(r, 2), reader(r, 2)})
+	if res.Schedule[0].Proc != 1 {
+		t.Fatalf("first grant should go to proc 1, got %v", res.Schedule)
+	}
+}
+
+func TestParkedSetsRecorded(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	res := Run(env, NewRoundRobin(), []func(p *memory.Proc){reader(r, 1), reader(r, 1)})
+	if len(res.Parked) != 2 {
+		t.Fatalf("parked sets = %v", res.Parked)
+	}
+	if len(res.Parked[0]) != 2 {
+		t.Fatalf("first decision should see both parked: %v", res.Parked[0])
+	}
+}
+
+func TestAlternateStrategy(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	res := Run(env, &Alternate{}, []func(p *memory.Proc){reader(r, 2), reader(r, 2)})
+	want := []int{0, 1, 0, 1}
+	for i, c := range res.Schedule {
+		if c.Proc != want[i] {
+			t.Fatalf("alternate schedule = %v", res.Schedule)
+		}
+	}
+}
+
+func TestCrashAfterZeroStepsCrashesImmediately(t *testing.T) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	res := Run(env, &CrashAfter{Inner: NewRoundRobin(), Victim: 1, K: 0},
+		[]func(p *memory.Proc){reader(r, 2), reader(r, 2)})
+	if !res.Crashed[1] || res.Steps[1] != 0 {
+		t.Fatalf("victim should crash before any step: %+v", res)
+	}
+	if !res.Finished[0] {
+		t.Fatal("survivor should finish")
+	}
+}

@@ -1,0 +1,364 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func req(id int64, op string, arg int64) Request {
+	return Request{ID: id, Op: op, Arg: arg}
+}
+
+func TestTASType(t *testing.T) {
+	ty := TASType{}
+	if ty.Name() == "" || ty.Init() != "0" {
+		t.Fatal("bad type metadata")
+	}
+	s, r := ty.Apply(ty.Init(), req(1, OpTAS, 0))
+	if r != Winner || s != "1" {
+		t.Fatalf("first TAS: resp=%d state=%s", r, s)
+	}
+	s, r = ty.Apply(s, req(2, OpTAS, 0))
+	if r != Loser || s != "1" {
+		t.Fatalf("second TAS: resp=%d state=%s", r, s)
+	}
+	s, _ = ty.Apply(s, req(3, OpReset, 0))
+	if s != "0" {
+		t.Fatalf("reset state=%s", s)
+	}
+	_, r = ty.Apply(s, req(4, OpTAS, 0))
+	if r != Winner {
+		t.Fatal("TAS after reset should win")
+	}
+}
+
+func TestConsensusType(t *testing.T) {
+	ty := ConsensusType{}
+	s, r := ty.Apply(ty.Init(), req(1, OpPropose, 42))
+	if r != 42 {
+		t.Fatalf("first propose decides its value: %d", r)
+	}
+	_, r = ty.Apply(s, req(2, OpPropose, 7))
+	if r != 42 {
+		t.Fatalf("later propose must return the decision: %d", r)
+	}
+}
+
+func TestQueueType(t *testing.T) {
+	ty := QueueType{}
+	s := ty.Init()
+	var r int64
+	s, r = ty.Apply(s, req(1, OpDeq, 0))
+	if r != EmptyQueue {
+		t.Fatalf("deq on empty = %d", r)
+	}
+	s, _ = ty.Apply(s, req(2, OpEnq, 10))
+	s, _ = ty.Apply(s, req(3, OpEnq, 20))
+	s, r = ty.Apply(s, req(4, OpDeq, 0))
+	if r != 10 {
+		t.Fatalf("FIFO violated: got %d want 10", r)
+	}
+	s, r = ty.Apply(s, req(5, OpDeq, 0))
+	if r != 20 {
+		t.Fatalf("FIFO violated: got %d want 20", r)
+	}
+	_, r = ty.Apply(s, req(6, OpDeq, 0))
+	if r != EmptyQueue {
+		t.Fatalf("queue should be empty again: %d", r)
+	}
+}
+
+func TestQueueNegativeValues(t *testing.T) {
+	ty := QueueType{}
+	s, _ := ty.Apply(ty.Init(), req(1, OpEnq, -5))
+	_, r := ty.Apply(s, req(2, OpDeq, 0))
+	if r != -5 {
+		t.Fatalf("negative payload mangled: %d", r)
+	}
+}
+
+func TestFetchIncType(t *testing.T) {
+	ty := FetchIncType{}
+	s := ty.Init()
+	var r int64
+	s, r = ty.Apply(s, req(1, OpInc, 0))
+	if r != 0 {
+		t.Fatalf("first inc returns pre-value 0, got %d", r)
+	}
+	s, r = ty.Apply(s, req(2, OpInc, 0))
+	if r != 1 {
+		t.Fatalf("second inc = %d", r)
+	}
+	_, r = ty.Apply(s, req(3, OpRead, 0))
+	if r != 2 {
+		t.Fatalf("read = %d", r)
+	}
+}
+
+func TestRegisterType(t *testing.T) {
+	ty := RegisterType{}
+	s := ty.Init()
+	var r int64
+	_, r = ty.Apply(s, req(1, OpRead, 0))
+	if r != 0 {
+		t.Fatalf("initial read = %d", r)
+	}
+	s, _ = ty.Apply(s, req(2, OpWrite, 99))
+	_, r = ty.Apply(s, req(3, OpRead, 0))
+	if r != 99 {
+		t.Fatalf("read after write = %d", r)
+	}
+}
+
+func TestBeta(t *testing.T) {
+	ty := TASType{}
+	if _, ok := Beta(ty, nil); ok {
+		t.Fatal("β of empty history should not exist")
+	}
+	h := History{req(1, OpTAS, 0), req(2, OpTAS, 0)}
+	r, ok := Beta(ty, h)
+	if !ok || r != Loser {
+		t.Fatalf("β = %d,%v", r, ok)
+	}
+	r, ok = BetaAt(ty, h, 1)
+	if !ok || r != Winner {
+		t.Fatalf("β(h,m1) = %d,%v", r, ok)
+	}
+	r, ok = BetaAt(ty, h, 2)
+	if !ok || r != Loser {
+		t.Fatalf("β(h,m2) = %d,%v", r, ok)
+	}
+	if _, ok = BetaAt(ty, h, 3); ok {
+		t.Fatal("β(h,m) must not exist for absent m")
+	}
+	resp := Responses(ty, h)
+	if len(resp) != 2 || resp[0] != Winner || resp[1] != Loser {
+		t.Fatalf("responses = %v", resp)
+	}
+}
+
+func TestHistoryHelpers(t *testing.T) {
+	h := History{req(1, OpTAS, 0), req(2, OpTAS, 0), req(3, OpTAS, 0)}
+	if !h.Contains(2) || h.Contains(9) {
+		t.Fatal("Contains broken")
+	}
+	if h.HasDuplicates() {
+		t.Fatal("no duplicates expected")
+	}
+	dup := append(h.Clone(), req(1, OpTAS, 0))
+	if !dup.HasDuplicates() {
+		t.Fatal("duplicate not detected")
+	}
+	if !h[:2].IsPrefixOf(h) || h.IsPrefixOf(h[:2]) {
+		t.Fatal("IsPrefixOf broken")
+	}
+	other := History{req(1, OpTAS, 0), req(3, OpTAS, 0)}
+	if other.IsPrefixOf(h) {
+		t.Fatal("non-prefix accepted")
+	}
+	hd, ok := h.Head()
+	if !ok || hd.ID != 1 {
+		t.Fatal("Head broken")
+	}
+	if _, ok := History(nil).Head(); ok {
+		t.Fatal("Head of empty must not exist")
+	}
+	ids := h.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	c := h.Clone()
+	c[0].ID = 99
+	if h[0].ID == 99 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestEquivalentOverTAS(t *testing.T) {
+	ty := TASType{}
+	a, b, c := req(1, OpTAS, 0), req(2, OpTAS, 0), req(3, OpTAS, 0)
+	// Two orders of the same TAS requests are equivalent over the requests
+	// that respond the same way.
+	h1 := History{a, b, c}
+	h2 := History{a, c, b}
+	if !EquivalentOver(ty, []int64{1}, h1, h2) {
+		t.Fatal("histories agreeing on request 1 should be ≡_{1}")
+	}
+	// Over request 2 they disagree: loser in both — actually b loses in
+	// both orders, so still equivalent.
+	if !EquivalentOver(ty, []int64{2}, h1, h2) {
+		t.Fatal("b loses in both orders")
+	}
+	// Different heads disagree on who wins.
+	h3 := History{b, a, c}
+	if EquivalentOver(ty, []int64{1, 2}, h1, h3) {
+		t.Fatal("different winners cannot be equivalent over {1,2}")
+	}
+	// Missing request fails condition (i).
+	if EquivalentOver(ty, []int64{3}, h1[:2], h2) {
+		t.Fatal("h1[:2] lacks request 3")
+	}
+}
+
+func TestEquivalentOverQueueStateMatters(t *testing.T) {
+	ty := QueueType{}
+	e1, e2 := req(1, OpEnq, 1), req(2, OpEnq, 2)
+	h1 := History{e1, e2}
+	h2 := History{e2, e1}
+	// Both contain {1,2} and both enqueues return 0, but the queue states
+	// differ, so a future dequeue distinguishes them: not equivalent.
+	if EquivalentOver(ty, []int64{1, 2}, h1, h2) {
+		t.Fatal("enqueue orders must be distinguishable by extensions")
+	}
+}
+
+func TestFinalState(t *testing.T) {
+	ty := QueueType{}
+	h := History{req(1, OpEnq, 5), req(2, OpEnq, 6), req(3, OpDeq, 0)}
+	if got := FinalState(ty, h); got != "6" {
+		t.Fatalf("state = %q, want \"6\"", got)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	reqs := []Request{req(1, OpTAS, 0), req(2, OpTAS, 0), req(3, OpTAS, 0)}
+	seen := map[string]bool{}
+	Permutations(reqs, func(h History) bool {
+		seen[h.String()] = true
+		return true
+	})
+	if len(seen) != 6 {
+		t.Fatalf("permutations = %d, want 6", len(seen))
+	}
+	// Early stop.
+	count := 0
+	Permutations(reqs, func(h History) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	reqs := []Request{req(1, OpTAS, 0), req(2, OpTAS, 0)}
+	count := 0
+	sizes := map[int]int{}
+	Subsets(reqs, func(s []Request) bool {
+		count++
+		sizes[len(s)]++
+		return true
+	})
+	if count != 4 || sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("subsets count=%d sizes=%v", count, sizes)
+	}
+}
+
+// Property: β(h, m) for the last request of h equals β(h).
+func TestQuickBetaConsistency(t *testing.T) {
+	ty := FetchIncType{}
+	f := func(k uint8) bool {
+		n := int(k%8) + 1
+		h := make(History, n)
+		for i := range h {
+			h[i] = req(int64(i+1), OpInc, 0)
+		}
+		last, _ := Beta(ty, h)
+		at, ok := BetaAt(ty, h, int64(n))
+		return ok && at == last
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ≡_I is reflexive and symmetric on random TAS histories.
+func TestQuickEquivalenceReflexiveSymmetric(t *testing.T) {
+	ty := TASType{}
+	f := func(k uint8, swap bool) bool {
+		n := int(k%5) + 1
+		h1 := make(History, n)
+		for i := range h1 {
+			h1[i] = req(int64(i+1), OpTAS, 0)
+		}
+		h2 := h1.Clone()
+		if swap && n >= 3 {
+			h2[1], h2[2] = h2[2], h2[1]
+		}
+		ids := h1.IDs()
+		if !EquivalentOver(ty, ids, h1, h1) {
+			return false
+		}
+		return EquivalentOver(ty, ids, h1, h2) == EquivalentOver(ty, ids, h2, h1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Lemma 2): ≡_V is a right congruence w.r.t. concatenation — if
+// h1 ≡_V h2 then h1·h ≡_V h2·h for any extension h.
+func TestQuickLemma2RightCongruence(t *testing.T) {
+	ty := TASType{}
+	f := func(k, ext uint8) bool {
+		n := int(k%4) + 1
+		h1 := make(History, n)
+		for i := range h1 {
+			h1[i] = req(int64(i+1), OpTAS, 0)
+		}
+		h2 := h1.Clone()
+		if n >= 2 {
+			// Swapping two losers preserves equivalence; swapping the head
+			// does not — either way the implication must hold.
+			i, j := int(ext)%n, (int(ext)+1)%n
+			h2[i], h2[j] = h2[j], h2[i]
+		}
+		ids := h1.IDs()
+		if !EquivalentOver(ty, ids, h1, h2) {
+			return true // antecedent false
+		}
+		extH := History{req(100, OpTAS, 0), req(101, OpTAS, 0)}
+		he1 := append(h1.Clone(), extH...)
+		he2 := append(h2.Clone(), extH...)
+		return EquivalentOver(ty, ids, he1, he2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := req(5, OpEnq, 9)
+	r.Proc = 2
+	if r.String() == "" {
+		t.Fatal("empty request string")
+	}
+	r2 := req(6, OpTAS, 0)
+	if r2.String() == "" {
+		t.Fatal("empty request string")
+	}
+}
+
+func TestApplyPanicsOnWrongOp(t *testing.T) {
+	cases := []struct {
+		ty Type
+		op string
+	}{
+		{TASType{}, OpEnq},
+		{ConsensusType{}, OpTAS},
+		{QueueType{}, OpTAS},
+		{FetchIncType{}, OpEnq},
+		{RegisterType{}, OpEnq},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on %q", c.ty.Name(), c.op)
+				}
+			}()
+			c.ty.Apply(c.ty.Init(), req(1, c.op, 0))
+		}()
+	}
+}

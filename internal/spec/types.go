@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical operation names used by the concrete types below.
+const (
+	OpTAS     = "tas"     // test-and-set: returns old value (0 winner, 1 loser)
+	OpReset   = "reset"   // test-and-set reset (long-lived object, Algorithm 2)
+	OpPropose = "propose" // consensus: returns the decided value
+	OpEnq     = "enq"     // queue enqueue: returns 0
+	OpDeq     = "deq"     // queue dequeue: returns front or EmptyQueue
+	OpInc     = "inc"     // fetch-and-increment: returns pre-increment value
+	OpRead    = "read"    // register/counter read
+	OpWrite   = "write"   // register write: returns 0
+)
+
+// Test-and-set responses (Section 3: the unique process that returns 0 is
+// the winner; processes returning 1 are losers).
+const (
+	Winner int64 = 0
+	Loser  int64 = 1
+)
+
+// EmptyQueue is the dequeue response on an empty queue.
+const EmptyQueue int64 = -1
+
+// TASType is the one-shot test-and-set type of Section 3: initial state 0;
+// test-and-set atomically reads the value and sets it to 1. Reset reverts
+// the object to 0 (the long-lived extension of Section 6.3).
+type TASType struct{}
+
+// Name implements Type.
+func (TASType) Name() string { return "test-and-set" }
+
+// Init implements Type.
+func (TASType) Init() string { return "0" }
+
+// Apply implements Type.
+func (TASType) Apply(state string, r Request) (string, int64) {
+	switch r.Op {
+	case OpTAS:
+		if state == "0" {
+			return "1", Winner
+		}
+		return "1", Loser
+	case OpReset:
+		return "0", 0
+	default:
+		panic(fmt.Sprintf("spec: TAS cannot apply %q", r.Op))
+	}
+}
+
+// ConsensusType is binary/multivalued consensus as a sequential type: the
+// first propose fixes the decision; every propose returns it.
+type ConsensusType struct{}
+
+// Name implements Type.
+func (ConsensusType) Name() string { return "consensus" }
+
+// Init implements Type.
+func (ConsensusType) Init() string { return "" }
+
+// Apply implements Type.
+func (ConsensusType) Apply(state string, r Request) (string, int64) {
+	if r.Op != OpPropose {
+		panic(fmt.Sprintf("spec: consensus cannot apply %q", r.Op))
+	}
+	if state == "" {
+		state = strconv.FormatInt(r.Arg, 10)
+	}
+	v, err := strconv.ParseInt(state, 10, 64)
+	if err != nil {
+		panic("spec: corrupt consensus state " + state)
+	}
+	return state, v
+}
+
+// QueueType is an unbounded FIFO queue (one of the "more complex objects"
+// the conclusion proposes as future work; we use it to exercise the
+// universal construction on a type with consensus number 2).
+type QueueType struct{}
+
+// Name implements Type.
+func (QueueType) Name() string { return "fifo-queue" }
+
+// Init implements Type.
+func (QueueType) Init() string { return "" }
+
+// Apply implements Type.
+func (QueueType) Apply(state string, r Request) (string, int64) {
+	var items []string
+	if state != "" {
+		items = strings.Split(state, ",")
+	}
+	switch r.Op {
+	case OpEnq:
+		items = append(items, strconv.FormatInt(r.Arg, 10))
+		return strings.Join(items, ","), 0
+	case OpDeq:
+		if len(items) == 0 {
+			return state, EmptyQueue
+		}
+		v, err := strconv.ParseInt(items[0], 10, 64)
+		if err != nil {
+			panic("spec: corrupt queue state " + state)
+		}
+		return strings.Join(items[1:], ","), v
+	default:
+		panic(fmt.Sprintf("spec: queue cannot apply %q", r.Op))
+	}
+}
+
+// FetchIncType is a fetch-and-increment register (the conclusion's other
+// future-work object): inc returns the pre-increment value; read returns
+// the current value.
+type FetchIncType struct{}
+
+// Name implements Type.
+func (FetchIncType) Name() string { return "fetch-and-increment" }
+
+// Init implements Type.
+func (FetchIncType) Init() string { return "0" }
+
+// Apply implements Type.
+func (FetchIncType) Apply(state string, r Request) (string, int64) {
+	v, err := strconv.ParseInt(state, 10, 64)
+	if err != nil {
+		panic("spec: corrupt counter state " + state)
+	}
+	switch r.Op {
+	case OpInc:
+		return strconv.FormatInt(v+1, 10), v
+	case OpRead:
+		return state, v
+	default:
+		panic(fmt.Sprintf("spec: fetch-and-increment cannot apply %q", r.Op))
+	}
+}
+
+// RegisterType is a multi-writer register: write stores Arg and returns 0;
+// read returns the last written value (initially 0).
+type RegisterType struct{}
+
+// Name implements Type.
+func (RegisterType) Name() string { return "register" }
+
+// Init implements Type.
+func (RegisterType) Init() string { return "0" }
+
+// Apply implements Type.
+func (RegisterType) Apply(state string, r Request) (string, int64) {
+	switch r.Op {
+	case OpWrite:
+		return strconv.FormatInt(r.Arg, 10), 0
+	case OpRead:
+		v, err := strconv.ParseInt(state, 10, 64)
+		if err != nil {
+			panic("spec: corrupt register state " + state)
+		}
+		return state, v
+	default:
+		panic(fmt.Sprintf("spec: register cannot apply %q", r.Op))
+	}
+}

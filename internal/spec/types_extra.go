@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Additional operation names for the extra types below.
+const (
+	OpPush     = "push"     // stack push: returns 0
+	OpPop      = "pop"      // stack pop: returns top or EmptyStack
+	OpWriteMax = "writemax" // max-register write: returns 0
+	OpReadMax  = "readmax"  // max-register read: returns the maximum written
+)
+
+// EmptyStack is the pop response on an empty stack.
+const EmptyStack int64 = -1
+
+// StackType is an unbounded LIFO stack — together with QueueType it covers
+// the "more complex objects" family of the paper's conclusion, and gives
+// the linearizability checkers a second ordering-sensitive type to chew on.
+type StackType struct{}
+
+// Name implements Type.
+func (StackType) Name() string { return "lifo-stack" }
+
+// Init implements Type.
+func (StackType) Init() string { return "" }
+
+// Apply implements Type.
+func (StackType) Apply(state string, r Request) (string, int64) {
+	var items []string
+	if state != "" {
+		items = strings.Split(state, ",")
+	}
+	switch r.Op {
+	case OpPush:
+		items = append(items, strconv.FormatInt(r.Arg, 10))
+		return strings.Join(items, ","), 0
+	case OpPop:
+		if len(items) == 0 {
+			return state, EmptyStack
+		}
+		v, err := strconv.ParseInt(items[len(items)-1], 10, 64)
+		if err != nil {
+			panic("spec: corrupt stack state " + state)
+		}
+		return strings.Join(items[:len(items)-1], ","), v
+	default:
+		panic(fmt.Sprintf("spec: stack cannot apply %q", r.Op))
+	}
+}
+
+// MaxRegisterType is a max-register: writemax(v) raises the stored maximum
+// (monotone), readmax returns it. Max registers are a classic example of an
+// object whose weak semantics admit cheap implementations — a natural
+// candidate for the framework's light-weight treatment because overlapping
+// writemax operations commute.
+type MaxRegisterType struct{}
+
+// Name implements Type.
+func (MaxRegisterType) Name() string { return "max-register" }
+
+// Init implements Type.
+func (MaxRegisterType) Init() string { return "0" }
+
+// Apply implements Type.
+func (MaxRegisterType) Apply(state string, r Request) (string, int64) {
+	cur, err := strconv.ParseInt(state, 10, 64)
+	if err != nil {
+		panic("spec: corrupt max-register state " + state)
+	}
+	switch r.Op {
+	case OpWriteMax:
+		if r.Arg > cur {
+			cur = r.Arg
+		}
+		return strconv.FormatInt(cur, 10), 0
+	case OpReadMax:
+		return state, cur
+	default:
+		panic(fmt.Sprintf("spec: max-register cannot apply %q", r.Op))
+	}
+}

@@ -1,0 +1,143 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStackType(t *testing.T) {
+	ty := StackType{}
+	s := ty.Init()
+	var r int64
+	s, r = ty.Apply(s, req(1, OpPop, 0))
+	if r != EmptyStack {
+		t.Fatalf("pop on empty = %d", r)
+	}
+	s, _ = ty.Apply(s, req(2, OpPush, 10))
+	s, _ = ty.Apply(s, req(3, OpPush, 20))
+	s, r = ty.Apply(s, req(4, OpPop, 0))
+	if r != 20 {
+		t.Fatalf("LIFO violated: got %d, want 20", r)
+	}
+	s, r = ty.Apply(s, req(5, OpPop, 0))
+	if r != 10 {
+		t.Fatalf("LIFO violated: got %d, want 10", r)
+	}
+	_, r = ty.Apply(s, req(6, OpPop, 0))
+	if r != EmptyStack {
+		t.Fatalf("stack should be empty: %d", r)
+	}
+}
+
+func TestMaxRegisterType(t *testing.T) {
+	ty := MaxRegisterType{}
+	s := ty.Init()
+	var r int64
+	_, r = ty.Apply(s, req(1, OpReadMax, 0))
+	if r != 0 {
+		t.Fatalf("initial readmax = %d", r)
+	}
+	s, _ = ty.Apply(s, req(2, OpWriteMax, 7))
+	s, _ = ty.Apply(s, req(3, OpWriteMax, 3)) // lower write must not lower the max
+	_, r = ty.Apply(s, req(4, OpReadMax, 0))
+	if r != 7 {
+		t.Fatalf("readmax = %d, want 7", r)
+	}
+}
+
+func TestExtraTypesPanicOnWrongOp(t *testing.T) {
+	for _, c := range []struct {
+		ty Type
+		op string
+	}{{StackType{}, OpEnq}, {MaxRegisterType{}, OpEnq}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on %q", c.ty.Name(), c.op)
+				}
+			}()
+			c.ty.Apply(c.ty.Init(), req(1, c.op, 0))
+		}()
+	}
+}
+
+// Property: a stack returns pushed values in exactly reverse push order.
+func TestQuickStackLIFO(t *testing.T) {
+	ty := StackType{}
+	f := func(vals []int16) bool {
+		s := ty.Init()
+		id := int64(1)
+		for _, v := range vals {
+			s, _ = ty.Apply(s, Request{ID: id, Op: OpPush, Arg: int64(v)})
+			id++
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			var r int64
+			s, r = ty.Apply(s, Request{ID: id, Op: OpPop})
+			id++
+			if r != int64(vals[i]) {
+				return false
+			}
+		}
+		var r int64
+		_, r = ty.Apply(s, Request{ID: id, Op: OpPop})
+		return r == EmptyStack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the max register equals the running maximum of all writes, in
+// any interleaving with reads.
+func TestQuickMaxRegisterMonotone(t *testing.T) {
+	ty := MaxRegisterType{}
+	f := func(vals []int16) bool {
+		s := ty.Init()
+		id := int64(1)
+		max := int64(0)
+		for _, v := range vals {
+			w := int64(v)
+			if w < 0 {
+				w = -w
+			}
+			s, _ = ty.Apply(s, Request{ID: id, Op: OpWriteMax, Arg: w})
+			id++
+			if w > max {
+				max = w
+			}
+			var r int64
+			s, r = ty.Apply(s, Request{ID: id, Op: OpReadMax})
+			id++
+			if r != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue and stack states diverge after the same mixed prefix
+// whenever order matters — a sanity check that the two encodings are not
+// accidentally aliased.
+func TestQuickStackQueueDiffer(t *testing.T) {
+	f := func(a, b int16) bool {
+		if a == b {
+			return true
+		}
+		q, s := QueueType{}.Init(), StackType{}.Init()
+		q, _ = QueueType{}.Apply(q, Request{ID: 1, Op: OpEnq, Arg: int64(a)})
+		q, _ = QueueType{}.Apply(q, Request{ID: 2, Op: OpEnq, Arg: int64(b)})
+		s, _ = StackType{}.Apply(s, Request{ID: 1, Op: OpPush, Arg: int64(a)})
+		s, _ = StackType{}.Apply(s, Request{ID: 2, Op: OpPush, Arg: int64(b)})
+		_, qv := QueueType{}.Apply(q, Request{ID: 3, Op: OpDeq})
+		_, sv := StackType{}.Apply(s, Request{ID: 3, Op: OpPop})
+		return qv == int64(a) && sv == int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Fatal("endpoint percentiles wrong")
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("P50 = %v, want 25 (interpolated)", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestMeanInt64(t *testing.T) {
+	if MeanInt64([]int64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+	if MeanInt64(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != "50.0%" || Ratio(0, 0) != "-" {
+		t.Fatalf("ratio formatting: %q %q", Ratio(1, 2), Ratio(0, 0))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Fatalf("F1 = %q", F1(1.25))
+	}
+	if F2(1.234) != "1.23" {
+		t.Fatalf("F2 = %q", F2(1.234))
+	}
+}
+
+// Property: Min ≤ P50 ≤ Max and Min ≤ Mean ≤ Max on any non-empty sample.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		sort.Float64s(xs)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,709 @@
+package tas
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/linearize"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func TestSoloA1WinsConstantSteps(t *testing.T) {
+	env := memory.NewEnv(1)
+	a1 := NewA1()
+	p := env.Proc(0)
+	out, resp, _ := a1.Invoke(p, spec.Request{ID: 1}, nil)
+	if out != core.Committed || resp != spec.Winner {
+		t.Fatalf("solo A1 = (%v, %d), want committed winner", out, resp)
+	}
+	if p.Steps() > 9 {
+		t.Fatalf("solo A1 steps = %d, want constant ≤ 9", p.Steps())
+	}
+	if p.RMWs() != 0 {
+		t.Fatalf("A1 must be register-only, saw %d RMWs", p.RMWs())
+	}
+}
+
+func TestSequentialA1SecondLoses(t *testing.T) {
+	env := memory.NewEnv(2)
+	a1 := NewA1()
+	out, resp, _ := a1.Invoke(env.Proc(0), spec.Request{ID: 1}, nil)
+	if out != core.Committed || resp != spec.Winner {
+		t.Fatal("first must win")
+	}
+	p1 := env.Proc(1)
+	out, resp, _ = a1.Invoke(p1, spec.Request{ID: 2}, nil)
+	if out != core.Committed || resp != spec.Loser {
+		t.Fatal("second must lose")
+	}
+	if p1.Steps() > 2 {
+		t.Fatalf("sequential loser path = %d steps, want ≤ 2", p1.Steps())
+	}
+}
+
+func TestA1InheritedLLosesImmediately(t *testing.T) {
+	env := memory.NewEnv(1)
+	a1 := NewA1()
+	out, resp, _ := a1.Invoke(env.Proc(0), spec.Request{ID: 1}, L)
+	if out != core.Committed || resp != spec.Loser {
+		t.Fatalf("A1(L) = (%v, %d), want committed loser", out, resp)
+	}
+}
+
+func TestA2WaitFree(t *testing.T) {
+	env := memory.NewEnv(3)
+	a2 := NewA2()
+	out, resp, _ := a2.Invoke(env.Proc(0), spec.Request{ID: 1}, W)
+	if out != core.Committed || resp != spec.Winner {
+		t.Fatalf("first A2(W) = (%v, %d)", out, resp)
+	}
+	out, resp, _ = a2.Invoke(env.Proc(1), spec.Request{ID: 2}, W)
+	if out != core.Committed || resp != spec.Loser {
+		t.Fatalf("second A2(W) = (%v, %d)", out, resp)
+	}
+	p2 := env.Proc(2)
+	p2.ResetCounters()
+	out, resp, _ = a2.Invoke(p2, spec.Request{ID: 3}, L)
+	if out != core.Committed || resp != spec.Loser || p2.Steps() != 0 {
+		t.Fatalf("A2(L) = (%v, %d) in %d steps, want loser in 0 steps", out, resp, p2.Steps())
+	}
+}
+
+func TestSoloComposedZeroRMW(t *testing.T) {
+	// E6: the uncontended fast path of the composed object performs no RMW
+	// (optimal fence complexity) and a constant number of steps.
+	env := memory.NewEnv(1)
+	o := NewOneShot()
+	p := env.Proc(0)
+	v, module := o.TestAndSetTraced(p)
+	if v != spec.Winner || module != 0 {
+		t.Fatalf("solo composed = (%d, module %d)", v, module)
+	}
+	if p.RMWs() != 0 {
+		t.Fatalf("uncontended composed TAS used %d RMWs, want 0", p.RMWs())
+	}
+	if p.Steps() > 9 {
+		t.Fatalf("uncontended composed TAS took %d steps", p.Steps())
+	}
+}
+
+// a1Outcome captures one process's result from an A1-only execution.
+type a1Outcome struct {
+	committed bool
+	resp      int64
+	sv        SV
+}
+
+// checkLemma4Invariants verifies invariants 1–5 of Lemma 4 plus
+// linearizability of the committed projection on a recorded A1 execution.
+func checkLemma4Invariants(outs []a1Outcome, ops []trace.Op, res *sched.Result) error {
+	winners, wAborts, lAborts := 0, 0, 0
+	for _, o := range outs {
+		switch {
+		case o.committed && o.resp == spec.Winner:
+			winners++
+		case !o.committed && o.sv == W:
+			wAborts++
+		case !o.committed && o.sv == L:
+			lAborts++
+		}
+	}
+	// Invariant 1: at most one process commits winner.
+	if winners > 1 {
+		return fmt.Errorf("invariant 1: %d winners", winners)
+	}
+	// Invariant 2: a committed winner excludes W-aborts.
+	if winners == 1 && wAborts > 0 {
+		return fmt.Errorf("invariant 2: winner and %d W-aborts coexist", wAborts)
+	}
+	// Extract per-op data in real time.
+	minLoserRet := int64(1<<62 - 1)
+	for _, op := range ops {
+		if op.Committed() && op.Resp == spec.Loser && op.Ret < minLoserRet {
+			minLoserRet = op.Ret
+		}
+	}
+	hasLoser := minLoserRet < 1<<62-1
+	// Invariant 3: if any loser committed, some operation that crashed,
+	// won, or W-aborted was invoked before any loser committed.
+	if hasLoser {
+		ok := false
+		for _, op := range ops {
+			cand := op.Pending || // crashed / cut off
+				(op.Committed() && op.Resp == spec.Winner) ||
+				(op.Aborted && op.SV == core.SwitchValue(W))
+			if cand && op.Inv < minLoserRet {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("invariant 3: losers committed with no candidate winner invoked before")
+		}
+	}
+	// Invariant 4: no W-abort starts after a loser commits.
+	for _, op := range ops {
+		if op.Aborted && op.SV == core.SwitchValue(W) && op.Inv > minLoserRet {
+			return fmt.Errorf("invariant 4: W-abort invoked after a loser committed")
+		}
+	}
+	// Invariant 5: operations starting after an abort abort; after an
+	// L-abort they abort with L.
+	for _, a := range ops {
+		if !a.Aborted {
+			continue
+		}
+		for _, b := range ops {
+			if b.Pending || b.Inv < a.Ret {
+				continue
+			}
+			if !b.Aborted {
+				return fmt.Errorf("invariant 5: operation committed after an abort")
+			}
+			if a.SV == core.SwitchValue(L) && b.SV != core.SwitchValue(L) {
+				return fmt.Errorf("invariant 5: non-L abort after an L abort")
+			}
+		}
+	}
+	// Linearizability of the invoke/commit projection (Theorem 3 for A1):
+	// aborted operations project to pending invocations — they may have
+	// taken partial effect, which is exactly how a committed loser can be
+	// explained when no winner committed.
+	var committed []trace.Op
+	for _, op := range ops {
+		switch {
+		case op.Committed(), op.Pending:
+			committed = append(committed, op)
+		case op.Aborted:
+			pendingOp := op
+			pendingOp.Aborted = false
+			pendingOp.Pending = true
+			pendingOp.Ret = 0
+			committed = append(committed, pendingOp)
+		}
+	}
+	if lr := linearize.CheckTAS(committed); !lr.Ok {
+		return fmt.Errorf("committed projection not linearizable: %s", lr.Reason)
+	}
+	return nil
+}
+
+// a1Harness builds an exploration harness running one A1 TAS per process,
+// checking Lemma 4's invariants (and optionally Definition 2) on every
+// interleaving.
+func a1Harness(n int, withDef2 bool, crashes bool) explore.Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(n)
+		a1 := NewA1()
+		rec := trace.NewRecorder(n)
+		outs := make([]a1Outcome, n)
+		bodies := make([]func(p *memory.Proc), n)
+		for i := 0; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				rec.RecordInvoke(i, m)
+				out, resp, sv := a1.Invoke(p, m, nil)
+				if out == core.Committed {
+					outs[i] = a1Outcome{committed: true, resp: resp}
+					rec.RecordCommit(i, m, resp, "A1")
+				} else {
+					outs[i] = a1Outcome{committed: false, sv: sv.(SV)}
+					rec.RecordAbort(i, m, sv, "A1")
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			live := outs
+			if crashes {
+				// Crashed processes never reported an outcome; rebuild the
+				// outcome list from completed operations only.
+				live = nil
+				for i, o := range outs {
+					if res.Finished[i] {
+						live = append(live, o)
+					}
+				}
+			}
+			if err := checkLemma4Invariants(live, rec.Ops(), res); err != nil {
+				return err
+			}
+			if withDef2 {
+				if err := core.CheckDefinition2(spec.TASType{}, MConstraint{}, rec.Events()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+}
+
+func TestExhaustiveA1Invariants(t *testing.T) {
+	rep, err := explore.Run(a1Harness(2, false, false), explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial {
+		t.Fatal("two-process A1 exploration should be exhaustive")
+	}
+	t.Logf("A1 n=2: %d interleavings, max depth %d", rep.Executions, rep.MaxDepth)
+}
+
+func TestExhaustiveA1Definition2(t *testing.T) {
+	// Lemma 4 checked mechanically: every interleaving's trace admits a
+	// valid interpretation for every abort-candidate equivalence class.
+	rep, err := explore.Run(a1Harness(2, true, false), explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A1 Def.2 n=2: %d interleavings", rep.Executions)
+}
+
+func TestExhaustiveA1WithCrashes(t *testing.T) {
+	rep, err := explore.Run(a1Harness(2, false, true), explore.Config{Crashes: true, MaxExecutions: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A1 n=2 with crashes: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+}
+
+func TestRandomizedA1ThreeProcs(t *testing.T) {
+	if _, err := explore.Sample(a1Harness(3, true, false), 2500, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// composedHarness runs the A1→A2 composition per process with per-module
+// trace recording, checking wait-freedom, unique winner, linearizability,
+// and Definition 2 for each module's trace.
+func composedHarness(n int, withDef2 bool) explore.Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(n)
+		recA1 := trace.NewRecorder(n)
+		recA2 := trace.NewRecorder(n)
+		recAll := trace.NewRecorder(n)
+		comp := core.NewComposition(NewA1(), NewA2()).WithRecorders(recA1, recA2)
+		resps := make([]int64, n)
+		modules := make([]int, n)
+		bodies := make([]func(p *memory.Proc), n)
+		for i := 0; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				recAll.RecordInvoke(i, m)
+				out, resp, _, k := comp.Invoke(p, m)
+				if out != core.Committed {
+					panic("composition with wait-free tail aborted")
+				}
+				resps[i] = resp
+				modules[i] = k
+				recAll.RecordCommit(i, m, resp, fmt.Sprintf("module%d", k))
+			}
+		}
+		check := func(res *sched.Result) error {
+			winners := 0
+			for _, r := range resps {
+				if r == spec.Winner {
+					winners++
+				}
+			}
+			if winners != 1 {
+				return fmt.Errorf("composed TAS produced %d winners", winners)
+			}
+			if lr := linearize.CheckTAS(recAll.Ops()); !lr.Ok {
+				return fmt.Errorf("composed execution not linearizable: %s", lr.Reason)
+			}
+			if withDef2 {
+				if err := core.CheckDefinition2(spec.TASType{}, MConstraint{}, recA1.Events()); err != nil {
+					return fmt.Errorf("A1 trace: %w", err)
+				}
+				if err := core.CheckDefinition2(spec.TASType{}, MConstraint{}, recA2.Events()); err != nil {
+					return fmt.Errorf("A2 trace: %w", err)
+				}
+				if err := core.CheckDefinition2(spec.TASType{}, MConstraint{}, recAll.Events()); err != nil {
+					return fmt.Errorf("composed trace (Theorem 2): %w", err)
+				}
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+}
+
+func TestExhaustiveComposedOneShot(t *testing.T) {
+	rep, err := explore.Run(composedHarness(2, true), explore.Config{MaxExecutions: 25000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("composed n=2: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+}
+
+func TestRandomizedComposedThreeProcs(t *testing.T) {
+	if _, err := explore.Sample(composedHarness(3, true), 1500, 17); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem2A1ComposedWithItself(t *testing.T) {
+	// "Module A1 can also be composed with itself" (Section 6.3). The
+	// A1→A1 composition may abort as a whole; Definition 2 must hold for
+	// both module traces and for the composed trace.
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(2)
+		rec1 := trace.NewRecorder(2)
+		rec2 := trace.NewRecorder(2)
+		recAll := trace.NewRecorder(2)
+		comp := core.NewComposition(NewA1(), NewA1()).WithRecorders(rec1, rec2)
+		bodies := make([]func(p *memory.Proc), 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				recAll.RecordInvoke(i, m)
+				out, resp, sv, k := comp.Invoke(p, m)
+				if out == core.Committed {
+					recAll.RecordCommit(i, m, resp, fmt.Sprintf("module%d", k))
+				} else {
+					recAll.RecordAbort(i, m, sv, fmt.Sprintf("module%d", k))
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			for name, events := range map[string][]trace.Event{
+				"A1a": rec1.Events(), "A1b": rec2.Events(), "composed": recAll.Events(),
+			} {
+				if err := core.CheckDefinition2(spec.TASType{}, MConstraint{}, events); err != nil {
+					return fmt.Errorf("%s trace: %w", name, err)
+				}
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+	rep, err := explore.Run(h, explore.Config{MaxExecutions: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A1∘A1 n=2: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+}
+
+func TestLemma6NoAbortWithoutStepContention(t *testing.T) {
+	// Solo schedules (contiguous steps per operation) must never abort,
+	// for every completion order — even though logical intervals overlap
+	// (interval contention without step contention).
+	for _, order := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}} {
+		env := memory.NewEnv(3)
+		a1 := NewA1()
+		outs := make([]core.Outcome, 3)
+		bodies := make([]func(p *memory.Proc), 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				outs[i], _, _ = a1.Invoke(p, spec.Request{ID: int64(i + 1)}, nil)
+			}
+		}
+		sched.Run(env, sched.NewSolo(order...), bodies)
+		for i, out := range outs {
+			if out != core.Committed {
+				t.Fatalf("order %v: process %d aborted without step contention", order, i)
+			}
+		}
+	}
+}
+
+func TestContendedComposedUsesHardwareOnce(t *testing.T) {
+	// Round-robin (maximal step contention): the composition stays
+	// wait-free, produces one winner, and charges at most one RMW per
+	// operation (the hardware TAS).
+	env := memory.NewEnv(4)
+	o := NewOneShot()
+	resps := make([]int64, 4)
+	bodies := make([]func(p *memory.Proc), 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		bodies[i] = func(p *memory.Proc) { resps[i] = o.TestAndSet(p) }
+	}
+	res := sched.Run(env, sched.NewRoundRobin(), bodies)
+	winners := 0
+	for i, r := range resps {
+		if r == spec.Winner {
+			winners++
+		}
+		if env.Proc(i).RMWs() > 1 {
+			t.Fatalf("process %d used %d RMWs, want ≤ 1", i, env.Proc(i).RMWs())
+		}
+		if res.Steps[i] > 15 {
+			t.Fatalf("process %d took %d steps, want constant", i, res.Steps[i])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d", winners)
+	}
+}
+
+func TestLongLivedSequentialRounds(t *testing.T) {
+	env := memory.NewEnv(2)
+	ll := NewLongLived(2)
+	p0, p1 := env.Proc(0), env.Proc(1)
+	for round := 0; round < 5; round++ {
+		if v := ll.TestAndSet(p0); v != spec.Winner {
+			t.Fatalf("round %d: p0 should win a fresh round, got %d", round, v)
+		}
+		if v := ll.TestAndSet(p1); v != spec.Loser {
+			t.Fatalf("round %d: p1 should lose, got %d", round, v)
+		}
+		// A loser's reset is a no-op.
+		ll.Reset(p1)
+		if v := ll.TestAndSet(p1); v != spec.Loser {
+			t.Fatal("loser reset must not revert the object")
+		}
+		ll.Reset(p0)
+		if ll.Round(p0) != int64(round+1) {
+			t.Fatalf("round counter = %d, want %d", ll.Round(p0), round+1)
+		}
+	}
+}
+
+func TestLongLivedResetRestoresSpeculation(t *testing.T) {
+	// Figure 1's back edge: after contention forces the hardware module,
+	// a reset reverts subsequent solo operations to the register-only
+	// fast path.
+	env := memory.NewEnv(3)
+	ll := NewLongLived(3)
+	// Force contention in round 0 via round-robin: someone reaches A2.
+	bodies := make([]func(p *memory.Proc), 3)
+	winner := -1
+	modules := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		bodies[i] = func(p *memory.Proc) {
+			v, mod := ll.TestAndSetTraced(p)
+			modules[i] = mod
+			if v == spec.Winner {
+				winner = i
+			}
+		}
+	}
+	sched.Run(env, sched.NewRoundRobin(), bodies)
+	if winner < 0 {
+		t.Fatal("round 0 must produce a winner")
+	}
+	usedHW := false
+	for _, m := range modules {
+		if m == 1 {
+			usedHW = true
+		}
+	}
+	if !usedHW {
+		t.Fatal("round-robin contention should have engaged the hardware module")
+	}
+	// Winner resets; a solo operation must now be served by A1 with 0 RMW.
+	ll.Reset(env.Proc(winner))
+	p := env.Proc(winner)
+	p.ResetCounters()
+	v, mod := ll.TestAndSetTraced(p)
+	if v != spec.Winner || mod != 0 {
+		t.Fatalf("post-reset solo = (%d, module %d), want winner on A1", v, mod)
+	}
+	if p.RMWs() != 0 {
+		t.Fatalf("post-reset solo used %d RMWs", p.RMWs())
+	}
+}
+
+func TestLongLivedStressUniqueWinnerPerRound(t *testing.T) {
+	const n, rounds = 6, 40
+	env := memory.NewEnv(n)
+	ll := NewLongLived(n)
+	for round := 0; round < rounds; round++ {
+		resps := make([]int64, n)
+		done := make(chan int, n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				resps[i] = ll.TestAndSet(env.Proc(i))
+				done <- i
+			}(i)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		winners := 0
+		w := -1
+		for i, r := range resps {
+			if r == spec.Winner {
+				winners++
+				w = i
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("round %d: %d winners", round, winners)
+		}
+		ll.Reset(env.Proc(w))
+	}
+	if got := ll.Round(env.Proc(0)); got != rounds {
+		t.Fatalf("round counter = %d, want %d", got, rounds)
+	}
+}
+
+func TestSoloFastDifference(t *testing.T) {
+	// Deterministic round-robin duel poisons the instance: both procs
+	// abort with W, the flag is set, V = 1.
+	poison := func(a1 *A1) {
+		env := memory.NewEnv(2)
+		outs := make([]core.Outcome, 2)
+		bodies := make([]func(p *memory.Proc), 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				outs[i], _, _ = a1.Invoke(p, spec.Request{ID: int64(i + 1)}, nil)
+			}
+		}
+		sched.Run(env, sched.NewRoundRobin(), bodies)
+		if outs[0] != core.Aborted && outs[1] != core.Aborted {
+			panic("round-robin duel should abort at least one process")
+		}
+	}
+
+	// Original A1: a later solo operation sees the aborted flag and aborts.
+	a1 := NewA1()
+	poison(a1)
+	env := memory.NewEnv(3)
+	out, _, sv := a1.Invoke(env.Proc(2), spec.Request{ID: 10}, nil)
+	if out != core.Aborted {
+		t.Fatal("original A1 must abort a solo op once the instance is flagged")
+	}
+	if sv.(SV) != L {
+		t.Fatalf("V=1 flagged instance should abort with L, got %v", sv)
+	}
+
+	// Solo-fast A1: the same solo operation commits (loser), so a process
+	// only reverts to hardware on its own step contention (Appendix B).
+	sf := NewSoloFastA1()
+	poison(sf)
+	out, resp, _ := sf.Invoke(env.Proc(2), spec.Request{ID: 11}, nil)
+	if out != core.Committed || resp != spec.Loser {
+		t.Fatalf("solo-fast A1 solo op = (%v, %d), want committed loser", out, resp)
+	}
+}
+
+func TestSoloFastComposedStillCorrect(t *testing.T) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(2)
+		o := NewSoloFastOneShot()
+		resps := make([]int64, 2)
+		bodies := make([]func(p *memory.Proc), 2)
+		rec := trace.NewRecorder(2)
+		for i := 0; i < 2; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
+				rec.RecordInvoke(i, m)
+				resps[i] = o.TestAndSet(p)
+				rec.RecordCommit(i, m, resps[i], "")
+			}
+		}
+		check := func(res *sched.Result) error {
+			winners := 0
+			for _, r := range resps {
+				if r == spec.Winner {
+					winners++
+				}
+			}
+			if winners != 1 {
+				return fmt.Errorf("%d winners", winners)
+			}
+			if lr := linearize.CheckTAS(rec.Ops()); !lr.Ok {
+				return fmt.Errorf("not linearizable: %s", lr.Reason)
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+	rep, err := explore.Run(h, explore.Config{MaxExecutions: 25000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("solo-fast composed n=2: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+}
+
+func TestMConstraintContains(t *testing.T) {
+	m := MConstraint{}
+	r1 := spec.Request{ID: 1, Op: spec.OpTAS}
+	r2 := spec.Request{ID: 2, Op: spec.OpTAS}
+	r3 := spec.Request{ID: 3, Op: spec.OpTAS}
+
+	withW := []core.Token{{Req: r1, Val: W}, {Req: r2, Val: L}}
+	if !m.Contains(withW, spec.History{r1, r2}) {
+		t.Fatal("W-headed history containing all requests should be in M")
+	}
+	if m.Contains(withW, spec.History{r2, r1}) {
+		t.Fatal("history headed by an L-request should not be in M")
+	}
+	if m.Contains(withW, spec.History{r1}) {
+		t.Fatal("history missing a token request should not be in M")
+	}
+	if !m.Contains(withW, spec.History{r1, r3, r2}) {
+		t.Fatal("extra requests are allowed")
+	}
+	if m.Contains(withW, spec.History{r1, r1, r2}) {
+		t.Fatal("duplicates must be rejected")
+	}
+
+	noW := []core.Token{{Req: r1, Val: L}, {Req: r2, Val: L}}
+	if !m.Contains(noW, spec.History{r3, r1, r2}) {
+		t.Fatal("history headed by a non-token request should be in M")
+	}
+	if m.Contains(noW, spec.History{r1, r2}) {
+		t.Fatal("history headed by a token request should not be in M (no W)")
+	}
+	if m.Contains(noW, nil) {
+		t.Fatal("empty history is never in M")
+	}
+}
+
+func TestMConstraintCandidatesPhantom(t *testing.T) {
+	m := MConstraint{}
+	r1 := spec.Request{ID: 1, Op: spec.OpTAS}
+	r2 := spec.Request{ID: 2, Op: spec.OpTAS}
+	// All-L token set with only the token requests available: a phantom
+	// head must be synthesized.
+	noW := []core.Token{{Req: r1, Val: L}, {Req: r2, Val: L}}
+	cands := m.Candidates(noW, []spec.Request{r1, r2})
+	if len(cands) == 0 {
+		t.Fatal("candidates should include phantom-headed histories")
+	}
+	for _, h := range cands {
+		if h[0].ID != -999 {
+			t.Fatalf("candidate %v not phantom-headed", h)
+		}
+	}
+}
+
+func TestSVAndRender(t *testing.T) {
+	if W.String() != "W" || L.String() != "L" {
+		t.Fatal("bad SV strings")
+	}
+	if Render(nil) != "⊥" || Render(W) != "W" || Render(42) == "" {
+		t.Fatal("bad Render")
+	}
+}
+
+func TestCompositionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	core.NewComposition()
+}
+
+func TestCompositionOutcomeString(t *testing.T) {
+	if core.Committed.String() != "committed" || core.Aborted.String() != "aborted" {
+		t.Fatal("bad outcome strings")
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestRecorderStampsMonotone(t *testing.T) {
+	r := NewRecorder(2)
+	m1 := spec.Request{ID: r.NextID(), Proc: 0, Op: spec.OpTAS}
+	m2 := spec.Request{ID: r.NextID(), Proc: 1, Op: spec.OpTAS}
+	s1 := r.RecordInvoke(0, m1)
+	s2 := r.RecordInvoke(1, m2)
+	s3 := r.RecordCommit(0, m1, spec.Winner, "A1")
+	s4 := r.RecordCommit(1, m2, spec.Loser, "A2")
+	if !(s1 < s2 && s2 < s3 && s3 < s4) {
+		t.Fatalf("stamps not monotone: %d %d %d %d", s1, s2, s3, s4)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("merged events out of order")
+		}
+	}
+}
+
+func TestOpsMatching(t *testing.T) {
+	r := NewRecorder(2)
+	m1 := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	m2 := spec.Request{ID: 2, Proc: 1, Op: spec.OpTAS}
+	m3 := spec.Request{ID: 3, Proc: 0, Op: spec.OpTAS}
+	r.RecordInvoke(0, m1)
+	r.RecordInvoke(1, m2)
+	r.RecordCommit(0, m1, spec.Winner, "A1")
+	r.RecordAbort(1, m2, "W", "A1")
+	r.RecordInvoke(0, m3) // left pending
+
+	ops := r.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(ops))
+	}
+	byID := map[int64]Op{}
+	for _, o := range ops {
+		byID[o.Req.ID] = o
+	}
+	if o := byID[1]; !o.Committed() || o.Resp != spec.Winner || o.Module != "A1" {
+		t.Fatalf("op1 = %+v", o)
+	}
+	if o := byID[2]; !o.Aborted || o.SV != "W" {
+		t.Fatalf("op2 = %+v", o)
+	}
+	if o := byID[3]; !o.Pending {
+		t.Fatalf("op3 = %+v", o)
+	}
+	// Sorted by invocation.
+	if !(ops[0].Inv < ops[1].Inv && ops[1].Inv < ops[2].Inv) {
+		t.Fatal("ops not sorted by invocation")
+	}
+}
+
+func TestOpsInitEvents(t *testing.T) {
+	r := NewRecorder(1)
+	m := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	r.RecordInit(0, m, "L")
+	r.RecordCommit(0, m, spec.Loser, "A2")
+	ops := r.Ops()
+	if len(ops) != 1 || !ops[0].IsInit || ops[0].InitSV != "L" {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestPrecededBy(t *testing.T) {
+	r := NewRecorder(2)
+	m1 := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	m2 := spec.Request{ID: 2, Proc: 1, Op: spec.OpTAS}
+	r.RecordInvoke(0, m1)
+	r.RecordCommit(0, m1, spec.Winner, "")
+	r.RecordInvoke(1, m2)
+	r.RecordCommit(1, m2, spec.Loser, "")
+	ops := r.Ops()
+	var o1, o2 Op
+	for _, o := range ops {
+		if o.Req.ID == 1 {
+			o1 = o
+		} else {
+			o2 = o
+		}
+	}
+	if !o2.PrecededBy(o1) {
+		t.Fatal("op1 completed before op2 invoked")
+	}
+	if o1.PrecededBy(o2) {
+		t.Fatal("precedence inverted")
+	}
+}
+
+func TestCommitWithoutInvokePanics(t *testing.T) {
+	r := NewRecorder(1)
+	m := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	r.RecordCommit(0, m, 0, "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ops should panic on unmatched commit")
+		}
+	}()
+	r.Ops()
+}
+
+func TestConcurrentRecordingDistinctStamps(t *testing.T) {
+	const n, per = 8, 200
+	r := NewRecorder(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m := spec.Request{ID: r.NextID(), Proc: i, Op: spec.OpInc}
+				r.RecordInvoke(i, m)
+				r.RecordCommit(i, m, int64(j), "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != n*per*2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate stamp %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	ops := r.Ops()
+	if len(ops) != n*per {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for _, o := range ops {
+		if o.Pending {
+			t.Fatal("no op should be pending")
+		}
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	for _, k := range []EventKind{Invoke, Init, Commit, Abort} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind should stringify")
+	}
+	m := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	for _, e := range []Event{
+		{Kind: Invoke, Req: m}, {Kind: Init, Req: m, SV: "W"},
+		{Kind: Commit, Req: m, Resp: 1}, {Kind: Abort, Req: m, SV: "L"},
+	} {
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+}
