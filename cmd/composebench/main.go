@@ -6,7 +6,11 @@
 //
 //	composebench              # run every experiment
 //	composebench -exp E3      # run one experiment
+//	composebench -seed 7      # re-roll the randomized schedules
 //	composebench -list        # list experiments
+//
+// Randomized experiments derive their schedules from -seed (default 1), so
+// a table regenerates identically until the seed is changed deliberately.
 package main
 
 import (
@@ -21,7 +25,9 @@ import (
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 1, "base seed for randomized experiment schedules")
 	flag.Parse()
+	bench.SetSeed(*seed)
 
 	experiments := bench.All()
 	if *list {

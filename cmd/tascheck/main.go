@@ -1,14 +1,22 @@
 // Command tascheck drives the model-checking side of the reproduction: it
-// explores interleavings of the speculative test-and-set (exhaustively for
-// two processes, seeded-randomly beyond) and checks Lemma 4's invariants,
-// linearizability (Theorem 3 / Lemma 7), and the safe-composability
-// conditions of Definition 2 on every explored execution.
+// explores interleavings of the speculative test-and-set (exhaustively up
+// to three processes by default, seeded-randomly beyond) and checks Lemma
+// 4's invariants, linearizability (Theorem 3 / Lemma 7), and the
+// safe-composability conditions of Definition 2 on every explored
+// execution.
+//
+// Exploration runs on the parallel, partial-order-reduced engine of
+// internal/explore: -workers sets the worker pool, -prune toggles
+// sleep-set pruning (on by default; the engine then skips interleavings
+// that only reorder commuting accesses), and -crashes adds crash branches
+// at every decision point.
 //
 // Usage:
 //
 //	tascheck                          # invariants, 2 processes, exhaustive
 //	tascheck -mode def2 -n 2          # Definition 2 on every interleaving
-//	tascheck -mode composed -n 3 -samples 5000
+//	tascheck -mode composed -n 3 -crashes
+//	tascheck -mode composed -n 4 -samples 5000
 package main
 
 import (
@@ -29,26 +37,44 @@ import (
 func main() {
 	mode := flag.String("mode", "invariants", "invariants | def2 | composed")
 	n := flag.Int("n", 2, "number of processes")
-	maxExecs := flag.Int("max", 200000, "max interleavings for exhaustive exploration")
-	samples := flag.Int("samples", 3000, "random schedules when n > 2")
+	maxExecs := flag.Int("max", 2000000, "max execution attempts for exhaustive exploration")
+	samples := flag.Int("samples", 3000, "random schedules when n > -exhaustive-n")
 	seed := flag.Int64("seed", 1, "base seed for random schedules")
+	workers := flag.Int("workers", 8, "parallel exploration workers")
+	prune := flag.Bool("prune", true, "sleep-set partial-order reduction")
+	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
+	failFast := flag.Bool("failfast", false, "stop at the first failing schedule instead of the canonical one")
+	exhaustiveN := flag.Int("exhaustive-n", 3, "largest n explored exhaustively rather than sampled")
 	flag.Parse()
 
 	var h explore.Harness
 	switch *mode {
 	case "invariants", "def2":
-		h = a1Harness(*n, *mode == "def2")
+		h = a1Harness(*n, *mode == "def2", *crashes)
 	case "composed":
-		h = composedHarness(*n)
+		h = composedHarness(*n, *crashes)
 	default:
 		fmt.Fprintf(os.Stderr, "tascheck: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 
+	if *crashes && *n > *exhaustiveN {
+		// Sampling uses crash-free random schedules, so accepting the flag
+		// there would report vacuous crash coverage.
+		fmt.Fprintf(os.Stderr, "tascheck: -crashes requires exhaustive exploration; raise -exhaustive-n to at least %d or lower -n\n", *n)
+		os.Exit(2)
+	}
+
 	var rep explore.Report
 	var err error
-	if *n <= 2 {
-		rep, err = explore.Run(h, explore.Config{MaxExecutions: *maxExecs})
+	if *n <= *exhaustiveN {
+		rep, err = explore.Run(h, explore.Config{
+			MaxExecutions: *maxExecs,
+			Crashes:       *crashes,
+			Workers:       *workers,
+			Prune:         *prune,
+			FailFast:      *failFast,
+		})
 	} else {
 		rep, err = explore.Sample(h, *samples, *seed)
 	}
@@ -60,19 +86,18 @@ func main() {
 	if rep.Partial {
 		how = "partial (hit -max)"
 	}
-	if *n > 2 {
+	if *n > *exhaustiveN {
 		how = "sampled"
 	}
-	fmt.Printf("tascheck %s: OK — %d interleavings (%s), max depth %d\n",
-		*mode, rep.Executions, how, rep.MaxDepth)
+	fmt.Printf("tascheck %s: OK — %d interleavings (%s), %d pruned as redundant, max depth %d\n",
+		*mode, rep.Executions, how, rep.Pruned, rep.MaxDepth)
 }
 
-func a1Harness(n int, withDef2 bool) explore.Harness {
+func a1Harness(n int, withDef2, crashes bool) explore.Harness {
 	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
 		env := memory.NewEnv(n)
 		a1 := tas.NewA1()
 		rec := trace.NewRecorder(n)
-		winners := 0
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
 			i := i
@@ -81,9 +106,6 @@ func a1Harness(n int, withDef2 bool) explore.Harness {
 				rec.RecordInvoke(i, m)
 				out, resp, sv := a1.Invoke(p, m, nil)
 				if out == core.Committed {
-					if resp == spec.Winner {
-						winners++
-					}
 					rec.RecordCommit(i, m, resp, "A1")
 				} else {
 					rec.RecordAbort(i, m, sv, "A1")
@@ -91,8 +113,13 @@ func a1Harness(n int, withDef2 bool) explore.Harness {
 			}
 		}
 		check := func(res *sched.Result) error {
-			if winners > 1 {
-				return fmt.Errorf("%d winners", winners)
+			if err := checkWinners(rec.Ops()); err != nil {
+				return err
+			}
+			if crashes {
+				if err := checkSurvivors(res, n); err != nil {
+					return err
+				}
 			}
 			if err := checkProjection(rec.Ops()); err != nil {
 				return err
@@ -106,12 +133,11 @@ func a1Harness(n int, withDef2 bool) explore.Harness {
 	}
 }
 
-func composedHarness(n int) explore.Harness {
+func composedHarness(n int, crashes bool) explore.Harness {
 	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
 		env := memory.NewEnv(n)
 		o := tas.NewOneShot()
 		rec := trace.NewRecorder(n)
-		winners := 0
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
 			i := i
@@ -119,20 +145,59 @@ func composedHarness(n int) explore.Harness {
 				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
 				rec.RecordInvoke(i, m)
 				v := o.TestAndSet(p)
-				if v == spec.Winner {
-					winners++
-				}
 				rec.RecordCommit(i, m, v, "")
 			}
 		}
 		check := func(res *sched.Result) error {
-			if winners != 1 {
-				return fmt.Errorf("%d winners", winners)
+			if err := checkWinners(rec.Ops()); err != nil {
+				return err
+			}
+			if !crashes {
+				// Wait-freedom: without crashes every process completes, so
+				// exactly one winner must have committed.
+				winners := 0
+				for _, op := range rec.Ops() {
+					if op.Committed() && op.Resp == spec.Winner {
+						winners++
+					}
+				}
+				if winners != 1 {
+					return fmt.Errorf("%d winners", winners)
+				}
+			} else if err := checkSurvivors(res, n); err != nil {
+				return err
 			}
 			return checkProjection(rec.Ops())
 		}
 		return env, bodies, check
 	}
+}
+
+// checkWinners enforces the at-most-one-winner safety property over the
+// committed operations (under crashes a winner may be missing: it crashed
+// mid-operation or never ran, so only the upper bound is universal).
+func checkWinners(ops []trace.Op) error {
+	winners := 0
+	for _, op := range ops {
+		if op.Committed() && op.Resp == spec.Winner {
+			winners++
+		}
+	}
+	if winners > 1 {
+		return fmt.Errorf("%d winners", winners)
+	}
+	return nil
+}
+
+// checkSurvivors enforces crash-mode liveness: every process the scheduler
+// did not crash must have run to completion.
+func checkSurvivors(res *sched.Result, n int) error {
+	for i := 0; i < n; i++ {
+		if !res.Crashed[i] && !res.Finished[i] {
+			return fmt.Errorf("survivor %d did not finish", i)
+		}
+	}
+	return nil
 }
 
 // checkProjection runs the TAS linearizability check on the invoke/commit

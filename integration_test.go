@@ -64,11 +64,14 @@ func TestIntegrationComposedTASWithCrashes(t *testing.T) {
 		}
 		return env, bodies, check
 	}
-	rep, err := explore.Run(h, explore.Config{Crashes: true, MaxExecutions: 60000})
+	rep, err := explore.Run(h, explore.Config{Crashes: true, Prune: true, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("composed TAS with crashes: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+	if rep.Partial {
+		t.Fatal("pruned two-process crash exploration should be exhaustive (the seed engine capped out at 60000)")
+	}
+	t.Logf("composed TAS with crashes: %d interleavings (%d pruned)", rep.Executions, rep.Pruned)
 }
 
 // TestIntegrationFullStackSoak drives a three-stage universal queue and a

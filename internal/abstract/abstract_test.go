@@ -207,7 +207,7 @@ func abstractHarness(nproc, opsPer int, specs func(n int) []StageSpec) explore.H
 
 func TestExhaustiveAbstractProperties(t *testing.T) {
 	specs := func(n int) []StageSpec { return []StageSpec{splitSpec(), casSpec()} }
-	rep, err := explore.Run(abstractHarness(2, 1, specs), explore.Config{MaxExecutions: 20000})
+	rep, err := explore.Run(abstractHarness(2, 1, specs), explore.Config{Prune: true, Workers: 8, MaxExecutions: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}

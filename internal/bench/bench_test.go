@@ -232,3 +232,30 @@ func TestE9Shapes(t *testing.T) {
 		t.Fatalf("hardware dispenser pays exactly one RMW per ticket: %v", tb.Rows[1])
 	}
 }
+
+func TestE10Shapes(t *testing.T) {
+	tables := RunE10()
+	if len(tables) != 1 {
+		t.Fatalf("E10 tables = %d", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("E10 rows = %d, want seed n=2, pruned n=2, pruned n=3", len(rows))
+	}
+	seedExecs := cellInt(t, tables[0], 0, 2)
+	prunedExecs := cellInt(t, tables[0], 1, 2)
+	if prunedExecs == 0 || seedExecs == 0 {
+		t.Fatalf("E10 executions missing: %v", rows)
+	}
+	if prunedExecs*3 > seedExecs {
+		t.Fatalf("pruned mode ran %d executions, want <= 1/3 of the seed mode's %d", prunedExecs, seedExecs)
+	}
+}
+
+func TestSeedPlumbing(t *testing.T) {
+	defer SetSeed(1)
+	SetSeed(99)
+	if seedFor(1) != 100 {
+		t.Fatalf("seedFor(1) = %d after SetSeed(99)", seedFor(1))
+	}
+}

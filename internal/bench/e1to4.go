@@ -67,7 +67,7 @@ func RunE2() []*Table {
 			"steps/op", "RMW/op"},
 	}
 	const n, rounds = 4, 300
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(seedFor(42)))
 	for _, pct := range []int{0, 25, 50, 75, 100} {
 		env := memory.NewEnv(n)
 		ll := tas.NewLongLived(n)
@@ -250,7 +250,7 @@ func RunE4() []*Table {
 		}
 		return a
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(seedFor(1)))
 	rows := []struct {
 		name  string
 		strat func() sched.Strategy

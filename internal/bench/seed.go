@@ -1,0 +1,14 @@
+package bench
+
+// benchSeed is the base seed every randomized experiment derives its
+// math/rand source from, so experiment tables are reproducible run to run
+// and cmd/composebench can vary them deliberately (-seed).
+var benchSeed int64 = 1
+
+// SetSeed sets the base seed for subsequently run experiments. Call before
+// Run; experiments derive their per-use sources from it with fixed offsets.
+func SetSeed(s int64) { benchSeed = s }
+
+// seedFor returns the seed for one of an experiment's random sources,
+// keeping distinct uses decorrelated under the same base seed.
+func seedFor(offset int64) int64 { return benchSeed + offset }

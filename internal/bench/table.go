@@ -1,6 +1,6 @@
 // Package bench implements the experiment drivers that regenerate the
 // paper's quantitative claims (see DESIGN.md's per-experiment index,
-// E1–E8). Each driver produces a Table; cmd/composebench prints them and
+// E1–E10). Each driver produces a Table; cmd/composebench prints them and
 // EXPERIMENTS.md records paper-claim-vs-measured for each.
 //
 // The experiments measure the paper's own complexity metric — shared-memory
@@ -101,5 +101,6 @@ func All() []Experiment {
 		{"E7", RunE7, "Proposition 2 and the primitive census (consensus numbers)"},
 		{"E8", RunE8, "solo-fast TAS: hardware only on own step contention"},
 		{"E9", RunE9, "ablations: stage stacks and the speculative fetch-and-increment"},
+		{"E10", RunE10, "exploration engine: partial-order reduction and worker-pool scaling"},
 	}
 }

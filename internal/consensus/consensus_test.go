@@ -186,7 +186,7 @@ func consensusHarness(t *testing.T, name string, stats *map[string]int) explore.
 
 func TestExhaustiveSplitConsensus(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "split", &stats), explore.Config{MaxExecutions: 60000})
+	rep, err := explore.Run(consensusHarness(t, "split", &stats), explore.Config{Prune: true, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestExhaustiveSplitConsensus(t *testing.T) {
 
 func TestExhaustiveBakery(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "bakery", &stats), explore.Config{MaxExecutions: 50000})
+	rep, err := explore.Run(consensusHarness(t, "bakery", &stats), explore.Config{Prune: true, Workers: 8, MaxExecutions: 200000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestExhaustiveCAS(t *testing.T) {
 
 func TestExhaustiveChainWaitFree(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "chain", &stats), explore.Config{MaxExecutions: 50000})
+	rep, err := explore.Run(consensusHarness(t, "chain", &stats), explore.Config{Prune: true, Workers: 8, MaxExecutions: 200000})
 	if err != nil {
 		t.Fatal(err)
 	}

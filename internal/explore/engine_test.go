@@ -1,0 +1,292 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// mixedHarness has three processes touching a mix of private and shared
+// registers, so its interleaving tree contains both commuting and
+// conflicting adjacent steps and several distinct final states. outcomes,
+// when non-nil, accumulates the multiset of final states (the engine
+// serializes check calls, so a plain map is safe at any worker count).
+func mixedHarness(outcomes map[string]int) Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(3)
+		shared := memory.NewIntReg(0)
+		private := memory.NewRegArray(3, 0)
+		bodies := make([]func(p *memory.Proc), 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				v := shared.Read(p)
+				private.Write(p, i, v+int64(i))
+				if i != 1 {
+					shared.Write(p, int64(10*(i+1)))
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			if outcomes != nil {
+				key := fmt.Sprintf("%d/%v", shared.Read(env.Proc(0)), private.Collect(env.Proc(0)))
+				outcomes[key]++
+			}
+			return nil
+		}
+		return env, bodies, check
+	}
+}
+
+// plantedBugHarness fails its check on every interleaving where the two
+// increments race (the classic lost update).
+func plantedBugHarness() Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		inc := func(p *memory.Proc) {
+			v := r.Read(p)
+			r.Write(p, v+1)
+		}
+		check := func(res *sched.Result) error {
+			if got := r.Read(env.Proc(0)); got != 2 {
+				return fmt.Errorf("lost update: got %d", got)
+			}
+			return nil
+		}
+		return env, []func(p *memory.Proc){inc, inc}, check
+	}
+}
+
+// TestDeterministicAcrossWorkers is the engine's core reproducibility
+// guarantee: same harness + same config ⇒ identical execution counts, and
+// on a failing harness the identical canonical CheckError.Schedule, no
+// matter how many workers run the queue.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		var wantExecs int
+		var wantSchedule []sched.Choice
+		for _, workers := range []int{1, 4, 8} {
+			rep, err := Run(plantedBugHarness(), Config{Workers: workers, Prune: prune})
+			var ce *CheckError
+			if !errors.As(err, &ce) {
+				t.Fatalf("prune=%v workers=%d: want CheckError, got %v", prune, workers, err)
+			}
+			if workers == 1 {
+				wantExecs = rep.Executions
+				wantSchedule = ce.Schedule
+				continue
+			}
+			if rep.Executions != wantExecs {
+				t.Fatalf("prune=%v workers=%d: executions = %d, want %d", prune, workers, rep.Executions, wantExecs)
+			}
+			if !reflect.DeepEqual(ce.Schedule, wantSchedule) {
+				t.Fatalf("prune=%v workers=%d: schedule = %v, want %v", prune, workers, ce.Schedule, wantSchedule)
+			}
+		}
+	}
+}
+
+// TestDeterministicCountsCrashes extends the worker-count determinism to
+// crash branches on a passing harness.
+func TestDeterministicCountsCrashes(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		var want Report
+		for _, workers := range []int{1, 8} {
+			rep, err := Run(mixedHarness(nil), Config{Crashes: true, Workers: workers, Prune: prune})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if workers == 1 {
+				want = rep
+				continue
+			}
+			if rep.Executions != want.Executions || rep.Pruned != want.Pruned {
+				t.Fatalf("prune=%v: workers=8 report %+v, workers=1 %+v", prune, rep, want)
+			}
+		}
+	}
+}
+
+// TestSequentialUnprunedMatchesSeedCount pins the 1-worker no-pruning mode
+// to the seed engine's exact execution count on a combinatorially known
+// tree: C(4,2) interleavings of two 2-step processes.
+func TestSequentialUnprunedMatchesSeedCount(t *testing.T) {
+	outcomes := map[int64]int{}
+	rep, err := Run(lostUpdateHarness(outcomes), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 6 || rep.Pruned != 0 {
+		t.Fatalf("rep = %+v, want 6 executions, 0 pruned", rep)
+	}
+}
+
+// TestPruningPreservesDistinctOutcomes is the no-lost-interleaving check:
+// sleep-set pruning must skip only re-orderings, so the set of distinct
+// final states of the pruned walk equals the unpruned one, while executing
+// strictly fewer interleavings.
+func TestPruningPreservesDistinctOutcomes(t *testing.T) {
+	for _, crashes := range []bool{false, true} {
+		full := map[string]int{}
+		frep, err := Run(mixedHarness(full), Config{Crashes: crashes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned := map[string]int{}
+		prep, err := Run(mixedHarness(pruned), Config{Crashes: crashes, Prune: true, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := func(m map[string]int) []string {
+			var out []string
+			for k := range m {
+				out = append(out, k)
+			}
+			return out
+		}
+		f, p := distinct(full), distinct(pruned)
+		if len(f) != len(p) {
+			t.Fatalf("crashes=%v: pruned walk found %d distinct outcomes, full %d", crashes, len(p), len(f))
+		}
+		for k := range full {
+			if pruned[k] == 0 {
+				t.Fatalf("crashes=%v: pruned walk lost outcome %q", crashes, k)
+			}
+		}
+		if prep.Executions >= frep.Executions {
+			t.Fatalf("crashes=%v: pruning did not reduce executions: %d vs %d", crashes, prep.Executions, frep.Executions)
+		}
+		if prep.Pruned == 0 {
+			t.Fatalf("crashes=%v: report claims nothing pruned", crashes)
+		}
+		t.Logf("crashes=%v: %d -> %d executions (%d pruned), %d distinct outcomes",
+			crashes, frep.Executions, prep.Executions, prep.Pruned, len(f))
+	}
+}
+
+// TestPruningFindsPlantedBug: reduction must never prune away a buggy
+// outcome, only re-orderings of it.
+func TestPruningFindsPlantedBug(t *testing.T) {
+	_, err := Run(plantedBugHarness(), Config{Prune: true, Workers: 4})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CheckError, got %v", err)
+	}
+	// The reported canonical schedule must reproduce the failure.
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	inc := func(p *memory.Proc) {
+		v := r.Read(p)
+		r.Write(p, v+1)
+	}
+	sched.Run(env, sched.NewReplay(ce.Schedule), []func(p *memory.Proc){inc, inc})
+	if got := r.Read(env.Proc(0)); got == 2 {
+		t.Fatal("replayed schedule did not reproduce the lost update")
+	}
+}
+
+// TestCheckpointResume cuts an exploration with MaxExecutions and resumes
+// it from the reported frontier until done; the stitched-together walk must
+// cover exactly the outcomes and count of an uninterrupted one.
+func TestCheckpointResume(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		full := map[string]int{}
+		frep, err := Run(mixedHarness(full), Config{Prune: prune})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got := map[string]int{}
+		total := 0
+		var resume *Checkpoint
+		rounds := 0
+		for {
+			rep, err := Run(mixedHarness(got), Config{Prune: prune, MaxExecutions: 7, Resume: resume})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += rep.Executions
+			rounds++
+			if !rep.Partial {
+				break
+			}
+			if rep.Checkpoint == nil || len(rep.Checkpoint.Items) == 0 {
+				t.Fatal("partial report without a resumable checkpoint")
+			}
+			resume = rep.Checkpoint
+			if rounds > 1000 {
+				t.Fatal("resume loop did not terminate")
+			}
+		}
+		if rounds < 2 {
+			t.Fatalf("prune=%v: expected the budget to force multiple rounds, got %d", prune, rounds)
+		}
+		if total != frep.Executions {
+			t.Fatalf("prune=%v: resumed walk ran %d executions, uninterrupted ran %d", prune, total, frep.Executions)
+		}
+		for k, n := range full {
+			if got[k] != n {
+				t.Fatalf("prune=%v: outcome %q seen %d times resumed, %d uninterrupted", prune, k, got[k], n)
+			}
+		}
+	}
+}
+
+// TestMaxDepthTruncates: a depth bound must cut off branching below it and
+// flag the report partial.
+func TestMaxDepthTruncates(t *testing.T) {
+	outcomes := map[int64]int{}
+	rep, err := Run(lostUpdateHarness(outcomes), Config{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatal("depth-truncated walk should be partial")
+	}
+	// Branching only at depths 0: the root's 2 branches, each run straight.
+	if rep.Executions != 2 {
+		t.Fatalf("executions = %d, want 2", rep.Executions)
+	}
+}
+
+// TestTimeBudget: an absurdly small wall-clock budget stops the walk with
+// a resumable frontier instead of an error, and resuming finishes it.
+func TestTimeBudget(t *testing.T) {
+	rep, err := Run(mixedHarness(nil), Config{TimeBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.Checkpoint == nil {
+		t.Fatalf("nanosecond budget should cut the walk: %+v", rep)
+	}
+	rep2, err := Run(mixedHarness(nil), Config{Resume: rep.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Partial {
+		t.Fatal("resumed walk should finish")
+	}
+	if rep.Executions+rep2.Executions == 0 {
+		t.Fatal("no executions at all")
+	}
+}
+
+// TestFailFastStops: FailFast returns a failure without walking the whole
+// tree (the count is timing-dependent in general; with one worker it just
+// stops at the canonical first failure like the seed engine did).
+func TestFailFastStops(t *testing.T) {
+	rep, err := Run(plantedBugHarness(), Config{FailFast: true, Workers: 1})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CheckError, got %v", err)
+	}
+	if rep.Executions >= 6 {
+		t.Fatalf("fail-fast still walked the whole tree (%d executions)", rep.Executions)
+	}
+}

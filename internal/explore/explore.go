@@ -3,18 +3,57 @@
 // sched.Run is fully determined by the sequence of scheduler choices, the
 // space of executions is a tree: each node is a decision point with one
 // branch per parked process (plus, optionally, one crash branch per parked
-// process). Explore performs a stateless depth-first walk of that tree by
-// re-running the system from scratch with successive choice prefixes.
+// process). The engine performs a stateless walk of that tree by re-running
+// the system from scratch with successive choice prefixes, optionally
+// across a pool of workers and with independence-based pruning.
 //
 // The paper's correctness arguments (invariants 1–5 of Lemma 4, Lemma 6,
 // linearizability of the composed TAS) are universally quantified over
 // executions; this package checks them over *every* execution for small
 // process counts, and the tests fall back to seeded random sampling beyond
 // that.
+//
+// # Architecture
+//
+// Exploration is organized as a work queue of frontier prefixes. A work
+// item is a choice prefix (plus pruning bookkeeping); executing it replays
+// the prefix and then extends it with the first permitted branch at every
+// deeper decision point, enqueuing every sibling branch it passes as a new
+// item. Each leaf of the tree is reached by exactly one item, so the
+// execution count equals the seed engine's one-execution-per-leaf count,
+// and items are independent, so they can run on any number of workers.
+//
+// # Pruning
+//
+// With Config.Prune set, the engine runs Godefroid-style sleep sets over
+// the independence relation induced by the access metadata the memory
+// layer reports through the gate: two transitions of different processes
+// commute when either is a crash (a crash performs no access) or when
+// their pending accesses touch different objects or are both reads. Of
+// every class of executions that differ only by swapping adjacent
+// independent steps, only one representative is executed. Final states and
+// any property invariant under such swaps are fully preserved; properties
+// sensitive to the real-time order of concurrent high-level events may
+// lose individual witnesses (never gain false ones — every executed
+// schedule is a real execution). Checks that need every interleaving
+// verbatim should leave Prune off.
+//
+// # Determinism
+//
+// The shape of the (pruned) tree depends only on the harness and the
+// config, never on worker scheduling. A completed exploration therefore
+// reports the same execution count for any worker count, and check
+// failures are reported deterministically: the engine finishes the walk
+// and returns the lexicographically least failing schedule (in canonical
+// branch order), which is exactly the schedule the seed's depth-first
+// engine would have failed on first. Set FailFast to trade that
+// determinism for an early exit.
 package explore
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/memory"
 	"repro/internal/sched"
@@ -23,28 +62,98 @@ import (
 // Harness builds one fresh instance of the system under test: a new
 // environment, one body per process, and a predicate checked on the
 // resulting execution. It is invoked once per explored interleaving, so all
-// shared state must be created inside it.
+// shared state must be created inside it. With Workers > 1, process bodies
+// from different executions run concurrently, but harness construction and
+// check calls are serialized by the engine, so a harness may safely
+// accumulate into shared state (outcome histograms and the like) from its
+// constructor and its check function.
 type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error)
 
 // Config bounds an exploration.
 type Config struct {
-	// MaxExecutions aborts the walk after this many executions (0 = no
-	// bound). When hit, Run returns Partial=true rather than an error.
+	// MaxExecutions aborts the walk after this many execution attempts
+	// (0 = no bound). Without pruning, attempts and completed executions
+	// coincide, matching the seed engine's semantics; with pruning,
+	// attempts abandoned as redundant count against the budget but not in
+	// Report.Executions. When hit, Run returns Partial=true rather than an
+	// error, and the Report carries a Checkpoint of the unexplored
+	// frontier.
 	MaxExecutions int
+	// MaxDepth, when nonzero, stops branching below this decision depth:
+	// executions still run to completion, but alternative choices deeper
+	// than MaxDepth are not explored (a context-bound-style truncation of
+	// the tree, not resumable). Hitting it marks the report Partial.
+	MaxDepth int
+	// TimeBudget, when nonzero, stops dequeuing new work after this much
+	// wall-clock time and checkpoints the remaining frontier. Which items
+	// completed by then is timing-dependent, so a time-cut exploration is
+	// not deterministic; a later Run with Resume can finish it.
+	TimeBudget time.Duration
 	// Crashes adds one crash branch per parked process at every decision
 	// point. This grows the tree roughly 2^depth-fold; use with tight
-	// process counts.
+	// process counts or with Prune (crashes commute with other processes'
+	// steps, so pruning collapses most of that growth).
 	Crashes bool
+	// Workers is the number of executions run concurrently (0 or 1 =
+	// sequential). Workers only changes wall-clock time, never the result
+	// of a completed exploration.
+	Workers int
+	// Prune enables sleep-set partial-order reduction (see the package
+	// comment for the guarantee). Off by default: an unpruned 1-worker run
+	// visits exactly the executions the seed engine visited.
+	Prune bool
+	// FailFast stops the walk at the first check failure instead of
+	// finishing the tree to find the canonically least one. Faster on
+	// failing harnesses, but which failure is reported becomes
+	// timing-dependent when Workers > 1.
+	FailFast bool
+	// Resume seeds the work queue from a previous run's checkpoint instead
+	// of the tree root. The harness and the rest of the config must match
+	// the run that produced it. Counters restart from zero.
+	Resume *Checkpoint
 }
 
 // Report summarizes an exploration.
 type Report struct {
-	// Executions is the number of distinct interleavings run.
+	// Executions is the number of distinct interleavings run to completion
+	// and checked.
 	Executions int
-	// Partial reports whether the walk was cut off by MaxExecutions.
+	// Pruned counts the work skipped as redundant by sleep-set pruning:
+	// branches never explored plus in-flight executions abandoned once
+	// every remaining branch was known to be covered elsewhere.
+	Pruned int
+	// Partial reports whether the walk was cut off by MaxExecutions,
+	// MaxDepth or TimeBudget.
 	Partial bool
 	// MaxDepth is the largest number of scheduler decisions seen.
 	MaxDepth int
+	// Checkpoint holds the unexplored frontier when the walk was cut off
+	// by MaxExecutions or TimeBudget (nil otherwise); pass it as
+	// Config.Resume to continue the exploration later.
+	Checkpoint *Checkpoint
+}
+
+// Transition identifies one scheduler branch for checkpointing: granting a
+// step to a process, or crashing it.
+type Transition struct {
+	Proc  int  `json:"proc"`
+	Crash bool `json:"crash,omitempty"`
+}
+
+// WorkItem is one unexplored frontier node: the choice prefix that reaches
+// it and the sleep set (transitions whose subtrees are covered by siblings)
+// in effect there. Prefixes are stored as transitions, so a checkpoint is
+// plain serializable data, valid across program runs: object identities in
+// the access metadata are execution-local and are re-derived on replay.
+type WorkItem struct {
+	Prefix []Transition `json:"prefix"`
+	Sleep  []Transition `json:"sleep,omitempty"`
+}
+
+// Checkpoint is a resumable frontier: the set of work items an interrupted
+// exploration had discovered but not yet executed.
+type Checkpoint struct {
+	Items []WorkItem `json:"items"`
 }
 
 // CheckError wraps a check failure with the schedule that produced it, so a
@@ -60,81 +169,403 @@ func (e *CheckError) Error() string {
 
 func (e *CheckError) Unwrap() error { return e.Err }
 
-// enumStrategy replays a prefix of branch indices and records, for every
-// decision point, the branching degree and the index taken, enabling
-// odometer-style enumeration of the next unexplored leaf.
-type enumStrategy struct {
-	prefix  []int
-	crashes bool
-
-	degrees []int
-	taken   []int
-	bad     error
+// failure is a candidate CheckError tagged with the canonical branch-index
+// path of its leaf, the engine's tie-breaking order.
+type failure struct {
+	path     []int
+	schedule []sched.Choice
+	err      error
 }
 
-func (s *enumStrategy) Next(step int, parked []int) sched.Choice {
-	deg := len(parked)
-	if s.crashes {
-		deg *= 2
+// lexLess orders branch-index paths. Two distinct leaf paths always differ
+// at some shared position (a leaf cannot be a proper prefix of another:
+// equal paths reach equal states, which are either both terminal or not).
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
 	}
-	idx := 0
-	if step < len(s.prefix) {
-		idx = s.prefix[step]
-	}
-	if idx >= deg {
-		// The tree is deterministic, so a prefix index can never exceed the
-		// degree observed when the prefix was recorded. Seeing it means the
-		// harness is nondeterministic (e.g. shared state escaping the
-		// Harness closure).
-		s.bad = fmt.Errorf("explore: nondeterministic harness: step %d has degree %d, prefix wants branch %d", step, deg, idx)
-		idx = 0
-	}
-	s.degrees = append(s.degrees, deg)
-	s.taken = append(s.taken, idx)
-	if idx < len(parked) {
-		return sched.Choice{Proc: parked[idx]}
-	}
-	return sched.Choice{Proc: parked[idx-len(parked)], Crash: true}
+	return len(a) < len(b)
 }
 
-// Run walks the interleaving tree of h depth-first and returns after the
-// first check failure (as a *CheckError), an internal error, exhaustion of
-// the tree, or hitting cfg.MaxExecutions.
+// engine is the shared state of one Run call.
+type engine struct {
+	h   Harness
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []WorkItem // LIFO: deepest discovered first = canonical order
+	leftover []WorkItem // frontier preserved when stopping early
+	inflight int
+	started  int // items dequeued, bounded by MaxExecutions
+	stopping bool
+	deadline time.Time
+
+	// checkMu serializes harness construction and check calls (so harness
+	// closures may share state across executions) and guards the result
+	// fields below.
+	checkMu     sync.Mutex
+	executions  int
+	pruned      int
+	truncated   bool
+	maxDepth    int
+	best        *failure
+	internalErr error
+}
+
+// Run walks the interleaving tree of h under cfg. It returns a CheckError
+// carrying the canonically least failing schedule if any check failed, an
+// internal error if the harness turned out nondeterministic, and otherwise
+// the report of the completed (or budget-cut) walk.
 func Run(h Harness, cfg Config) (Report, error) {
-	var rep Report
-	prefix := []int{}
+	e := &engine{h: h, cfg: cfg}
+	e.cond = sync.NewCond(&e.mu)
+	if cfg.TimeBudget > 0 {
+		e.deadline = time.Now().Add(cfg.TimeBudget)
+	}
+	if cfg.Resume != nil {
+		e.queue = append(e.queue, cfg.Resume.Items...)
+	} else {
+		e.queue = []WorkItem{{}}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				item, ok := e.next()
+				if !ok {
+					return
+				}
+				e.runItem(item)
+				e.done()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{
+		Executions: e.executions,
+		Pruned:     e.pruned,
+		MaxDepth:   e.maxDepth,
+		Partial:    len(e.leftover) > 0 || e.truncated,
+	}
+	if len(e.leftover) > 0 {
+		// Also set alongside a CheckError: a budget-cut walk that found a
+		// failure can still be resumed for further coverage.
+		rep.Checkpoint = &Checkpoint{Items: e.leftover}
+	}
+	if e.internalErr != nil {
+		return rep, e.internalErr
+	}
+	if e.best != nil {
+		return rep, &CheckError{Schedule: e.best.schedule, Err: e.best.err}
+	}
+	return rep, nil
+}
+
+// next blocks until a work item is available or the exploration is over.
+func (e *engine) next() (WorkItem, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for {
-		if cfg.MaxExecutions > 0 && rep.Executions >= cfg.MaxExecutions {
-			rep.Partial = true
-			return rep, nil
+		if e.stopping {
+			return WorkItem{}, false
 		}
-		env, bodies, check := h()
-		st := &enumStrategy{prefix: prefix, crashes: cfg.Crashes}
-		res := sched.Run(env, st, bodies)
-		rep.Executions++
-		if len(st.taken) > rep.MaxDepth {
-			rep.MaxDepth = len(st.taken)
+		if len(e.queue) > 0 {
+			if e.cfg.MaxExecutions > 0 && e.started >= e.cfg.MaxExecutions {
+				e.stopLocked()
+				return WorkItem{}, false
+			}
+			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+				e.stopLocked()
+				return WorkItem{}, false
+			}
+			item := e.queue[len(e.queue)-1]
+			e.queue = e.queue[:len(e.queue)-1]
+			e.started++
+			e.inflight++
+			return item, true
 		}
-		if st.bad != nil {
-			return rep, st.bad
+		if e.inflight == 0 {
+			return WorkItem{}, false
 		}
-		if err := check(res); err != nil {
-			return rep, &CheckError{Schedule: res.Schedule, Err: err}
+		e.cond.Wait()
+	}
+}
+
+// stopLocked halts dequeuing and preserves the remaining queue as the
+// resumable frontier. Callers must hold e.mu.
+func (e *engine) stopLocked() {
+	e.stopping = true
+	e.leftover = append(e.leftover, e.queue...)
+	e.queue = nil
+	e.cond.Broadcast()
+}
+
+func (e *engine) done() {
+	e.mu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) enqueue(item WorkItem) {
+	e.mu.Lock()
+	if e.stopping {
+		e.leftover = append(e.leftover, item)
+	} else {
+		e.queue = append(e.queue, item)
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// runItem executes one frontier prefix to a leaf, enqueuing the sibling
+// branches it passes on the way down.
+func (e *engine) runItem(item WorkItem) {
+	e.checkMu.Lock()
+	env, bodies, check := e.h()
+	e.checkMu.Unlock()
+
+	ch := &itemChooser{e: e, item: item}
+	res := sched.RunChooser(env, ch, bodies)
+
+	e.checkMu.Lock()
+	defer e.checkMu.Unlock()
+	if ch.bad != nil {
+		if e.internalErr == nil {
+			e.internalErr = ch.bad
 		}
-		// Advance the odometer: bump the deepest decision that still has an
-		// unexplored sibling, truncating everything after it.
-		next := -1
-		for i := len(st.taken) - 1; i >= 0; i-- {
-			if st.taken[i]+1 < st.degrees[i] {
-				next = i
+		e.mu.Lock()
+		e.stopLocked()
+		e.mu.Unlock()
+		return
+	}
+	e.pruned += ch.pruned
+	if ch.aborted {
+		// Every continuation from some point on was asleep: the leaf this
+		// item would have reached is a reordering of leaves reached through
+		// sibling branches. The run was abandoned, not checked.
+		e.pruned++
+		return
+	}
+	e.executions++
+	if d := len(res.Schedule); d > e.maxDepth {
+		e.maxDepth = d
+	}
+	if err := check(res); err != nil {
+		f := &failure{path: ch.path, schedule: res.Schedule, err: err}
+		if e.best == nil || lexLess(f.path, e.best.path) {
+			e.best = f
+		}
+		if e.cfg.FailFast {
+			e.mu.Lock()
+			e.stopLocked()
+			e.mu.Unlock()
+		}
+	}
+}
+
+// candidate is one branch at a decision point: the transition plus the
+// pending access backing it (meaningless for crash transitions).
+type candidate struct {
+	t   Transition
+	acc memory.Access
+}
+
+// independent reports whether transitions a and b commute from the current
+// state: transitions of the same process never do; a crash commutes with
+// any other process's transition (it performs no access); two steps commute
+// unless their accesses conflict.
+func independent(a, b candidate) bool {
+	if a.t.Proc == b.t.Proc {
+		return false
+	}
+	if a.t.Crash || b.t.Crash {
+		return true
+	}
+	return !a.acc.Conflicts(b.acc)
+}
+
+// itemChooser drives one execution of a work item: it replays the prefix,
+// then at every deeper decision point takes the first branch not covered by
+// the sleep set and enqueues the remaining ones as new work items.
+type itemChooser struct {
+	e    *engine
+	item WorkItem
+
+	sleep    []Transition   // sleep set at the current decision point
+	path     []int          // canonical branch index taken at every step
+	schedule []sched.Choice // choices taken so far (prefix for siblings)
+	pruned   int
+	bad      error
+	aborted  bool // all branches asleep: drain the run without checking
+}
+
+func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
+	if c.aborted {
+		// Unwind the remaining processes; this run is abandoned.
+		return sched.Choice{Proc: parked[0].ID, Crash: true}
+	}
+
+	// Candidate branches in canonical order: steps by process id, then
+	// (with Crashes) crashes by process id.
+	cands := make([]candidate, 0, 2*len(parked))
+	for _, ps := range parked {
+		cands = append(cands, candidate{t: Transition{Proc: ps.ID}, acc: ps.Next})
+	}
+	if c.e.cfg.Crashes {
+		for _, ps := range parked {
+			cands = append(cands, candidate{t: Transition{Proc: ps.ID, Crash: true}, acc: ps.Next})
+		}
+	}
+
+	if step < len(c.item.Prefix) {
+		// Replay zone: ancestors already expanded these decision points.
+		want := c.item.Prefix[step]
+		idx := -1
+		for i, cand := range cands {
+			if cand.t == want {
+				idx = i
 				break
 			}
 		}
-		if next < 0 {
-			return rep, nil // tree exhausted
+		if idx < 0 {
+			// The tree is deterministic, so a recorded transition is always
+			// re-enabled on replay. Seeing otherwise means the harness is
+			// nondeterministic (e.g. shared state escaping the closure).
+			c.bad = fmt.Errorf("explore: nondeterministic harness: step %d cannot replay %+v", step, want)
+			c.aborted = true
+			return sched.Choice{Proc: parked[0].ID, Crash: true}
 		}
-		prefix = append(append([]int{}, st.taken[:next]...), st.taken[next]+1)
+		c.path = append(c.path, idx)
+		choice := sched.Choice{Proc: want.Proc, Crash: want.Crash}
+		c.schedule = append(c.schedule, choice)
+		if step == len(c.item.Prefix)-1 {
+			c.sleep = c.item.Sleep
+		}
+		return choice
 	}
+
+	// Enumeration zone.
+	awake := cands
+	if c.e.cfg.Prune && len(c.sleep) > 0 {
+		awake = awake[:0:0]
+		for _, cand := range cands {
+			asleep := false
+			for _, s := range c.sleep {
+				if s == cand.t {
+					asleep = true
+					break
+				}
+			}
+			if !asleep {
+				awake = append(awake, cand)
+			}
+		}
+		c.pruned += len(cands) - len(awake)
+		if len(awake) == 0 {
+			c.aborted = true
+			return sched.Choice{Proc: parked[0].ID, Crash: true}
+		}
+	}
+
+	chosen := awake[0]
+	if len(awake) > 1 {
+		if c.e.cfg.MaxDepth > 0 && step >= c.e.cfg.MaxDepth {
+			c.e.noteTruncated()
+		} else {
+			// Sibling i's sleep set accumulates every earlier branch (in
+			// canonical order) it commutes with. Sleep sets are built in
+			// canonical order but the items are enqueued in reverse, so
+			// that the LIFO pop yields this node's siblings canonical-
+			// first; deeper nodes' siblings are enqueued later and pop
+			// earlier, which is also canonical (lex-least first). A
+			// sequential budget-cut walk therefore covers exactly the
+			// prefix the seed depth-first engine would have covered.
+			explored := []candidate{chosen}
+			items := make([]WorkItem, 0, len(awake)-1)
+			for _, sib := range awake[1:] {
+				var sl []Transition
+				if c.e.cfg.Prune {
+					for _, s := range c.sleep {
+						// Sleep entries are transitions of parked processes;
+						// their pending access is this decision point's.
+						if independent(c.withAccess(s, parked), sib) {
+							sl = append(sl, s)
+						}
+					}
+					for _, ex := range explored {
+						if independent(ex, sib) {
+							sl = append(sl, ex.t)
+						}
+					}
+					explored = append(explored, sib)
+				}
+				prefix := make([]Transition, len(c.schedule), len(c.schedule)+1)
+				for i, pc := range c.schedule {
+					prefix[i] = Transition{Proc: pc.Proc, Crash: pc.Crash}
+				}
+				prefix = append(prefix, sib.t)
+				items = append(items, WorkItem{Prefix: prefix, Sleep: sl})
+			}
+			for i := len(items) - 1; i >= 0; i-- {
+				c.e.enqueue(items[i])
+			}
+		}
+	}
+
+	// Advance: transitions dependent on the chosen one wake up.
+	if c.e.cfg.Prune {
+		var next []Transition
+		for _, s := range c.sleep {
+			if independent(c.withAccess(s, parked), chosen) {
+				next = append(next, s)
+			}
+		}
+		c.sleep = next
+	}
+	for i, cand := range cands {
+		if cand.t == chosen.t {
+			c.path = append(c.path, i)
+			break
+		}
+	}
+	choice := sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
+	c.schedule = append(c.schedule, choice)
+	return choice
+}
+
+// withAccess resolves a sleep-set transition to a candidate by looking up
+// its process's pending access at the current decision point. A sleeping
+// process is by construction still parked at the access it slept on.
+func (c *itemChooser) withAccess(t Transition, parked []sched.ProcState) candidate {
+	for _, ps := range parked {
+		if ps.ID == t.Proc {
+			return candidate{t: t, acc: ps.Next}
+		}
+	}
+	return candidate{t: t}
+}
+
+func (e *engine) noteTruncated() {
+	e.checkMu.Lock()
+	e.truncated = true
+	e.checkMu.Unlock()
 }
 
 // Sample runs k seeded-random interleavings of h (seeds seed..seed+k-1) and

@@ -14,8 +14,9 @@ import "sync/atomic"
 // Slot lookup charges one read step; a slot-creating access additionally
 // charges one RMW (the publishing CAS).
 type GrowArray[T any] struct {
-	mk  func(i int) *T
-	dir [dirSize]atomic.Pointer[chunk[T]]
+	mk   func(i int) *T
+	base atomic.Uint64 // first of Cap() reserved slot identities
+	dir  [dirSize]atomic.Pointer[chunk[T]]
 }
 
 const (
@@ -36,13 +37,34 @@ func NewGrowArray[T any](mk func(i int) *T) *GrowArray[T] {
 // Cap returns the maximum number of addressable slots.
 func (a *GrowArray[T]) Cap() int { return dirSize * chunkSize }
 
+// slotObj returns the scheduling identity of slot i. Each array lazily
+// reserves a contiguous block of Cap() identities from the global counter,
+// so accesses to disjoint slots are independent for the exploration engine
+// (per-slot granularity, like RegArray's per-element registers). Lookups
+// that install a chunk are still labelled with the slot they serve: which
+// process's (empty, content-identical) chunk object wins the install race
+// is unobservable to algorithms, so reordering such lookups is
+// behaviour-preserving.
+func (a *GrowArray[T]) slotObj(i int) uint64 {
+	b := a.base.Load()
+	if b == 0 {
+		n := objIDCounter.Add(uint64(a.Cap())) - uint64(a.Cap()) + 1
+		if a.base.CompareAndSwap(0, n) {
+			b = n
+		} else {
+			b = a.base.Load()
+		}
+	}
+	return b + uint64(i)
+}
+
 // Get returns slot i, creating it if necessary. It charges one read step,
 // plus one CAS if this call had to publish the slot.
 func (a *GrowArray[T]) Get(p *Proc, i int) *T {
 	if i < 0 || i >= a.Cap() {
 		panic("memory: GrowArray index out of range")
 	}
-	p.enter(OpRead)
+	p.enterObj(OpRead, a.slotObj(i))
 	ci, si := i/chunkSize, i%chunkSize
 	c := a.dir[ci].Load()
 	if c == nil {
@@ -58,7 +80,7 @@ func (a *GrowArray[T]) Get(p *Proc, i int) *T {
 		return s
 	}
 	fresh := a.mk(i)
-	p.enter(OpCAS)
+	p.enterObj(OpCAS, a.slotObj(i))
 	if c.slots[si].CompareAndSwap(nil, fresh) {
 		return fresh
 	}
@@ -73,7 +95,7 @@ func (a *GrowArray[T]) GetOrPut(p *Proc, i int, v *T) *T {
 	if i < 0 || i >= a.Cap() {
 		panic("memory: GrowArray index out of range")
 	}
-	p.enter(OpRead)
+	p.enterObj(OpRead, a.slotObj(i))
 	ci, si := i/chunkSize, i%chunkSize
 	c := a.dir[ci].Load()
 	if c == nil {
@@ -87,7 +109,7 @@ func (a *GrowArray[T]) GetOrPut(p *Proc, i int, v *T) *T {
 	if s := c.slots[si].Load(); s != nil {
 		return s
 	}
-	p.enter(OpCAS)
+	p.enterObj(OpCAS, a.slotObj(i))
 	if c.slots[si].CompareAndSwap(nil, v) {
 		return v
 	}
@@ -100,7 +122,7 @@ func (a *GrowArray[T]) Peek(p *Proc, i int) *T {
 	if i < 0 || i >= a.Cap() {
 		panic("memory: GrowArray index out of range")
 	}
-	p.enter(OpRead)
+	p.enterObj(OpRead, a.slotObj(i))
 	c := a.dir[i/chunkSize].Load()
 	if c == nil {
 		return nil

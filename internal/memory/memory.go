@@ -43,6 +43,45 @@ const (
 // counts against the RMW/fence budget as well as the step budget).
 func (k OpKind) IsRMW() bool { return k >= OpCAS }
 
+// Access describes one shared-memory access as seen by a scheduling gate:
+// the identity of the base object touched, the kind of operation, and the
+// acting process. Object identities are opaque, nonzero, and stable for the
+// lifetime of the object, which is exactly what an exploration engine needs
+// to decide whether two pending accesses commute.
+type Access struct {
+	Obj  uint64
+	Kind OpKind
+	Proc int
+}
+
+// Conflicts reports whether a and b fail to commute as memory operations:
+// they touch the same object and at least one of them mutates it (every
+// kind other than OpRead mutates, including the RMWs). Accesses by the same
+// process are always order-dependent; callers are expected to check that
+// separately, since program order is not a property of the accesses alone.
+func (a Access) Conflicts(b Access) bool {
+	return a.Obj == b.Obj && (a.Kind != OpRead || b.Kind != OpRead)
+}
+
+// objID lazily assigns a base object its nonzero identity the first time a
+// gated access needs one. Laziness keeps zero-value-usable objects (array
+// elements created by make, embedded registers) working without a
+// constructor hook, and costs nothing on the ungated benchmark path.
+type objID struct{ v atomic.Uint64 }
+
+var objIDCounter atomic.Uint64
+
+func (o *objID) get() uint64 {
+	if id := o.v.Load(); id != 0 {
+		return id
+	}
+	id := objIDCounter.Add(1)
+	if o.v.CompareAndSwap(0, id) {
+		return id
+	}
+	return o.v.Load()
+}
+
 // String returns the conventional name of the access kind.
 func (k OpKind) String() string {
 	switch k {
@@ -66,9 +105,10 @@ func (k OpKind) String() string {
 // grants the calling process its next step; the access executes immediately
 // after Enter returns, before the process parks again. Implementations must
 // guarantee that at most one gated process is between Enter-return and its
-// next Enter call at any time.
+// next Enter call at any time. The Access identifies the object and kind of
+// the impending operation, so schedulers can reason about independence.
 type Gate interface {
-	Enter(p *Proc, kind OpKind)
+	Enter(p *Proc, a Access)
 }
 
 // Env models the shared-memory system: a fixed set of n processes and
@@ -189,24 +229,43 @@ func (p *Proc) MarkCrashed() { p.crashed.Store(true) }
 // Crashed reports whether the process was marked crashed.
 func (p *Proc) Crashed() bool { return p.crashed.Load() }
 
-// enter accounts for one access of the given kind and parks at the gate if
-// one is installed. Every primitive in this package calls enter exactly once
-// per shared-memory access, immediately before performing it. A nil receiver
-// is allowed and skips accounting, so algorithm code can also be driven
-// without instrumentation.
-func (p *Proc) enter(kind OpKind) {
+// enter accounts for one access of the given kind to the object identified
+// by o, and parks at the gate if one is installed. Every primitive in this
+// package calls enter exactly once per shared-memory access, immediately
+// before performing it. A nil receiver is allowed and skips accounting, so
+// algorithm code can also be driven without instrumentation. The object id
+// is resolved only on the gated path, keeping the ungated benchmark path at
+// two uncontended counter increments.
+func (p *Proc) enter(kind OpKind, o *objID) {
 	if p == nil {
 		return
 	}
+	p.account(kind)
+	if p.gate != nil {
+		p.gate.Enter(p, Access{Obj: o.get(), Kind: kind, Proc: p.id})
+	}
+}
+
+// enterObj is enter for objects that manage their own identity space
+// (GrowArray hands out one identity per slot rather than one per object).
+func (p *Proc) enterObj(kind OpKind, obj uint64) {
+	if p == nil {
+		return
+	}
+	p.account(kind)
+	if p.gate != nil {
+		p.gate.Enter(p, Access{Obj: obj, Kind: kind, Proc: p.id})
+	}
+}
+
+// account charges one access of the given kind to the process's counters.
+func (p *Proc) account(kind OpKind) {
 	p.steps.Add(1)
 	if kind.IsRMW() {
 		p.rmws.Add(1)
 	}
 	if int(kind) < len(p.kinds) {
 		p.kinds[kind].Add(1)
-	}
-	if p.gate != nil {
-		p.gate.Enter(p, kind)
 	}
 }
 

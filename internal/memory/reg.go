@@ -6,7 +6,8 @@ import "sync/atomic"
 // The paper's algorithms use registers holding process ids (with -1 encoding
 // the initial value ⊥), object values, and counters read as registers.
 type IntReg struct {
-	v atomic.Int64
+	v   atomic.Int64
+	oid objID
 }
 
 // NewIntReg returns a register initialized to init.
@@ -18,20 +19,21 @@ func NewIntReg(init int64) *IntReg {
 
 // Read atomically reads the register, charging one step to p.
 func (r *IntReg) Read(p *Proc) int64 {
-	p.enter(OpRead)
+	p.enter(OpRead, &r.oid)
 	return r.v.Load()
 }
 
 // Write atomically writes v, charging one step to p.
 func (r *IntReg) Write(p *Proc, v int64) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &r.oid)
 	r.v.Store(v)
 }
 
 // BoolReg is an atomic boolean register (initially false unless constructed
 // otherwise).
 type BoolReg struct {
-	v atomic.Bool
+	v   atomic.Bool
+	oid objID
 }
 
 // NewBoolReg returns a register initialized to init.
@@ -43,13 +45,13 @@ func NewBoolReg(init bool) *BoolReg {
 
 // Read atomically reads the register, charging one step to p.
 func (r *BoolReg) Read(p *Proc) bool {
-	p.enter(OpRead)
+	p.enter(OpRead, &r.oid)
 	return r.v.Load()
 }
 
 // Write atomically writes v, charging one step to p.
 func (r *BoolReg) Write(p *Proc, v bool) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &r.oid)
 	r.v.Store(v)
 }
 
@@ -62,7 +64,8 @@ func (r *BoolReg) Write(p *Proc, v bool) {
 // register stores the pointer, so mutating the pointee would break
 // register-like semantics.
 type Reg[T any] struct {
-	v atomic.Pointer[T]
+	v   atomic.Pointer[T]
+	oid objID
 }
 
 // NewReg returns a register initialized to init (nil means ⊥).
@@ -75,13 +78,13 @@ func NewReg[T any](init *T) *Reg[T] {
 // Read atomically reads the register, charging one step to p. A nil result
 // is the initial value ⊥.
 func (r *Reg[T]) Read(p *Proc) *T {
-	p.enter(OpRead)
+	p.enter(OpRead, &r.oid)
 	return r.v.Load()
 }
 
 // Write atomically writes v (nil resets to ⊥), charging one step to p.
 func (r *Reg[T]) Write(p *Proc, v *T) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &r.oid)
 	r.v.Store(v)
 }
 

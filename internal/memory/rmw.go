@@ -8,7 +8,8 @@ import "sync/atomic"
 // deliberately avoids it (Section 1: "only uses objects with consensus
 // number at most two").
 type CASReg struct {
-	v atomic.Int64
+	v   atomic.Int64
+	oid objID
 }
 
 // NewCASReg returns a CAS register initialized to init.
@@ -20,20 +21,20 @@ func NewCASReg(init int64) *CASReg {
 
 // Read atomically reads the register, charging one step to p.
 func (r *CASReg) Read(p *Proc) int64 {
-	p.enter(OpRead)
+	p.enter(OpRead, &r.oid)
 	return r.v.Load()
 }
 
 // Write atomically writes v, charging one step to p.
 func (r *CASReg) Write(p *Proc, v int64) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &r.oid)
 	r.v.Store(v)
 }
 
 // CompareAndSwap atomically replaces old with new if the register holds old,
 // charging one step and one RMW to p. It reports whether the swap happened.
 func (r *CASReg) CompareAndSwap(p *Proc, old, new int64) bool {
-	p.enter(OpCAS)
+	p.enter(OpCAS, &r.oid)
 	return r.v.CompareAndSwap(old, new)
 }
 
@@ -41,7 +42,8 @@ func (r *CASReg) CompareAndSwap(p *Proc, old, new int64) bool {
 // compare-and-swap: the first successful PutIfEmpty wins and every later
 // Read observes the winning value. It backs the wait-free consensus stage.
 type CASCell[T any] struct {
-	v atomic.Pointer[T]
+	v   atomic.Pointer[T]
+	oid objID
 }
 
 // NewCASCell returns an empty cell (⊥).
@@ -50,7 +52,7 @@ func NewCASCell[T any]() *CASCell[T] { return &CASCell[T]{} }
 // Read atomically reads the cell, charging one step to p. Nil means the
 // cell is still empty.
 func (c *CASCell[T]) Read(p *Proc) *T {
-	p.enter(OpRead)
+	p.enter(OpRead, &c.oid)
 	return c.v.Load()
 }
 
@@ -58,7 +60,7 @@ func (c *CASCell[T]) Read(p *Proc) *T {
 // to p. It returns the cell's value after the operation (v itself if the
 // put won, the earlier winner otherwise) and whether the put won.
 func (c *CASCell[T]) PutIfEmpty(p *Proc, v *T) (*T, bool) {
-	p.enter(OpCAS)
+	p.enter(OpCAS, &c.oid)
 	if c.v.CompareAndSwap(nil, v) {
 		return v, true
 	}
@@ -72,7 +74,8 @@ func (c *CASCell[T]) PutIfEmpty(p *Proc, v *T) (*T, bool) {
 // baselines; the paper's long-lived construction instead advances to a
 // fresh instance).
 type HardwareTAS struct {
-	v atomic.Int32
+	v   atomic.Int32
+	oid objID
 }
 
 // NewHardwareTAS returns a hardware test-and-set object in state 0.
@@ -82,19 +85,19 @@ func NewHardwareTAS() *HardwareTAS { return &HardwareTAS{} }
 // value (0 for the unique winner, 1 for losers), charging one step and one
 // RMW to p.
 func (t *HardwareTAS) TestAndSet(p *Proc) int {
-	p.enter(OpTAS)
+	p.enter(OpTAS, &t.oid)
 	return int(t.v.Swap(1))
 }
 
 // Read atomically reads the current value, charging one step to p.
 func (t *HardwareTAS) Read(p *Proc) int {
-	p.enter(OpRead)
+	p.enter(OpRead, &t.oid)
 	return int(t.v.Load())
 }
 
 // Reset reverts the object to 0, charging one step to p.
 func (t *HardwareTAS) Reset(p *Proc) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &t.oid)
 	t.v.Store(0)
 }
 
@@ -102,7 +105,8 @@ func (t *HardwareTAS) Reset(p *Proc) {
 // the paper's counter C used to assign timestamps to requests in the
 // universal construction and the Count register of Algorithm 2.
 type FetchInc struct {
-	v atomic.Int64
+	v   atomic.Int64
+	oid objID
 }
 
 // NewFetchInc returns a counter initialized to init.
@@ -114,14 +118,14 @@ func NewFetchInc(init int64) *FetchInc {
 
 // Read atomically reads the counter, charging one step to p.
 func (c *FetchInc) Read(p *Proc) int64 {
-	p.enter(OpRead)
+	p.enter(OpRead, &c.oid)
 	return c.v.Load()
 }
 
 // Inc atomically increments the counter and returns the new value, charging
 // one step and one RMW to p.
 func (c *FetchInc) Inc(p *Proc) int64 {
-	p.enter(OpFetchInc)
+	p.enter(OpFetchInc, &c.oid)
 	return c.v.Add(1)
 }
 
@@ -130,6 +134,6 @@ func (c *FetchInc) Inc(p *Proc) int64 {
 // there because only the unique current winner resets; Write supports that
 // faithful transcription.
 func (c *FetchInc) Write(p *Proc, v int64) {
-	p.enter(OpWrite)
+	p.enter(OpWrite, &c.oid)
 	c.v.Store(v)
 }

@@ -10,11 +10,17 @@
 // scheduler does. This package provides it: each process body runs in its
 // own goroutine, parks at its memory.Gate before every shared-memory
 // access, and a single scheduler goroutine grants exactly one access at a
-// time according to a pluggable Strategy. Local computation between
-// accesses is treated as instantaneous (it runs to the next park before the
-// scheduler makes another choice), so an execution is fully determined by
-// the sequence of scheduler choices — the property the explore package uses
-// to enumerate interleavings exhaustively.
+// time according to a pluggable decision procedure. Local computation
+// between accesses is treated as instantaneous (it runs to the next park
+// before the scheduler makes another choice), so an execution is fully
+// determined by the sequence of scheduler choices — the property the
+// explore package uses to enumerate interleavings exhaustively.
+//
+// Decisions can be made at two levels. A Strategy sees only the parked
+// process ids — enough for the canned schedules (solo, round-robin,
+// random, replay). A Chooser additionally sees, for every parked process,
+// the memory.Access it is about to perform; the explore package's
+// partial-order reduction is built on that metadata.
 package sched
 
 import (
@@ -38,12 +44,43 @@ type Strategy interface {
 	Next(step int, parked []int) Choice
 }
 
+// ProcState describes one parked process at a decision point: its id and
+// the shared-memory access it will perform if granted the next step.
+type ProcState struct {
+	ID   int
+	Next memory.Access
+}
+
+// Chooser is the access-aware decision interface: it sees the pending
+// access of every parked process, which is what independence-based pruning
+// needs. parked is sorted by process id.
+type Chooser interface {
+	Choose(step int, parked []ProcState) Choice
+}
+
+// strategyChooser adapts a Strategy (ids only) to the Chooser interface.
+type strategyChooser struct{ s Strategy }
+
+func (a strategyChooser) Choose(step int, parked []ProcState) Choice {
+	ids := make([]int, len(parked))
+	for i, ps := range parked {
+		ids[i] = ps.ID
+	}
+	return a.s.Next(step, ids)
+}
+
 // Result summarizes one controlled execution.
 type Result struct {
 	// Schedule is the sequence of choices actually taken.
 	Schedule []Choice
 	// Parked[i] is the parked set the i-th choice was made from.
 	Parked [][]int
+	// Accesses[i] is the access associated with the i-th choice: the access
+	// performed, or, for a crash choice, the access the victim was about to
+	// perform (which never executed). Deciders that need the pending access
+	// of every parked process (not just the chosen one) implement Chooser,
+	// which sees them before each decision.
+	Accesses []memory.Access
 	// Finished[p] reports whether process p ran to completion.
 	Finished []bool
 	// Crashed[p] reports whether process p was crashed by the scheduler.
@@ -62,6 +99,7 @@ const (
 type msg struct {
 	kind msgKind
 	proc int
+	acc  memory.Access
 }
 
 // gate implements memory.Gate by parking the calling process until the
@@ -74,9 +112,9 @@ type gate struct {
 
 type crashSignal struct{ proc int }
 
-func (g *gate) Enter(p *memory.Proc, _ memory.OpKind) {
+func (g *gate) Enter(p *memory.Proc, a memory.Access) {
 	id := p.ID()
-	g.toSched <- msg{kind: msgParked, proc: id}
+	g.toSched <- msg{kind: msgParked, proc: id, acc: a}
 	if !<-g.grants[id] {
 		panic(crashSignal{proc: id})
 	}
@@ -91,6 +129,12 @@ func (g *gate) Enter(p *memory.Proc, _ memory.OpKind) {
 // Crashed processes stop taking steps permanently (their goroutine unwinds
 // via a recovered panic), matching the crash model of Section 3.
 func Run(env *memory.Env, strategy Strategy, bodies []func(p *memory.Proc)) *Result {
+	return RunChooser(env, strategyChooser{strategy}, bodies)
+}
+
+// RunChooser is Run for access-aware deciders: at every decision point the
+// chooser sees the pending access of each parked process alongside its id.
+func RunChooser(env *memory.Env, chooser Chooser, bodies []func(p *memory.Proc)) *Result {
 	n := env.N()
 	if len(bodies) != n {
 		panic(fmt.Sprintf("sched: %d bodies for %d processes", len(bodies), n))
@@ -130,14 +174,14 @@ func Run(env *memory.Env, strategy Strategy, bodies []func(p *memory.Proc)) *Res
 	}
 
 	executing := n // processes running local code (will park or finish)
-	parked := map[int]bool{}
+	parked := map[int]memory.Access{}
 	done := map[int]bool{}
 	for {
 		for executing > 0 {
 			m := <-g.toSched
 			switch m.kind {
 			case msgParked:
-				parked[m.proc] = true
+				parked[m.proc] = m.acc
 			case msgFinished:
 				done[m.proc] = true
 				if !res.Crashed[m.proc] {
@@ -150,12 +194,18 @@ func Run(env *memory.Env, strategy Strategy, bodies []func(p *memory.Proc)) *Res
 			break // every process finished or crashed
 		}
 		ids := sortedKeys(parked)
-		c := strategy.Next(len(res.Schedule), ids)
-		if !parked[c.Proc] {
-			panic(fmt.Sprintf("sched: strategy chose non-parked process %d from %v", c.Proc, ids))
+		states := make([]ProcState, len(ids))
+		for i, id := range ids {
+			states[i] = ProcState{ID: id, Next: parked[id]}
+		}
+		c := chooser.Choose(len(res.Schedule), states)
+		acc, ok := parked[c.Proc]
+		if !ok {
+			panic(fmt.Sprintf("sched: chooser chose non-parked process %d from %v", c.Proc, ids))
 		}
 		res.Schedule = append(res.Schedule, c)
 		res.Parked = append(res.Parked, ids)
+		res.Accesses = append(res.Accesses, acc)
 		delete(parked, c.Proc)
 		if c.Crash {
 			res.Crashed[c.Proc] = true
@@ -171,7 +221,7 @@ func Run(env *memory.Env, strategy Strategy, bodies []func(p *memory.Proc)) *Res
 	return res
 }
 
-func sortedKeys(m map[int]bool) []int {
+func sortedKeys(m map[int]memory.Access) []int {
 	out := make([]int, 0, len(m))
 	for k := range m {
 		out = append(out, k)

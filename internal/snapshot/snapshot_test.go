@@ -77,7 +77,7 @@ func TestExhaustiveScanMonotone(t *testing.T) {
 		}
 		return env, bodies, check
 	}
-	rep, err := explore.Run(h, explore.Config{MaxExecutions: 40000})
+	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestExhaustiveScanSeesCompletedUpdates(t *testing.T) {
 		}
 		return env, bodies, check
 	}
-	rep, err := explore.Run(h, explore.Config{MaxExecutions: 40000})
+	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,7 +118,7 @@ func TestThreeWayAtMostOneStop(t *testing.T) {
 		}
 		return env, bodies, check
 	}
-	rep, err := explore.Run(h, explore.Config{MaxExecutions: 40000})
+	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,11 +94,14 @@ func TestExhaustiveSpecFetchIncUnique(t *testing.T) {
 		}
 		return env, bodies, check
 	}
-	rep, err := explore.Run(h, explore.Config{MaxExecutions: 60000})
+	rep, err := explore.Run(h, engineCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("spec F&I n=2: %d interleavings (partial=%v)", rep.Executions, rep.Partial)
+	if rep.Partial {
+		t.Fatal("pruned two-process exploration should be exhaustive (the seed engine capped out at 60000)")
+	}
+	t.Logf("spec F&I n=2: %d interleavings (%d pruned)", rep.Executions, rep.Pruned)
 }
 
 func TestRandomizedSpecFetchIncThreeProcs(t *testing.T) {
