@@ -5,11 +5,15 @@
 // safe-composability conditions of Definition 2 on every explored
 // execution.
 //
-// Exploration runs on the parallel, partial-order-reduced engine of
+// Exploration runs on the pooled, partial-order-reduced engine of
 // internal/explore: -workers sets the worker pool, -prune toggles
 // sleep-set pruning (on by default; the engine then skips interleavings
-// that only reorder commuting accesses), and -crashes adds crash branches
-// at every decision point.
+// that only reorder commuting accesses), -cache adds state-fingerprint
+// caching on top (see DESIGN.md for its soundness caveats), and -crashes
+// adds crash branches at every decision point (seeded crash injection on
+// the sampled path). Long explorations survive interruption:
+// -timebudget cuts the walk after a wall-clock budget, -checkpoint-out
+// saves the unexplored frontier, and -checkpoint-in resumes from it.
 //
 // Usage:
 //
@@ -17,9 +21,12 @@
 //	tascheck -mode def2 -n 2          # Definition 2 on every interleaving
 //	tascheck -mode composed -n 3 -crashes
 //	tascheck -mode composed -n 4 -samples 5000
+//	tascheck -mode composed -n 4 -exhaustive-n 4 -timebudget 30s -checkpoint-out f.json
+//	tascheck -mode composed -n 4 -exhaustive-n 4 -checkpoint-in f.json -workers 16
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for random schedules")
 	workers := flag.Int("workers", 8, "parallel exploration workers")
 	prune := flag.Bool("prune", true, "sleep-set partial-order reduction")
+	cache := flag.Bool("cache", false, "state-fingerprint caching (see DESIGN.md caveats)")
 	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
 	failFast := flag.Bool("failfast", false, "stop at the first failing schedule instead of the canonical one")
 	exhaustiveN := flag.Int("exhaustive-n", 3, "largest n explored exhaustively rather than sampled")
+	timeBudget := flag.Duration("timebudget", 0, "stop the exhaustive walk after this wall-clock budget (0 = none)")
+	ckptOut := flag.String("checkpoint-out", "", "write the unexplored frontier of a budget-cut walk to this file")
+	ckptIn := flag.String("checkpoint-in", "", "resume the walk from a frontier saved by -checkpoint-out")
 	flag.Parse()
 
 	var h explore.Harness
@@ -58,45 +69,101 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *crashes && *n > *exhaustiveN {
-		// Sampling uses crash-free random schedules, so accepting the flag
-		// there would report vacuous crash coverage.
-		fmt.Fprintf(os.Stderr, "tascheck: -crashes requires exhaustive exploration; raise -exhaustive-n to at least %d or lower -n\n", *n)
-		os.Exit(2)
+	if *n > *exhaustiveN {
+		// The sampled path has no frontier, budget or fingerprint cache;
+		// reject rather than silently ignore the flags, so a user who meant
+		// to resume or budget an exhaustive walk learns to raise
+		// -exhaustive-n instead of reading a vacuous OK.
+		for flagName, set := range map[string]bool{
+			"-timebudget":     *timeBudget != 0,
+			"-checkpoint-out": *ckptOut != "",
+			"-checkpoint-in":  *ckptIn != "",
+			"-cache":          *cache,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "tascheck: %s applies only to exhaustive exploration; raise -exhaustive-n to at least %d or lower -n\n", flagName, *n)
+				os.Exit(2)
+			}
+		}
 	}
 
 	var rep explore.Report
 	var err error
 	if *n <= *exhaustiveN {
-		rep, err = explore.Run(h, explore.Config{
+		cfg := explore.Config{
 			MaxExecutions: *maxExecs,
+			TimeBudget:    *timeBudget,
 			Crashes:       *crashes,
 			Workers:       *workers,
 			Prune:         *prune,
+			CacheStates:   *cache,
 			FailFast:      *failFast,
-		})
+		}
+		if *ckptIn != "" {
+			cfg.Resume, err = loadCheckpoint(*ckptIn)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		rep, err = explore.Run(h, cfg)
+		if rep.Checkpoint != nil && *ckptOut != "" {
+			if werr := saveCheckpoint(*ckptOut, rep.Checkpoint); werr != nil {
+				fmt.Fprintf(os.Stderr, "tascheck: %v\n", werr)
+				os.Exit(2)
+			}
+			fmt.Printf("tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
+				len(rep.Checkpoint.Items), *ckptOut, *ckptOut)
+		}
 	} else {
-		rep, err = explore.Sample(h, *samples, *seed)
+		rep, err = explore.Sample(h, *samples, *seed, *crashes)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d executions: %v\n", rep.Executions, err)
 		os.Exit(1)
 	}
 	how := "exhaustive"
+	if *ckptIn != "" {
+		how = "resumed"
+	}
 	if rep.Partial {
-		how = "partial (hit -max)"
+		how = "partial (hit -max or -timebudget)"
 	}
 	if *n > *exhaustiveN {
 		how = "sampled"
 	}
-	fmt.Printf("tascheck %s: OK — %d interleavings (%s), %d pruned as redundant, max depth %d\n",
-		*mode, rep.Executions, how, rep.Pruned, rep.MaxDepth)
+	fmt.Printf("tascheck %s: OK — %d interleavings (%s), %d pruned as redundant, %d state-cache hits, max depth %d\n",
+		*mode, rep.Executions, how, rep.Pruned, rep.CacheHits, rep.MaxDepth)
+}
+
+func loadCheckpoint(path string) (*explore.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
+	var ck explore.Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("parsing checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+func saveCheckpoint(path string, ck *explore.Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return fmt.Errorf("encoding checkpoint: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	return nil
 }
 
 func a1Harness(n int, withDef2, crashes bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		a1 := tas.NewA1()
+		env.Register(a1)
 		rec := trace.NewRecorder(n)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
@@ -129,14 +196,15 @@ func a1Harness(n int, withDef2, crashes bool) explore.Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		return env, bodies, check, rec.Reset
 	}
 }
 
 func composedHarness(n int, crashes bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		o := tas.NewOneShot()
+		env.Register(o)
 		rec := trace.NewRecorder(n)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
@@ -169,7 +237,7 @@ func composedHarness(n int, crashes bool) explore.Harness {
 			}
 			return checkProjection(rec.Ops())
 		}
-		return env, bodies, check
+		return env, bodies, check, rec.Reset
 	}
 }
 

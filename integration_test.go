@@ -26,9 +26,10 @@ import (
 // overall and a linearizable projection (crashed operations count as
 // pending).
 func TestIntegrationComposedTASWithCrashes(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		o := tas.NewOneShot()
+		env.Register(o)
 		rec := trace.NewRecorder(2)
 		bodies := make([]func(p *memory.Proc), 2)
 		for i := 0; i < 2; i++ {
@@ -62,7 +63,7 @@ func TestIntegrationComposedTASWithCrashes(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		return env, bodies, check, rec.Reset
 	}
 	rep, err := explore.Run(h, explore.Config{Crashes: true, Prune: true, Workers: 8})
 	if err != nil {
@@ -79,7 +80,7 @@ func TestIntegrationComposedTASWithCrashes(t *testing.T) {
 // checker on the recorded traces.
 func TestIntegrationFullStackSoak(t *testing.T) {
 	const n = 3
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		queue := abstract.NewObject(spec.QueueType{}, n,
 			abstract.StageSpec{Name: "cf", MkCons: func(int) consensus.Abortable { return consensus.NewSplitConsensus() }},
@@ -143,9 +144,11 @@ func TestIntegrationFullStackSoak(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		// The universal-construction side has no reset path; sample via
+		// per-execution reconstruction.
+		return env, bodies, check, nil
 	}
-	if _, err := explore.Sample(h, 600, 31); err != nil {
+	if _, err := explore.Sample(h, 600, 31, false); err != nil {
 		t.Fatal(err)
 	}
 }

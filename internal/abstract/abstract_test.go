@@ -163,7 +163,7 @@ func TestConcurrentCounterLinearizable(t *testing.T) {
 // controlled scheduler, records an Abstract trace per stage, and checks
 // Definition 1 plus linearizability of the committed projection.
 func abstractHarness(nproc, opsPer int, specs func(n int) []StageSpec) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(nproc)
 		typ := spec.FetchIncType{}
 		o := NewObject(typ, nproc, specs(nproc)...)
@@ -201,7 +201,10 @@ func abstractHarness(nproc, opsPer int, specs func(n int) []StageSpec) explore.H
 			}
 			return nil
 		}
-		return env, bodies, check
+		// No reset path: the universal construction materializes consensus
+		// instances and registry slots at schedule-dependent times, so the
+		// engine reconstructs this harness per execution.
+		return env, bodies, check, nil
 	}
 }
 
@@ -216,12 +219,12 @@ func TestExhaustiveAbstractProperties(t *testing.T) {
 
 func TestRandomizedAbstractProperties(t *testing.T) {
 	specs := func(n int) []StageSpec { return []StageSpec{splitSpec(), bakerySpec(n), casSpec()} }
-	if _, err := explore.Sample(abstractHarness(3, 2, specs), 1200, 7); err != nil {
+	if _, err := explore.Sample(abstractHarness(3, 2, specs), 1200, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	// Register-only composition: aborts allowed, properties must still hold.
 	specsReg := func(n int) []StageSpec { return []StageSpec{splitSpec(), bakerySpec(n)} }
-	if _, err := explore.Sample(abstractHarness(3, 2, specsReg), 1200, 11); err != nil {
+	if _, err := explore.Sample(abstractHarness(3, 2, specsReg), 1200, 11, false); err != nil {
 		t.Fatal(err)
 	}
 }

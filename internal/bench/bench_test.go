@@ -259,3 +259,49 @@ func TestSeedPlumbing(t *testing.T) {
 		t.Fatalf("seedFor(1) = %d after SetSeed(99)", seedFor(1))
 	}
 }
+
+func TestE11Shapes(t *testing.T) {
+	tables := RunE11()
+	if len(tables) != 2 {
+		t.Fatalf("E11 tables = %d", len(tables))
+	}
+	pool := tables[0]
+	if len(pool.Rows) != 4 {
+		t.Fatalf("E11a rows = %d", len(pool.Rows))
+	}
+	// Per harness: spawn and pooled rows must report identical execution
+	// counts — pooling is a pure performance change.
+	for r := 0; r < len(pool.Rows); r += 2 {
+		if cellInt(t, pool, r, 2) != cellInt(t, pool, r+1, 2) {
+			t.Fatalf("E11a: pooled mode changed the walk: %v", pool.Rows)
+		}
+	}
+	if cellInt(t, pool, 0, 2) != 9662 {
+		t.Fatalf("E11a seed walk = %d executions, want 9662", cellInt(t, pool, 0, 2))
+	}
+
+	cache := tables[1]
+	if len(cache.Rows) != 6 {
+		t.Fatalf("E11b rows = %d", len(cache.Rows))
+	}
+	anyHits := false
+	for r := 0; r < len(cache.Rows); r += 2 {
+		off := cellInt(t, cache, r, 2)
+		on := cellInt(t, cache, r+1, 2)
+		hits := cellInt(t, cache, r+1, 3)
+		if on > off {
+			t.Fatalf("E11b: caching increased executions: %v", cache.Rows)
+		}
+		if hits > 0 {
+			anyHits = true
+		} else if on != off {
+			t.Fatalf("E11b: executions changed without cache hits: %v", cache.Rows)
+		}
+		if cellInt(t, cache, r, 3) != 0 {
+			t.Fatalf("E11b: uncached row reports cache hits: %v", cache.Rows)
+		}
+	}
+	if !anyHits {
+		t.Fatalf("E11b: no harness produced cache hits: %v", cache.Rows)
+	}
+}

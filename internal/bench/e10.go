@@ -15,9 +15,10 @@ import (
 // engineHarness builds the composed one-shot TAS exploration harness the
 // engine experiments drive: n processes, unique-winner check.
 func engineHarness(n int) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		o := tas.NewOneShot()
+		env.Register(o)
 		resps := make([]int64, n)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
@@ -36,7 +37,10 @@ func engineHarness(n int) explore.Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			clear(resps)
+		}
+		return env, bodies, check, reset
 	}
 }
 

@@ -102,5 +102,6 @@ func All() []Experiment {
 		{"E8", RunE8, "solo-fast TAS: hardware only on own step contention"},
 		{"E9", RunE9, "ablations: stage stacks and the speculative fetch-and-increment"},
 		{"E10", RunE10, "exploration engine: partial-order reduction and worker-pool scaling"},
+		{"E11", RunE11, "execution core: pooled executors, resettable memory, state-fingerprint caching"},
 	}
 }

@@ -181,3 +181,13 @@ func (bk *Bakery) Query(p *memory.Proc) int64 {
 	}
 	return Bottom
 }
+
+// ResetState implements memory.Resettable.
+func (bk *Bakery) ResetState() {
+	for i := 0; i < bk.n; i++ {
+		bk.a[i].ResetState()
+		bk.b[i].ResetState()
+	}
+	bk.quit.ResetState()
+	bk.dec.ResetState()
+}

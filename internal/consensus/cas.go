@@ -38,3 +38,9 @@ func (c *CASConsensus) Propose(p *memory.Proc, old, v int64) (Outcome, int64) {
 func (c *CASConsensus) Query(p *memory.Proc) int64 {
 	return c.cell.Read(p)
 }
+
+// ResetState implements memory.Resettable.
+func (c *CASConsensus) ResetState() { c.cell.ResetState() }
+
+// HashState implements memory.Fingerprinter.
+func (c *CASConsensus) HashState(h *memory.StateHash) bool { return c.cell.HashState(h) }

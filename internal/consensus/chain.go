@@ -81,3 +81,16 @@ func (c *Chain) Query(p *memory.Proc) int64 {
 	}
 	return Bottom
 }
+
+// ResetState implements memory.Resettable. Every composed stage must be
+// resettable; the in-repo instances all are, and a chain over a foreign,
+// non-resettable stage fails loudly rather than resetting partially.
+func (c *Chain) ResetState() {
+	for _, st := range c.stages {
+		r, ok := st.(memory.Resettable)
+		if !ok {
+			panic("consensus: Chain.ResetState over a non-resettable stage " + st.Name())
+		}
+		r.ResetState()
+	}
+}

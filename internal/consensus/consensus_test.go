@@ -135,9 +135,10 @@ func TestCASConsensusAlwaysCommits(t *testing.T) {
 // (an abort with ⊥ implies the instance never commits).
 func consensusHarness(t *testing.T, name string, stats *map[string]int) explore.Harness {
 	t.Helper()
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		c := mk(name, 2)
+		env.Register(c.(memory.Resettable))
 		outs := make([]Outcome, 2)
 		vals := make([]int64, 2)
 		props := []int64{10, 20}
@@ -180,7 +181,11 @@ func consensusHarness(t *testing.T, name string, stats *map[string]int) explore.
 			(*stats)["commit"] += len(committed)
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			clear(outs)
+			clear(vals)
+		}
+		return env, bodies, check, reset
 	}
 }
 
@@ -235,9 +240,10 @@ func TestExhaustiveChainWaitFree(t *testing.T) {
 func TestRandomizedThreeProcs(t *testing.T) {
 	for _, name := range []string{"split", "bakery", "chain", "chain-registers"} {
 		stats := map[string]int{}
-		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 			env := memory.NewEnv(3)
 			c := mk(name, 3)
+			env.Register(c.(memory.Resettable))
 			outs := make([]Outcome, 3)
 			vals := make([]int64, 3)
 			bodies := make([]func(p *memory.Proc), 3)
@@ -264,9 +270,13 @@ func TestRandomizedThreeProcs(t *testing.T) {
 				stats["commit"] += len(committed)
 				return nil
 			}
-			return env, bodies, check
+			reset := func() {
+				clear(outs)
+				clear(vals)
+			}
+			return env, bodies, check, reset
 		}
-		if _, err := explore.Sample(h, 1500, 99); err != nil {
+		if _, err := explore.Sample(h, 1500, 99, false); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("%s: stats=%v", name, stats)

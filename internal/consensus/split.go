@@ -67,3 +67,18 @@ func (s *SplitConsensus) Propose(p *memory.Proc, old, v int64) (Outcome, int64) 
 func (s *SplitConsensus) Query(p *memory.Proc) int64 {
 	return s.v.Read(p)
 }
+
+// ResetState implements memory.Resettable.
+func (s *SplitConsensus) ResetState() {
+	s.split.ResetState()
+	s.v.ResetState()
+	s.c.ResetState()
+}
+
+// HashState implements memory.Fingerprinter.
+func (s *SplitConsensus) HashState(h *memory.StateHash) bool {
+	s.split.HashState(h)
+	s.v.HashState(h)
+	s.c.HashState(h)
+	return true
+}

@@ -17,10 +17,11 @@ import (
 // when non-nil, accumulates the multiset of final states (the engine
 // serializes check calls, so a plain map is safe at any worker count).
 func mixedHarness(outcomes map[string]int) Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(3)
 		shared := memory.NewIntReg(0)
 		private := memory.NewRegArray(3, 0)
+		env.Register(shared, private)
 		bodies := make([]func(p *memory.Proc), 3)
 		for i := 0; i < 3; i++ {
 			i := i
@@ -39,16 +40,17 @@ func mixedHarness(outcomes map[string]int) Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		return env, bodies, check, func() {}
 	}
 }
 
 // plantedBugHarness fails its check on every interleaving where the two
 // increments race (the classic lost update).
 func plantedBugHarness() Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		r := memory.NewIntReg(0)
+		env.Register(r)
 		inc := func(p *memory.Proc) {
 			v := r.Read(p)
 			r.Write(p, v+1)
@@ -59,7 +61,7 @@ func plantedBugHarness() Harness {
 			}
 			return nil
 		}
-		return env, []func(p *memory.Proc){inc, inc}, check
+		return env, []func(p *memory.Proc){inc, inc}, check, func() {}
 	}
 }
 
@@ -288,5 +290,266 @@ func TestFailFastStops(t *testing.T) {
 	}
 	if rep.Executions >= 6 {
 		t.Fatalf("fail-fast still walked the whole tree (%d executions)", rep.Executions)
+	}
+}
+
+// TestPooledMatchesSpawnPath: the pooled executor must be a pure
+// performance change — execution counts, pruning and the canonical failing
+// schedule all match the reconstruction path exactly.
+func TestPooledMatchesSpawnPath(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		outsPooled := map[string]int{}
+		outsSpawn := map[string]int{}
+		pooled, errP := Run(mixedHarness(outsPooled), Config{Prune: prune, Crashes: true})
+		spawn, errS := Run(NoReset(mixedHarness(outsSpawn)), Config{Prune: prune, Crashes: true})
+		if errP != nil || errS != nil {
+			t.Fatal(errP, errS)
+		}
+		if pooled.Executions != spawn.Executions || pooled.Pruned != spawn.Pruned {
+			t.Fatalf("prune=%v: pooled %+v, spawn %+v", prune, pooled, spawn)
+		}
+		if !reflect.DeepEqual(outsPooled, outsSpawn) {
+			t.Fatalf("prune=%v: outcome multisets diverge: %v vs %v", prune, outsPooled, outsSpawn)
+		}
+
+		var cePooled, ceSpawn *CheckError
+		repP, errP := Run(plantedBugHarness(), Config{Prune: prune, Workers: 4})
+		repS, errS := Run(NoReset(plantedBugHarness()), Config{Prune: prune, Workers: 4})
+		if !errors.As(errP, &cePooled) || !errors.As(errS, &ceSpawn) {
+			t.Fatalf("prune=%v: want CheckErrors, got %v / %v", prune, errP, errS)
+		}
+		if repP.Executions != repS.Executions {
+			t.Fatalf("prune=%v: failing-harness executions %d vs %d", prune, repP.Executions, repS.Executions)
+		}
+		if !reflect.DeepEqual(cePooled.Schedule, ceSpawn.Schedule) {
+			t.Fatalf("prune=%v: canonical failures diverge: %v vs %v", prune, cePooled.Schedule, ceSpawn.Schedule)
+		}
+	}
+}
+
+// convergingHarness has two processes whose writes make distinct
+// interleavings converge to identical states with identical per-process
+// progress: p0 writes 1 then 2, p1 writes 1 then 3. The two orders of the
+// conflicting (so never sleep-set-prunable) initial writes of 1 meet in
+// the same state, which is exactly what state caching prunes and sleep
+// sets cannot. Bodies carry no cross-step local state, so the
+// (fingerprint, step counts, sleep set) key fully determines the future —
+// the harness is cache-sound.
+func convergingHarness(outcomes map[int64]int) Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(2)
+		shared := memory.NewIntReg(0)
+		env.Register(shared)
+		mk := func(second int64) func(p *memory.Proc) {
+			return func(p *memory.Proc) {
+				shared.Write(p, 1)
+				shared.Write(p, second)
+			}
+		}
+		check := func(res *sched.Result) error {
+			if outcomes != nil {
+				outcomes[shared.Read(env.Proc(0))]++
+			}
+			return nil
+		}
+		return env, []func(p *memory.Proc){mk(2), mk(3)}, check, func() {}
+	}
+}
+
+// TestCacheStatesPrunesBeyondSleepSets: state caching must cut executions
+// on the converging harness — including under sleep sets, whose
+// independence-based pruning cannot collapse the conflicting writes — while
+// preserving the set of distinct final states, and must report its hits.
+func TestCacheStatesPrunesBeyondSleepSets(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		base := map[int64]int{}
+		baseRep, err := Run(convergingHarness(base), Config{Prune: prune, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := map[int64]int{}
+		cachedRep, err := Run(convergingHarness(cached), Config{Prune: prune, Workers: 1, CacheStates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cachedRep.CacheHits == 0 {
+			t.Fatalf("prune=%v: no cache hits on the converging harness", prune)
+		}
+		if cachedRep.Executions >= baseRep.Executions {
+			t.Fatalf("prune=%v: caching did not cut executions: %d vs %d", prune, cachedRep.Executions, baseRep.Executions)
+		}
+		for k := range base {
+			if cached[k] == 0 {
+				t.Fatalf("prune=%v: caching lost final state %d (%v vs %v)", prune, k, cached, base)
+			}
+		}
+		// One-worker cached walks are deterministic.
+		again := map[int64]int{}
+		againRep, err := Run(convergingHarness(again), Config{Prune: prune, Workers: 1, CacheStates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if againRep.Executions != cachedRep.Executions || againRep.CacheHits != cachedRep.CacheHits {
+			t.Fatalf("prune=%v: cached walk not deterministic: %+v vs %+v", prune, againRep, cachedRep)
+		}
+	}
+}
+
+// TestCacheStatesInertWithoutRegistration: a harness that registers
+// nothing cannot be fingerprinted, so caching must change nothing (rather
+// than aliasing every state to one key).
+func TestCacheStatesInertWithoutRegistration(t *testing.T) {
+	unregistered := func(outcomes map[int64]int) Harness {
+		return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+			env := memory.NewEnv(2)
+			r := memory.NewIntReg(0)
+			inc := func(p *memory.Proc) {
+				v := r.Read(p)
+				r.Write(p, v+1)
+			}
+			check := func(res *sched.Result) error {
+				outcomes[r.Read(env.Proc(0))]++
+				return nil
+			}
+			return env, []func(p *memory.Proc){inc, inc}, check, nil
+		}
+	}
+	base := map[int64]int{}
+	baseRep, err := Run(unregistered(base), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := map[int64]int{}
+	cachedRep, err := Run(unregistered(cached), Config{CacheStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedRep.Executions != baseRep.Executions || cachedRep.CacheHits != 0 {
+		t.Fatalf("caching must be inert without registration: %+v vs %+v", cachedRep, baseRep)
+	}
+	if !reflect.DeepEqual(base, cached) {
+		t.Fatalf("outcomes diverged: %v vs %v", base, cached)
+	}
+}
+
+// uniqueFailureHarness fails on exactly one interleaving — the strictly
+// alternating 0,1,0,1 schedule — so failure reporting can be compared
+// across differently cut walks without path bookkeeping. The bodies write
+// (conflicting accesses), so sleep sets cannot prune any leaf and the
+// failing schedule survives under every config.
+func uniqueFailureHarness() Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		env.Register(r)
+		body := func(p *memory.Proc) {
+			r.Write(p, 1)
+			r.Write(p, 2)
+		}
+		check := func(res *sched.Result) error {
+			want := []sched.Choice{{Proc: 0}, {Proc: 1}, {Proc: 0}, {Proc: 1}}
+			if reflect.DeepEqual(res.Schedule, want) {
+				return errors.New("planted: alternating schedule")
+			}
+			return nil
+		}
+		return env, []func(p *memory.Proc){body, body}, check, func() {}
+	}
+}
+
+// TestResumeDeterminism is the checkpoint contract: a TimeBudget-cut walk,
+// resumed under a different worker count (and a further MaxExecutions
+// cut), must report the same total execution count and surface the same
+// canonically least failure as an uncut run.
+func TestResumeDeterminism(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		uncut, uncutErr := Run(uniqueFailureHarness(), Config{Prune: prune, Workers: 1})
+		var uncutCE *CheckError
+		if !errors.As(uncutErr, &uncutCE) {
+			t.Fatalf("prune=%v: uncut walk must fail, got %v", prune, uncutErr)
+		}
+
+		// Round 1: a nanosecond budget cuts the walk at (or near) the root.
+		rep, err := Run(uniqueFailureHarness(), Config{Prune: prune, Workers: 1, TimeBudget: time.Nanosecond})
+		total := rep.Executions
+		var failures []*CheckError
+		var ce *CheckError
+		if errors.As(err, &ce) {
+			failures = append(failures, ce)
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Partial || rep.Checkpoint == nil {
+			t.Fatalf("prune=%v: nanosecond budget should cut the walk: %+v", prune, rep)
+		}
+
+		// Later rounds: resume under different worker counts, first with an
+		// execution budget, then to completion.
+		cfgs := []Config{
+			{Prune: prune, Workers: 4, MaxExecutions: 2},
+			{Prune: prune, Workers: 8},
+		}
+		for i := 0; rep.Partial; i++ {
+			cfg := cfgs[0]
+			if i >= 1 {
+				cfg = cfgs[1]
+			}
+			cfg.Resume = rep.Checkpoint
+			rep, err = Run(uniqueFailureHarness(), cfg)
+			total += rep.Executions
+			ce = nil
+			if errors.As(err, &ce) {
+				failures = append(failures, ce)
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Partial && rep.Checkpoint == nil {
+				t.Fatalf("prune=%v: partial report without checkpoint", prune)
+			}
+			if i > 100 {
+				t.Fatal("resume loop did not terminate")
+			}
+		}
+		if total != uncut.Executions {
+			t.Fatalf("prune=%v: stitched walk ran %d executions, uncut ran %d", prune, total, uncut.Executions)
+		}
+		if len(failures) != 1 {
+			t.Fatalf("prune=%v: unique failure reported %d times", prune, len(failures))
+		}
+		if !reflect.DeepEqual(failures[0].Schedule, uncutCE.Schedule) {
+			t.Fatalf("prune=%v: resumed failure %v, uncut %v", prune, failures[0].Schedule, uncutCE.Schedule)
+		}
+	}
+}
+
+// TestSampleWithCrashes: crash-mode sampling must inject crashes (reaching
+// final states impossible in crash-free runs) while staying seeded-
+// deterministic, and crash-free sampling must not crash anyone.
+func TestSampleWithCrashes(t *testing.T) {
+	crashed := map[int64]int{}
+	rep, err := Sample(lostUpdateHarness(crashed), 300, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 300 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	if crashed[0] == 0 {
+		// Final value 0 requires both increments to have been cut short.
+		t.Fatalf("crash sampling never crashed both increments: %v", crashed)
+	}
+	clean := map[int64]int{}
+	if _, err := Sample(lostUpdateHarness(clean), 300, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if clean[0] != 0 {
+		t.Fatalf("crash-free sampling produced a crashed outcome: %v", clean)
+	}
+	again := map[int64]int{}
+	if _, err := Sample(lostUpdateHarness(again), 300, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(crashed, again) {
+		t.Fatalf("crash sampling not deterministic: %v vs %v", crashed, again)
 	}
 }

@@ -23,6 +23,16 @@
 // execution count equals the seed engine's one-execution-per-leaf count,
 // and items are independent, so they can run on any number of workers.
 //
+// Each worker runs items through a reusable execution core: a harness
+// that registers its shared objects and returns a reset path is
+// constructed once per worker and re-run over the same memory.Env through
+// a pooled sched.Executor, with Env.Reset plus the harness reset between
+// executions; harnesses without a reset path fall back to per-execution
+// reconstruction. Optional state-fingerprint caching (Config.CacheStates)
+// additionally skips subtrees rooted at decision points whose
+// (fingerprint, progress, sleep set) key was already explored — see
+// DESIGN.md for the soundness argument and its caveats.
+//
 // # Pruning
 //
 // With Config.Prune set, the engine runs Godefroid-style sleep sets over
@@ -52,6 +62,7 @@ package explore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,15 +70,34 @@ import (
 	"repro/internal/sched"
 )
 
-// Harness builds one fresh instance of the system under test: a new
-// environment, one body per process, and a predicate checked on the
-// resulting execution. It is invoked once per explored interleaving, so all
-// shared state must be created inside it. With Workers > 1, process bodies
-// from different executions run concurrently, but harness construction and
-// check calls are serialized by the engine, so a harness may safely
-// accumulate into shared state (outcome histograms and the like) from its
+// Harness builds one instance of the system under test: a new environment,
+// one body per process, a predicate checked on the resulting execution, and
+// an optional reset path.
+//
+// When reset is non-nil the engine treats the instance as reusable: it
+// constructs one instance per worker, runs its bodies through a pooled
+// sched.Executor, and between executions calls env.Reset() followed by
+// reset(). The harness must then (a) register every shared object the
+// bodies touch with env.Register — env.Reset only restores registered
+// objects — and (b) restore all harness-local state (recorders, outcome
+// slices) in reset, so that each execution starts from the construction
+// state. Under Run, a harness that misses state is detected by the
+// engine's nondeterminism check (a recorded transition fails to replay)
+// rather than silently corrupting the walk; Sample replays nothing and has
+// no such net, so its pooled mode relies on the reset being complete.
+// reset must touch only instance-local state; the engine calls it under
+// the same lock as check.
+//
+// When reset is nil the engine falls back to reconstructing the harness for
+// every explored interleaving (the pre-pooling behaviour), so all shared
+// state must be created inside the closure.
+//
+// With Workers > 1, process bodies from different executions run
+// concurrently, but harness construction and check calls are serialized by
+// the engine, so a harness may safely accumulate into shared state captured
+// outside the closure (outcome histograms and the like) from its
 // constructor and its check function.
-type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error)
+type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error, reset func())
 
 // Config bounds an exploration.
 type Config struct {
@@ -107,6 +137,19 @@ type Config struct {
 	// failing harnesses, but which failure is reported becomes
 	// timing-dependent when Workers > 1.
 	FailFast bool
+	// CacheStates enables state-fingerprint caching: at every branching
+	// decision point the engine keys the state as (Env.Fingerprint(),
+	// per-process granted-step counts, crashed set, sleep set) and abandons
+	// the run — subtree included — when the key was already claimed by an
+	// earlier visit, composing with (and pruning beyond) sleep sets. It
+	// requires the harness to register every shared object (otherwise
+	// Fingerprint reports not-ok and the cache is silently inert) and is
+	// subject to the soundness caveats recorded in DESIGN.md: hash
+	// collisions, and process-local state not determined by (step count,
+	// shared memory). Executions counts under caching are deterministic at
+	// Workers = 1; with more workers, which of two equal-state tree nodes
+	// is claimed first is timing-dependent.
+	CacheStates bool
 	// Resume seeds the work queue from a previous run's checkpoint instead
 	// of the tree root. The harness and the rest of the config must match
 	// the run that produced it. Counters restart from zero.
@@ -122,6 +165,11 @@ type Report struct {
 	// branches never explored plus in-flight executions abandoned once
 	// every remaining branch was known to be covered elsewhere.
 	Pruned int
+	// CacheHits counts executions abandoned by state-fingerprint caching:
+	// runs that reached a decision point whose state key was already
+	// claimed by another part of the walk. Zero unless Config.CacheStates
+	// is set and the harness registers its shared objects.
+	CacheHits int
 	// Partial reports whether the walk was cut off by MaxExecutions,
 	// MaxDepth or TimeBudget.
 	Partial bool
@@ -206,16 +254,55 @@ type engine struct {
 	stopping bool
 	deadline time.Time
 
-	// checkMu serializes harness construction and check calls (so harness
-	// closures may share state across executions) and guards the result
-	// fields below.
+	// checkMu serializes harness construction, check and reset calls (so
+	// harness closures may share state across executions) and guards the
+	// result fields below.
 	checkMu     sync.Mutex
 	executions  int
 	pruned      int
+	cacheHits   int
 	truncated   bool
 	maxDepth    int
 	best        *failure
 	internalErr error
+
+	// cacheMu guards cache, the set of state keys claimed by decision
+	// points of the walk (see Config.CacheStates).
+	cacheMu sync.Mutex
+	cache   map[[2]uint64]struct{}
+}
+
+// instance is one worker's constructed harness. With a reset path the
+// worker keeps it for its whole lifetime and reuses it through the pooled
+// executor; without one, a fresh instance is built per work item and exec
+// is nil.
+type instance struct {
+	env    *memory.Env
+	bodies []func(p *memory.Proc)
+	check  func(res *sched.Result) error
+	reset  func()
+	exec   *sched.Executor
+}
+
+// newInstance constructs a harness instance (serialized with checks, so
+// harness closures may share state) and, if the harness provides a reset
+// path, its pooled executor.
+func (e *engine) newInstance() *instance {
+	e.checkMu.Lock()
+	env, bodies, check, reset := e.h()
+	e.checkMu.Unlock()
+	inst := &instance{env: env, bodies: bodies, check: check, reset: reset}
+	if reset != nil {
+		inst.exec = sched.NewExecutor(env, bodies)
+	}
+	return inst
+}
+
+// close releases the instance's pooled executor, if any.
+func (inst *instance) close() {
+	if inst != nil && inst.exec != nil {
+		inst.exec.Close()
+	}
 }
 
 // Run walks the interleaving tree of h under cfg. It returns a CheckError
@@ -227,6 +314,9 @@ func Run(h Harness, cfg Config) (Report, error) {
 	e.cond = sync.NewCond(&e.mu)
 	if cfg.TimeBudget > 0 {
 		e.deadline = time.Now().Add(cfg.TimeBudget)
+	}
+	if cfg.CacheStates {
+		e.cache = make(map[[2]uint64]struct{})
 	}
 	if cfg.Resume != nil {
 		e.queue = append(e.queue, cfg.Resume.Items...)
@@ -243,12 +333,20 @@ func Run(h Harness, cfg Config) (Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var inst *instance
+			defer func() { inst.close() }()
 			for {
 				item, ok := e.next()
 				if !ok {
 					return
 				}
-				e.runItem(item)
+				if inst == nil || inst.exec == nil {
+					// Pooled instances persist for the worker's lifetime;
+					// reconstruction-mode harnesses get a fresh instance
+					// per item (the pre-pooling semantics).
+					inst = e.newInstance()
+				}
+				e.runItem(inst, item)
 				e.done()
 			}
 		}()
@@ -258,6 +356,7 @@ func Run(h Harness, cfg Config) (Report, error) {
 	rep := Report{
 		Executions: e.executions,
 		Pruned:     e.pruned,
+		CacheHits:  e.cacheHits,
 		MaxDepth:   e.maxDepth,
 		Partial:    len(e.leftover) > 0 || e.truncated,
 	}
@@ -335,17 +434,27 @@ func (e *engine) enqueue(item WorkItem) {
 }
 
 // runItem executes one frontier prefix to a leaf, enqueuing the sibling
-// branches it passes on the way down.
-func (e *engine) runItem(item WorkItem) {
-	e.checkMu.Lock()
-	env, bodies, check := e.h()
-	e.checkMu.Unlock()
-
-	ch := &itemChooser{e: e, item: item}
-	res := sched.RunChooser(env, ch, bodies)
+// branches it passes on the way down. With a pooled instance the bodies
+// re-enter the persistent executor and the instance is reset afterwards;
+// otherwise the freshly constructed instance runs through the
+// per-execution spawn path.
+func (e *engine) runItem(inst *instance, item WorkItem) {
+	ch := &itemChooser{e: e, item: item, env: inst.env, steps: make([]int, inst.env.N())}
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.Run(ch)
+	} else {
+		res = sched.RunChooser(inst.env, ch, inst.bodies)
+	}
 
 	e.checkMu.Lock()
 	defer e.checkMu.Unlock()
+	if inst.exec != nil {
+		defer func() {
+			inst.env.Reset()
+			inst.reset()
+		}()
+	}
 	if ch.bad != nil {
 		if e.internalErr == nil {
 			e.internalErr = ch.bad
@@ -357,17 +466,25 @@ func (e *engine) runItem(item WorkItem) {
 	}
 	e.pruned += ch.pruned
 	if ch.aborted {
-		// Every continuation from some point on was asleep: the leaf this
-		// item would have reached is a reordering of leaves reached through
-		// sibling branches. The run was abandoned, not checked.
-		e.pruned++
+		if ch.cacheHit {
+			// The decision point's state key was already claimed: the leaf
+			// this item would have reached (and its whole subtree) repeats
+			// an equal-state node explored elsewhere.
+			e.cacheHits++
+		} else {
+			// Every continuation from some point on was asleep: the leaf
+			// this item would have reached is a reordering of leaves
+			// reached through sibling branches. The run was abandoned, not
+			// checked.
+			e.pruned++
+		}
 		return
 	}
 	e.executions++
 	if d := len(res.Schedule); d > e.maxDepth {
 		e.maxDepth = d
 	}
-	if err := check(res); err != nil {
+	if err := inst.check(res); err != nil {
 		f := &failure{path: ch.path, schedule: res.Schedule, err: err}
 		if e.best == nil || lexLess(f.path, e.best.path) {
 			e.best = f
@@ -378,6 +495,19 @@ func (e *engine) runItem(item WorkItem) {
 			e.mu.Unlock()
 		}
 	}
+}
+
+// claimState records a decision-point state key, reporting whether this
+// call was the first to claim it. The first claimant's item (and the
+// sibling items it spawns) explore the subtree; later visitors abandon.
+func (e *engine) claimState(key [2]uint64) bool {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if _, seen := e.cache[key]; seen {
+		return false
+	}
+	e.cache[key] = struct{}{}
+	return true
 }
 
 // candidate is one branch at a decision point: the transition plus the
@@ -407,13 +537,59 @@ func independent(a, b candidate) bool {
 type itemChooser struct {
 	e    *engine
 	item WorkItem
+	env  *memory.Env
 
 	sleep    []Transition   // sleep set at the current decision point
 	path     []int          // canonical branch index taken at every step
 	schedule []sched.Choice // choices taken so far (prefix for siblings)
+	steps    []int          // per-process granted-step counts so far
+	crashed  uint64         // bitmask of processes crashed so far
 	pruned   int
 	bad      error
-	aborted  bool // all branches asleep: drain the run without checking
+	aborted  bool // all branches asleep or state cached: drain the run
+	cacheHit bool // aborted because the state key was already claimed
+
+	cands []candidate // per-decision scratch, reused across steps
+	woken []candidate // per-decision scratch for the sleep-filtered set
+}
+
+// note records a taken choice in the per-process progress counters that,
+// together with the memory fingerprint, identify the reached state.
+func (c *itemChooser) note(t Transition) {
+	if t.Crash {
+		c.crashed |= 1 << uint(t.Proc)
+	} else {
+		c.steps[t.Proc]++
+	}
+}
+
+// stateKey combines the memory fingerprint with the per-process progress
+// counters, the crashed set, and the (order-normalized) sleep set. Two
+// decision points with equal keys have — up to the caveats in DESIGN.md —
+// identical futures and identical exploration obligations.
+func (c *itemChooser) stateKey(fp uint64) [2]uint64 {
+	h := memory.NewStateHash()
+	for _, s := range c.steps {
+		h.Add(uint64(s))
+	}
+	h.Add(c.crashed)
+	if len(c.sleep) > 0 {
+		sl := append([]Transition(nil), c.sleep...)
+		sort.Slice(sl, func(i, j int) bool {
+			if sl[i].Proc != sl[j].Proc {
+				return sl[i].Proc < sl[j].Proc
+			}
+			return !sl[i].Crash && sl[j].Crash
+		})
+		for _, t := range sl {
+			w := uint64(t.Proc) << 1
+			if t.Crash {
+				w |= 1
+			}
+			h.Add(w + 1) // +1 keeps the empty set distinct from {proc 0}
+		}
+	}
+	return [2]uint64{fp, h.Sum()}
 }
 
 func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
@@ -422,29 +598,20 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 		return sched.Choice{Proc: parked[0].ID, Crash: true}
 	}
 
-	// Candidate branches in canonical order: steps by process id, then
-	// (with Crashes) crashes by process id.
-	cands := make([]candidate, 0, 2*len(parked))
-	for _, ps := range parked {
-		cands = append(cands, candidate{t: Transition{Proc: ps.ID}, acc: ps.Next})
-	}
-	if c.e.cfg.Crashes {
-		for _, ps := range parked {
-			cands = append(cands, candidate{t: Transition{Proc: ps.ID, Crash: true}, acc: ps.Next})
-		}
-	}
-
 	if step < len(c.item.Prefix) {
-		// Replay zone: ancestors already expanded these decision points.
+		// Replay zone: ancestors already expanded these decision points, so
+		// the canonical branch index is computed directly from the sorted
+		// parked set (steps by process id, then crashes by process id)
+		// without materializing the candidate list.
 		want := c.item.Prefix[step]
 		idx := -1
-		for i, cand := range cands {
-			if cand.t == want {
+		for i, ps := range parked {
+			if ps.ID == want.Proc {
 				idx = i
 				break
 			}
 		}
-		if idx < 0 {
+		if idx < 0 || (want.Crash && !c.e.cfg.Crashes) {
 			// The tree is deterministic, so a recorded transition is always
 			// re-enabled on replay. Seeing otherwise means the harness is
 			// nondeterministic (e.g. shared state escaping the closure).
@@ -452,7 +619,11 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 			c.aborted = true
 			return sched.Choice{Proc: parked[0].ID, Crash: true}
 		}
+		if want.Crash {
+			idx += len(parked)
+		}
 		c.path = append(c.path, idx)
+		c.note(want)
 		choice := sched.Choice{Proc: want.Proc, Crash: want.Crash}
 		c.schedule = append(c.schedule, choice)
 		if step == len(c.item.Prefix)-1 {
@@ -461,10 +632,23 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 		return choice
 	}
 
-	// Enumeration zone.
+	// Enumeration zone: candidate branches in canonical order — steps by
+	// process id, then (with Crashes) crashes by process id — built into a
+	// buffer reused across decisions.
+	cands := c.cands[:0]
+	for _, ps := range parked {
+		cands = append(cands, candidate{t: Transition{Proc: ps.ID}, acc: ps.Next})
+	}
+	if c.e.cfg.Crashes {
+		for _, ps := range parked {
+			cands = append(cands, candidate{t: Transition{Proc: ps.ID, Crash: true}, acc: ps.Next})
+		}
+	}
+	c.cands = cands
+
 	awake := cands
 	if c.e.cfg.Prune && len(c.sleep) > 0 {
-		awake = awake[:0:0]
+		awake = c.woken[:0]
 		for _, cand := range cands {
 			asleep := false
 			for _, s := range c.sleep {
@@ -477,10 +661,26 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 				awake = append(awake, cand)
 			}
 		}
+		c.woken = awake
 		c.pruned += len(cands) - len(awake)
 		if len(awake) == 0 {
 			c.aborted = true
 			return sched.Choice{Proc: parked[0].ID, Crash: true}
+		}
+	}
+
+	if c.e.cfg.CacheStates && len(awake) > 1 {
+		// State caching claims branching decision points by their state
+		// key; a later arrival at an equal-state node abandons its run
+		// (and thereby the whole duplicate subtree: the siblings it would
+		// have enqueued are exactly the claimant's). Non-branching points
+		// are skipped — their chains are claimed at the next branch.
+		if fp, ok := c.env.Fingerprint(); ok {
+			if !c.e.claimState(c.stateKey(fp)) {
+				c.cacheHit = true
+				c.aborted = true
+				return sched.Choice{Proc: parked[0].ID, Crash: true}
+			}
 		}
 	}
 
@@ -545,6 +745,7 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 			break
 		}
 	}
+	c.note(chosen.t)
 	choice := sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
 	c.schedule = append(c.schedule, choice)
 	return choice
@@ -568,19 +769,66 @@ func (e *engine) noteTruncated() {
 	e.checkMu.Unlock()
 }
 
+// NoReset strips a harness's reset path, forcing the engine onto the
+// per-execution reconstruct-and-spawn path for every interleaving. It
+// exists for benchmarking the pooled executor against that baseline, and
+// as an escape hatch for a harness whose reset turns out to be
+// incomplete.
+func NoReset(h Harness) Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env, bodies, check, _ := h()
+		return env, bodies, check, nil
+	}
+}
+
+// SampleCrashProb is the per-decision crash probability used by Sample's
+// crash mode: high enough that most sampled runs exercise crash recovery,
+// low enough that long, mostly-live interleavings stay in the sample (a
+// uniform choice over the step-and-crash branch space Run explores would
+// crash at half of all decisions).
+const SampleCrashProb = 0.25
+
 // Sample runs k seeded-random interleavings of h (seeds seed..seed+k-1) and
 // returns after the first check failure. It is the fallback for process
-// counts where exhaustive exploration is infeasible.
-func Sample(h Harness, k int, seed int64) (Report, error) {
+// counts where exhaustive exploration is infeasible. With crashes set the
+// schedules include seeded crash injection (parity with Run's Crashes
+// branches; see SampleCrashProb for the sampling bias). Harnesses providing
+// a reset path are constructed once and run through a pooled executor, like
+// Run's pooled mode.
+func Sample(h Harness, k int, seed int64, crashes bool) (Report, error) {
 	var rep Report
+	env, bodies, check, reset := h()
+	var x *sched.Executor
+	if reset != nil {
+		x = sched.NewExecutor(env, bodies)
+		defer x.Close()
+	}
 	for i := 0; i < k; i++ {
-		env, bodies, check := h()
-		res := sched.Run(env, sched.NewRandom(seed+int64(i)), bodies)
+		if i > 0 && x == nil {
+			env, bodies, check, _ = h()
+		}
+		var strat sched.Strategy
+		if crashes {
+			strat = sched.NewRandomCrash(seed+int64(i), SampleCrashProb)
+		} else {
+			strat = sched.NewRandom(seed + int64(i))
+		}
+		var res *sched.Result
+		if x != nil {
+			res = x.RunStrategy(strat)
+		} else {
+			res = sched.Run(env, strat, bodies)
+		}
 		rep.Executions++
 		if d := len(res.Schedule); d > rep.MaxDepth {
 			rep.MaxDepth = d
 		}
-		if err := check(res); err != nil {
+		err := check(res)
+		if x != nil {
+			env.Reset()
+			reset()
+		}
+		if err != nil {
 			return rep, &CheckError{Schedule: res.Schedule, Err: err}
 		}
 	}

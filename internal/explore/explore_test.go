@@ -12,9 +12,10 @@ import (
 // lostUpdateHarness: two processes perform a non-atomic increment. The
 // final value is 1 or 2 depending on interleaving; record outcomes.
 func lostUpdateHarness(outcomes map[int64]int) Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		r := memory.NewIntReg(0)
+		env.Register(r)
 		inc := func(p *memory.Proc) {
 			v := r.Read(p)
 			r.Write(p, v+1)
@@ -23,7 +24,7 @@ func lostUpdateHarness(outcomes map[int64]int) Harness {
 			outcomes[r.Read(env.Proc(0))]++
 			return nil
 		}
-		return env, []func(p *memory.Proc){inc, inc}, check
+		return env, []func(p *memory.Proc){inc, inc}, check, func() {}
 	}
 }
 
@@ -52,9 +53,10 @@ func TestExploreFindsAllOutcomes(t *testing.T) {
 }
 
 func TestExploreReportsFailingSchedule(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		r := memory.NewIntReg(0)
+		env.Register(r)
 		inc := func(p *memory.Proc) {
 			v := r.Read(p)
 			r.Write(p, v+1)
@@ -65,7 +67,7 @@ func TestExploreReportsFailingSchedule(t *testing.T) {
 			}
 			return nil
 		}
-		return env, []func(p *memory.Proc){inc, inc}, check
+		return env, []func(p *memory.Proc){inc, inc}, check, func() {}
 	}
 	_, err := Run(h, Config{})
 	var ce *CheckError
@@ -109,9 +111,10 @@ func TestExploreWithCrashes(t *testing.T) {
 		finished bool
 	}
 	var seen []outcome
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(1)
 		r := memory.NewIntReg(0)
+		env.Register(r)
 		body := func(p *memory.Proc) {
 			r.Read(p)
 			r.Write(p, 1)
@@ -123,7 +126,7 @@ func TestExploreWithCrashes(t *testing.T) {
 			}
 			return nil
 		}
-		return env, []func(p *memory.Proc){body}, check
+		return env, []func(p *memory.Proc){body}, check, func() {}
 	}
 	rep, err := Run(h, Config{Crashes: true})
 	if err != nil {
@@ -153,15 +156,16 @@ func TestExploreCountsMatchCombinatorics(t *testing.T) {
 		return c
 	}
 	for k := 1; k <= 4; k++ {
-		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 			env := memory.NewEnv(2)
 			r := memory.NewIntReg(0)
+			env.Register(r)
 			body := func(p *memory.Proc) {
 				for i := 0; i < k; i++ {
 					r.Read(p)
 				}
 			}
-			return env, []func(p *memory.Proc){body, body}, func(*sched.Result) error { return nil }
+			return env, []func(p *memory.Proc){body, body}, func(*sched.Result) error { return nil }, func() {}
 		}
 		rep, err := Run(h, Config{})
 		if err != nil {
@@ -175,7 +179,7 @@ func TestExploreCountsMatchCombinatorics(t *testing.T) {
 
 func TestSample(t *testing.T) {
 	outcomes := map[int64]int{}
-	rep, err := Sample(lostUpdateHarness(outcomes), 20, 1)
+	rep, err := Sample(lostUpdateHarness(outcomes), 20, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,9 +192,10 @@ func TestSample(t *testing.T) {
 }
 
 func TestSampleReportsFailure(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		r := memory.NewIntReg(0)
+		env.Register(r)
 		inc := func(p *memory.Proc) {
 			v := r.Read(p)
 			r.Write(p, v+1)
@@ -201,9 +206,9 @@ func TestSampleReportsFailure(t *testing.T) {
 			}
 			return nil
 		}
-		return env, []func(p *memory.Proc){inc, inc}, check
+		return env, []func(p *memory.Proc){inc, inc}, check, func() {}
 	}
-	_, err := Sample(h, 50, 3)
+	_, err := Sample(h, 50, 3, false)
 	var ce *CheckError
 	if !errors.As(err, &ce) {
 		t.Fatalf("expected CheckError from sampling, got %v", err)

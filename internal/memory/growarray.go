@@ -37,6 +37,22 @@ func NewGrowArray[T any](mk func(i int) *T) *GrowArray[T] {
 // Cap returns the maximum number of addressable slots.
 func (a *GrowArray[T]) Cap() int { return dirSize * chunkSize }
 
+// ResetState implements Resettable by discarding every created slot, so the
+// next access re-creates it through mk — exactly the state of a freshly
+// constructed array. The factory must therefore be deterministic and must
+// not capture per-execution state for resets to reproduce construction.
+// Slot identities (the reserved id block) are retained.
+func (a *GrowArray[T]) ResetState() {
+	for i := range a.dir {
+		a.dir[i].Store(nil)
+	}
+}
+
+// HashState implements Fingerprinter: slot contents are arbitrary values
+// created at schedule-dependent times, so the array reports itself
+// unfingerprintable.
+func (a *GrowArray[T]) HashState(*StateHash) bool { return false }
+
 // slotObj returns the scheduling identity of slot i. Each array lazily
 // reserves a contiguous block of Cap() identities from the global counter,
 // so accesses to disjoint slots are independent for the exploration engine

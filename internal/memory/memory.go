@@ -111,11 +111,61 @@ type Gate interface {
 	Enter(p *Proc, a Access)
 }
 
-// Env models the shared-memory system: a fixed set of n processes and
-// aggregate step accounting. An Env is not itself a memory; base objects are
-// created independently and shared by closure.
+// Resettable is implemented by base objects (and by composites built from
+// them) that can restore themselves to their construction-time state.
+// Registering a Resettable with an Env makes Env.Reset restore it, which is
+// what lets a pooled executor reuse one object graph across many explored
+// executions instead of reconstructing it per execution.
+type Resettable interface {
+	// ResetState restores the object to the state it had when constructed.
+	// It must not be called concurrently with processes taking steps.
+	ResetState()
+}
+
+// Fingerprinter is implemented by objects whose current shared-memory state
+// can be folded exactly into a hash. HashState reports false when the state
+// cannot be captured faithfully (pointer-valued registers, lazily populated
+// arrays); one false makes the whole environment unfingerprintable, which
+// disables state caching rather than risking unsound pruning.
+type Fingerprinter interface {
+	HashState(h *StateHash) bool
+}
+
+// StateHash accumulates an order-sensitive FNV-1a hash over 64-bit state
+// words. Registered objects are folded in registration order, which is
+// deterministic (harness construction is single-threaded straight-line
+// code), so equal states of equally constructed environments hash equally.
+type StateHash struct{ sum uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewStateHash returns an empty accumulator.
+func NewStateHash() *StateHash { return &StateHash{sum: fnvOffset64} }
+
+// Add folds one state word into the hash.
+func (h *StateHash) Add(w uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= w & 0xff
+		h.sum *= fnvPrime64
+		w >>= 8
+	}
+}
+
+// Sum returns the current hash value.
+func (h *StateHash) Sum() uint64 { return h.sum }
+
+// Env models the shared-memory system: a fixed set of n processes,
+// aggregate step accounting, and a registry of the shared objects the
+// processes communicate through. An Env is not itself a memory; base
+// objects are created independently and shared by closure, and harnesses
+// that want Reset/Fingerprint support register them explicitly.
 type Env struct {
-	procs []*Proc
+	procs      []*Proc
+	objs       []Resettable
+	unhashable bool
 }
 
 // NewEnv creates an environment with n processes, ids 0..n-1.
@@ -170,6 +220,61 @@ func (e *Env) SetGate(g Gate) {
 	for _, p := range e.procs {
 		p.SetGate(g)
 	}
+}
+
+// Register adds shared objects to the environment's registry. Registration
+// order is the canonical order used by Fingerprint, so harnesses must
+// register deterministically (plain straight-line construction code does).
+// Register every shared object the process bodies touch: Reset only
+// restores registered objects, and Fingerprint is sound only if the
+// registered objects cover the entire shared state. Must not be called
+// concurrently with processes taking steps.
+func (e *Env) Register(objs ...Resettable) {
+	for _, o := range objs {
+		if o == nil {
+			panic("memory: Register of nil object")
+		}
+		e.objs = append(e.objs, o)
+		if _, ok := o.(Fingerprinter); !ok {
+			e.unhashable = true
+		}
+	}
+}
+
+// Registered returns the number of registered objects.
+func (e *Env) Registered() int { return len(e.objs) }
+
+// Reset restores every registered object to its construction-time state and
+// zeroes all per-process accounting and crash flags, so a fresh execution
+// can run over the same environment. It must not be called while any
+// process is taking steps.
+func (e *Env) Reset() {
+	for _, o := range e.objs {
+		o.ResetState()
+	}
+	for _, p := range e.procs {
+		p.ResetCounters()
+		p.crashed.Store(false)
+	}
+}
+
+// Fingerprint hashes the current values of all registered objects in
+// registration order. It reports ok = false — meaning "do not use this for
+// pruning" — when nothing is registered (every state would alias) or when
+// any registered object cannot capture its state exactly. It must only be
+// called while no process is mid-access (e.g. at a scheduler decision
+// point, when every process is parked).
+func (e *Env) Fingerprint() (uint64, bool) {
+	if e.unhashable || len(e.objs) == 0 {
+		return 0, false
+	}
+	h := NewStateHash()
+	for _, o := range e.objs {
+		if !o.(Fingerprinter).HashState(h) {
+			return 0, false
+		}
+	}
+	return h.Sum(), true
 }
 
 // Proc is the per-process handle threaded through every shared-memory

@@ -476,3 +476,145 @@ func TestGetOrPutBoundsPanic(t *testing.T) {
 	}()
 	a.GetOrPut(p, -1, &v)
 }
+
+func TestEnvResetRestoresRegisteredState(t *testing.T) {
+	env := NewEnv(2)
+	r := NewIntReg(7)
+	b := NewBoolReg(false)
+	c := NewCASReg(1)
+	f := NewFetchInc(3)
+	tas := NewHardwareTAS()
+	arr := NewRegArray(2, 5)
+	env.Register(r, b, c, f, tas, arr)
+	if env.Registered() != 6 {
+		t.Fatalf("registered = %d", env.Registered())
+	}
+
+	p := env.Proc(0)
+	r.Write(p, 99)
+	b.Write(p, true)
+	c.CompareAndSwap(p, 1, 42)
+	f.Inc(p)
+	tas.TestAndSet(p)
+	arr.Write(p, 1, -1)
+	env.Proc(1).MarkCrashed()
+
+	env.Reset()
+	if got := r.Read(p); got != 7 {
+		t.Fatalf("IntReg after reset = %d, want 7", got)
+	}
+	if b.Read(p) {
+		t.Fatal("BoolReg after reset should be false")
+	}
+	if got := c.Read(p); got != 1 {
+		t.Fatalf("CASReg after reset = %d, want 1", got)
+	}
+	if got := f.Read(p); got != 3 {
+		t.Fatalf("FetchInc after reset = %d, want 3", got)
+	}
+	if got := tas.Read(p); got != 0 {
+		t.Fatalf("HardwareTAS after reset = %d, want 0", got)
+	}
+	if got := arr.Read(p, 1); got != 5 {
+		t.Fatalf("RegArray[1] after reset = %d, want 5", got)
+	}
+	if env.Proc(1).Crashed() {
+		t.Fatal("crash flag should clear on reset")
+	}
+	if env.TotalSteps() != 6 {
+		// The six post-reset reads above are the only accounted steps.
+		t.Fatalf("steps after reset + 6 reads = %d", env.TotalSteps())
+	}
+}
+
+func TestEnvResetPointerObjects(t *testing.T) {
+	env := NewEnv(1)
+	p := env.Proc(0)
+	init := int64(11)
+	reg := NewReg[int64](&init)
+	cell := NewCASCell[int64]()
+	ga := NewGrowArray[int64](func(i int) *int64 { v := int64(i * 10); return &v })
+	env.Register(reg, cell, ga)
+
+	v := int64(5)
+	reg.Write(p, &v)
+	cell.PutIfEmpty(p, &v)
+	if got := ga.Get(p, 3); *got != 30 {
+		t.Fatalf("slot 3 = %d", *got)
+	}
+
+	env.Reset()
+	if got := reg.Read(p); got != &init {
+		t.Fatal("Reg should revert to its initial pointer")
+	}
+	if cell.Read(p) != nil {
+		t.Fatal("CASCell should revert to empty")
+	}
+	if got := ga.Peek(p, 3); got != nil {
+		t.Fatal("GrowArray slots should be discarded on reset")
+	}
+	if got := ga.Get(p, 3); *got != 30 {
+		t.Fatalf("re-created slot 3 = %d", *got)
+	}
+}
+
+func TestFingerprintDistinguishesStatesAndIsStable(t *testing.T) {
+	build := func() (*Env, *IntReg, *BoolReg) {
+		env := NewEnv(1)
+		r := NewIntReg(0)
+		b := NewBoolReg(false)
+		env.Register(r, b)
+		return env, r, b
+	}
+	env1, r1, b1 := build()
+	env2, r2, b2 := build()
+
+	fp1, ok := env1.Fingerprint()
+	if !ok {
+		t.Fatal("register-only env must be fingerprintable")
+	}
+	fp2, _ := env2.Fingerprint()
+	if fp1 != fp2 {
+		t.Fatal("equally constructed envs must hash equally")
+	}
+
+	p1, p2 := env1.Proc(0), env2.Proc(0)
+	r1.Write(p1, 9)
+	if fp, _ := env1.Fingerprint(); fp == fp2 {
+		t.Fatal("fingerprint must change with register state")
+	}
+	r2.Write(p2, 9)
+	b1.Write(p1, true)
+	b2.Write(p2, true)
+	g1, _ := env1.Fingerprint()
+	g2, _ := env2.Fingerprint()
+	if g1 != g2 {
+		t.Fatal("equal states must hash equally")
+	}
+
+	env1.Reset()
+	if fp, _ := env1.Fingerprint(); fp != fp1 {
+		t.Fatal("reset must restore the initial fingerprint")
+	}
+}
+
+func TestFingerprintRefusals(t *testing.T) {
+	env := NewEnv(1)
+	if _, ok := env.Fingerprint(); ok {
+		t.Fatal("an env with no registered objects must refuse to fingerprint")
+	}
+	env.Register(NewIntReg(0))
+	if _, ok := env.Fingerprint(); !ok {
+		t.Fatal("register-only env must fingerprint")
+	}
+	env.Register(NewCASCell[int64]())
+	if _, ok := env.Fingerprint(); ok {
+		t.Fatal("a pointer-valued cell must make the env unfingerprintable")
+	}
+
+	env2 := NewEnv(1)
+	env2.Register(NewGrowArray[int64](func(int) *int64 { return new(int64) }))
+	if _, ok := env2.Fingerprint(); ok {
+		t.Fatal("a grow array must make the env unfingerprintable")
+	}
+}

@@ -6,15 +6,26 @@ import "sync/atomic"
 // The paper's algorithms use registers holding process ids (with -1 encoding
 // the initial value ⊥), object values, and counters read as registers.
 type IntReg struct {
-	v   atomic.Int64
-	oid objID
+	v    atomic.Int64
+	init int64
+	oid  objID
 }
 
 // NewIntReg returns a register initialized to init.
 func NewIntReg(init int64) *IntReg {
-	r := &IntReg{}
+	r := &IntReg{init: init}
 	r.v.Store(init)
 	return r
+}
+
+// ResetState implements Resettable: the register reverts to its initial
+// value (zero for zero-value registers).
+func (r *IntReg) ResetState() { r.v.Store(r.init) }
+
+// HashState implements Fingerprinter.
+func (r *IntReg) HashState(h *StateHash) bool {
+	h.Add(uint64(r.v.Load()))
+	return true
 }
 
 // Read atomically reads the register, charging one step to p.
@@ -32,15 +43,29 @@ func (r *IntReg) Write(p *Proc, v int64) {
 // BoolReg is an atomic boolean register (initially false unless constructed
 // otherwise).
 type BoolReg struct {
-	v   atomic.Bool
-	oid objID
+	v    atomic.Bool
+	init bool
+	oid  objID
 }
 
 // NewBoolReg returns a register initialized to init.
 func NewBoolReg(init bool) *BoolReg {
-	r := &BoolReg{}
+	r := &BoolReg{init: init}
 	r.v.Store(init)
 	return r
+}
+
+// ResetState implements Resettable.
+func (r *BoolReg) ResetState() { r.v.Store(r.init) }
+
+// HashState implements Fingerprinter.
+func (r *BoolReg) HashState(h *StateHash) bool {
+	var w uint64
+	if r.v.Load() {
+		w = 1
+	}
+	h.Add(w)
+	return true
 }
 
 // Read atomically reads the register, charging one step to p.
@@ -64,16 +89,25 @@ func (r *BoolReg) Write(p *Proc, v bool) {
 // register stores the pointer, so mutating the pointee would break
 // register-like semantics.
 type Reg[T any] struct {
-	v   atomic.Pointer[T]
-	oid objID
+	v    atomic.Pointer[T]
+	init *T
+	oid  objID
 }
 
 // NewReg returns a register initialized to init (nil means ⊥).
 func NewReg[T any](init *T) *Reg[T] {
-	r := &Reg[T]{}
+	r := &Reg[T]{init: init}
 	r.v.Store(init)
 	return r
 }
+
+// ResetState implements Resettable.
+func (r *Reg[T]) ResetState() { r.v.Store(r.init) }
+
+// HashState implements Fingerprinter: pointer-valued contents cannot be
+// hashed faithfully (two distinct pointers may or may not denote equal
+// values), so the register reports itself unfingerprintable.
+func (r *Reg[T]) HashState(*StateHash) bool { return false }
 
 // Read atomically reads the register, charging one step to p. A nil result
 // is the initial value ⊥.
@@ -99,9 +133,25 @@ type RegArray struct {
 func NewRegArray(n int, init int64) *RegArray {
 	a := &RegArray{regs: make([]IntReg, n)}
 	for i := range a.regs {
+		a.regs[i].init = init
 		a.regs[i].v.Store(init)
 	}
 	return a
+}
+
+// ResetState implements Resettable.
+func (a *RegArray) ResetState() {
+	for i := range a.regs {
+		a.regs[i].ResetState()
+	}
+}
+
+// HashState implements Fingerprinter.
+func (a *RegArray) HashState(h *StateHash) bool {
+	for i := range a.regs {
+		a.regs[i].HashState(h)
+	}
+	return true
 }
 
 // Len returns the number of registers in the array.

@@ -8,15 +8,25 @@ import "sync/atomic"
 // deliberately avoids it (Section 1: "only uses objects with consensus
 // number at most two").
 type CASReg struct {
-	v   atomic.Int64
-	oid objID
+	v    atomic.Int64
+	init int64
+	oid  objID
 }
 
 // NewCASReg returns a CAS register initialized to init.
 func NewCASReg(init int64) *CASReg {
-	r := &CASReg{}
+	r := &CASReg{init: init}
 	r.v.Store(init)
 	return r
+}
+
+// ResetState implements Resettable.
+func (r *CASReg) ResetState() { r.v.Store(r.init) }
+
+// HashState implements Fingerprinter.
+func (r *CASReg) HashState(h *StateHash) bool {
+	h.Add(uint64(r.v.Load()))
+	return true
 }
 
 // Read atomically reads the register, charging one step to p.
@@ -48,6 +58,13 @@ type CASCell[T any] struct {
 
 // NewCASCell returns an empty cell (⊥).
 func NewCASCell[T any]() *CASCell[T] { return &CASCell[T]{} }
+
+// ResetState implements Resettable: the cell reverts to empty.
+func (c *CASCell[T]) ResetState() { c.v.Store(nil) }
+
+// HashState implements Fingerprinter: pointer-valued contents are not
+// faithfully hashable, so the cell reports itself unfingerprintable.
+func (c *CASCell[T]) HashState(*StateHash) bool { return false }
 
 // Read atomically reads the cell, charging one step to p. Nil means the
 // cell is still empty.
@@ -81,6 +98,15 @@ type HardwareTAS struct {
 // NewHardwareTAS returns a hardware test-and-set object in state 0.
 func NewHardwareTAS() *HardwareTAS { return &HardwareTAS{} }
 
+// ResetState implements Resettable (equivalent to an unaccounted Reset).
+func (t *HardwareTAS) ResetState() { t.v.Store(0) }
+
+// HashState implements Fingerprinter.
+func (t *HardwareTAS) HashState(h *StateHash) bool {
+	h.Add(uint64(t.v.Load()))
+	return true
+}
+
 // TestAndSet atomically swaps 1 into the object and returns the previous
 // value (0 for the unique winner, 1 for losers), charging one step and one
 // RMW to p.
@@ -105,15 +131,25 @@ func (t *HardwareTAS) Reset(p *Proc) {
 // the paper's counter C used to assign timestamps to requests in the
 // universal construction and the Count register of Algorithm 2.
 type FetchInc struct {
-	v   atomic.Int64
-	oid objID
+	v    atomic.Int64
+	init int64
+	oid  objID
 }
 
 // NewFetchInc returns a counter initialized to init.
 func NewFetchInc(init int64) *FetchInc {
-	c := &FetchInc{}
+	c := &FetchInc{init: init}
 	c.v.Store(init)
 	return c
+}
+
+// ResetState implements Resettable.
+func (c *FetchInc) ResetState() { c.v.Store(c.init) }
+
+// HashState implements Fingerprinter.
+func (c *FetchInc) HashState(h *StateHash) bool {
+	h.Add(uint64(c.v.Load()))
+	return true
 }
 
 // Read atomically reads the counter, charging one step to p.

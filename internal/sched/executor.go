@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/memory"
+)
+
+// Executor runs many controlled executions over one environment without
+// paying per-execution construction costs. Where RunChooser spawns one
+// goroutine per process body and tears everything down when the execution
+// ends, an Executor keeps the process goroutines alive between executions:
+// each one loops, waiting on a start signal, running its body to
+// completion (or crash unwinding), and parking again.
+//
+// Scheduling is baton-passing rather than RunChooser's dedicated scheduler
+// loop: the last process to park or finish becomes the decider — it runs
+// the chooser itself, records the choice, and hands the baton directly to
+// the granted process. One step therefore costs one channel handoff (zero
+// goroutine switches when a process grants itself, as in solo tails),
+// versus the two handoffs per step of the park-message-plus-grant
+// protocol, and the per-decision bookkeeping runs over preallocated
+// per-process arrays. The baton discipline serializes all accesses to the
+// shared decision state: only one process is ever past its park point, and
+// every baton transfer is an atomic-counter or channel edge.
+//
+// The contract is that bodies are re-runnable: between two Run calls the
+// caller must restore all shared state the bodies touch (typically
+// memory.Env.Reset plus a harness-level reset), so every execution starts
+// from the same initial state. The explore package's pooled mode is built
+// on exactly this pairing.
+//
+// An Executor is not safe for concurrent use; Run and Close must be called
+// from one goroutine at a time, and no other executor or Run call may
+// drive the same environment concurrently. Result.Parked is never filled
+// (RunChooser retains the recorded parked sets for callers that need
+// them).
+type Executor struct {
+	env    *memory.Env
+	bodies []func(p *memory.Proc)
+	n      int
+	closed bool
+
+	start  []chan struct{}
+	grants []chan bool
+	done   chan struct{}
+
+	// Per-run decision state, owned by the baton holder.
+	chooser   Chooser
+	res       *Result
+	executing atomic.Int32
+	parkedAcc []memory.Access
+	isParked  []bool
+	states    []ProcState
+	lastDepth int // previous run's decision count, to presize Result slices
+}
+
+// NewExecutor creates a pooled executor for the environment and bodies.
+// len(bodies) must equal env.N(). The executor owns n parked goroutines
+// until Close is called.
+func NewExecutor(env *memory.Env, bodies []func(p *memory.Proc)) *Executor {
+	n := env.N()
+	if len(bodies) != n {
+		panic(fmt.Sprintf("sched: %d bodies for %d processes", len(bodies), n))
+	}
+	// All channels are buffered with capacity one: the protocol keeps at
+	// most one signal outstanding per channel, so sends never block — in
+	// particular a decider granting itself completes without a goroutine
+	// switch.
+	x := &Executor{
+		env:       env,
+		bodies:    bodies,
+		n:         n,
+		start:     make([]chan struct{}, n),
+		grants:    make([]chan bool, n),
+		done:      make(chan struct{}, 1),
+		parkedAcc: make([]memory.Access, n),
+		isParked:  make([]bool, n),
+		states:    make([]ProcState, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		x.start[i] = make(chan struct{}, 1)
+		x.grants[i] = make(chan bool, 1)
+		go x.loop(i)
+	}
+	return x
+}
+
+// loop is the pooled process goroutine: one body execution per start
+// signal, with crash unwinding recovered so the goroutine survives for the
+// next execution.
+func (x *Executor) loop(i int) {
+	p := x.env.Proc(i)
+	for range x.start[i] {
+		x.runBody(i, p)
+	}
+}
+
+func (x *Executor) runBody(i int, p *memory.Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cs, ok := r.(crashSignal); ok && cs.proc == i {
+				// Crashed[i] was recorded by the decider that granted the
+				// crash; the goroutine just retires from this execution.
+				x.retire()
+				return
+			}
+			panic(r)
+		}
+		x.res.Finished[i] = true
+		x.retire()
+	}()
+	x.bodies[i](p)
+}
+
+// Enter implements memory.Gate: park the calling process and, if it was
+// the last one still executing, assume the baton and decide the next step.
+func (x *Executor) Enter(p *memory.Proc, a memory.Access) {
+	i := p.ID()
+	x.parkedAcc[i] = a
+	x.isParked[i] = true
+	if x.executing.Add(-1) == 0 {
+		x.decide()
+	}
+	if !<-x.grants[i] {
+		panic(crashSignal{proc: i})
+	}
+}
+
+// retire is the finish-path twin of Enter's park: the process leaves the
+// execution, and the baton falls to it if nobody else is executing.
+func (x *Executor) retire() {
+	if x.executing.Add(-1) == 0 {
+		x.decide()
+	}
+}
+
+// decide runs one scheduler decision while holding the baton: pick a
+// parked process (or report the run finished), record the choice, and pass
+// the baton to the granted process.
+func (x *Executor) decide() {
+	res := x.res
+	states := x.states[:0]
+	for i := 0; i < x.n; i++ {
+		if x.isParked[i] {
+			states = append(states, ProcState{ID: i, Next: x.parkedAcc[i]})
+		}
+	}
+	if len(states) == 0 {
+		x.done <- struct{}{} // every process finished or crashed
+		return
+	}
+	c := x.chooser.Choose(len(res.Schedule), states)
+	if c.Proc < 0 || c.Proc >= x.n || !x.isParked[c.Proc] {
+		panic(fmt.Sprintf("sched: chooser chose non-parked process %d from %v", c.Proc, states))
+	}
+	res.Schedule = append(res.Schedule, c)
+	res.Accesses = append(res.Accesses, x.parkedAcc[c.Proc])
+	x.isParked[c.Proc] = false
+	if c.Crash {
+		res.Crashed[c.Proc] = true
+		x.env.Proc(c.Proc).MarkCrashed()
+		// The executing count must be restored before the grant lands: the
+		// victim unwinds, retires, and may become the next decider.
+		x.executing.Store(1)
+		x.grants[c.Proc] <- false
+		return
+	}
+	res.Steps[c.Proc]++
+	x.executing.Store(1)
+	x.grants[c.Proc] <- true
+}
+
+// Run performs one controlled execution under the chooser and returns its
+// summary. The ProcState slice passed to the chooser is scratch reused
+// across decisions; choosers must not retain it past the call.
+func (x *Executor) Run(chooser Chooser) *Result {
+	if x.closed {
+		panic("sched: Run on closed Executor")
+	}
+	n := x.n
+	res := &Result{
+		Schedule: make([]Choice, 0, x.lastDepth+8),
+		Accesses: make([]memory.Access, 0, x.lastDepth+8),
+		Finished: make([]bool, n),
+		Crashed:  make([]bool, n),
+		Steps:    make([]int64, n),
+	}
+	x.res = res
+	x.chooser = chooser
+	for i := 0; i < n; i++ {
+		x.isParked[i] = false
+	}
+	x.executing.Store(int32(n))
+	x.env.SetGate(x)
+	for i := 0; i < n; i++ {
+		x.start[i] <- struct{}{}
+	}
+	<-x.done
+	x.env.SetGate(nil)
+	x.res = nil
+	x.chooser = nil
+	x.lastDepth = len(res.Schedule)
+	return res
+}
+
+// RunStrategy is Run for id-only deciders.
+func (x *Executor) RunStrategy(s Strategy) *Result {
+	return x.Run(strategyChooser{s})
+}
+
+// Close releases the pooled goroutines. The executor must be idle (no Run
+// in progress). Close is idempotent.
+func (x *Executor) Close() {
+	if x.closed {
+		return
+	}
+	x.closed = true
+	for i := range x.start {
+		close(x.start[i])
+	}
+}

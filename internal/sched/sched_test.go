@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/memory"
 )
@@ -209,5 +211,97 @@ func TestCrashAfterZeroStepsCrashesImmediately(t *testing.T) {
 	}
 	if !res.Finished[0] {
 		t.Fatal("survivor should finish")
+	}
+}
+
+// pooledHarness builds a tiny two-process system over registered objects so
+// executor tests can reset and rerun it.
+func pooledHarness() (*memory.Env, *memory.IntReg, []func(p *memory.Proc)) {
+	env := memory.NewEnv(2)
+	r := memory.NewIntReg(0)
+	env.Register(r)
+	inc := func(p *memory.Proc) {
+		v := r.Read(p)
+		r.Write(p, v+1)
+	}
+	return env, r, []func(p *memory.Proc){inc, inc}
+}
+
+// TestExecutorMatchesRunChooser pins the pooled executor to the spawn
+// path's semantics: the same strategy over the same system produces the
+// same schedule, steps, flags and accesses, run after run after reset.
+func TestExecutorMatchesRunChooser(t *testing.T) {
+	env, r, bodies := pooledHarness()
+	x := NewExecutor(env, bodies)
+	defer x.Close()
+
+	for round := 0; round < 5; round++ {
+		got := x.RunStrategy(NewRoundRobin())
+		final := r.Read(env.Proc(0))
+		env.Reset()
+
+		envB, rB, bodiesB := pooledHarness()
+		want := Run(envB, NewRoundRobin(), bodiesB)
+
+		if !reflect.DeepEqual(got.Schedule, want.Schedule) {
+			t.Fatalf("round %d: schedule %v, want %v", round, got.Schedule, want.Schedule)
+		}
+		if !reflect.DeepEqual(got.Steps, want.Steps) || !reflect.DeepEqual(got.Finished, want.Finished) {
+			t.Fatalf("round %d: steps/finished diverge: %+v vs %+v", round, got, want)
+		}
+		// Object identities are global-counter-derived and so env-local;
+		// compare the schedule-relevant parts of each access.
+		if len(got.Accesses) != len(want.Accesses) {
+			t.Fatalf("round %d: %d accesses, want %d", round, len(got.Accesses), len(want.Accesses))
+		}
+		for i := range got.Accesses {
+			if got.Accesses[i].Kind != want.Accesses[i].Kind || got.Accesses[i].Proc != want.Accesses[i].Proc {
+				t.Fatalf("round %d: access %d = %+v, want %+v", round, i, got.Accesses[i], want.Accesses[i])
+			}
+		}
+		if wantFinal := rB.Read(envB.Proc(0)); final != wantFinal {
+			t.Fatalf("round %d: final value %d, want %d", round, final, wantFinal)
+		}
+	}
+}
+
+// TestExecutorCrashAndReuse crashes a process mid-run and verifies the
+// pooled goroutine survives for the next execution.
+func TestExecutorCrashAndReuse(t *testing.T) {
+	env, r, bodies := pooledHarness()
+	x := NewExecutor(env, bodies)
+	defer x.Close()
+
+	res := x.RunStrategy(&CrashAfter{Inner: NewRoundRobin(), Victim: 0, K: 1})
+	if !res.Crashed[0] || res.Finished[0] {
+		t.Fatalf("victim not crashed: %+v", res)
+	}
+	if !res.Finished[1] {
+		t.Fatal("survivor must finish")
+	}
+	env.Reset()
+
+	res = x.RunStrategy(NewSolo(0, 1))
+	if !res.Finished[0] || !res.Finished[1] || res.Crashed[0] {
+		t.Fatalf("post-crash reuse broken: %+v", res)
+	}
+	if got := r.Read(env.Proc(0)); got != 2 {
+		t.Fatalf("solo reuse final value = %d, want 2", got)
+	}
+}
+
+// TestExecutorLeavesNoGate verifies the gate is uninstalled between runs so
+// checks can read registers without parking.
+func TestExecutorLeavesNoGate(t *testing.T) {
+	env, r, bodies := pooledHarness()
+	x := NewExecutor(env, bodies)
+	defer x.Close()
+	x.RunStrategy(NewRoundRobin())
+	done := make(chan int64, 1)
+	go func() { done <- r.Read(env.Proc(0)) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("read after Run parked at a leftover gate")
 	}
 }

@@ -47,6 +47,31 @@ func (r *Random) Next(_ int, parked []int) Choice {
 	return Choice{Proc: parked[r.rng.Intn(len(parked))]}
 }
 
+// RandomCrash is Random with seeded crash injection: at each decision it
+// crashes a uniformly chosen parked process with probability p, and
+// otherwise grants a uniformly chosen parked process a step. It samples the
+// same branch space that explore.Run covers with Crashes set (every
+// decision point offers one step branch and one crash branch per parked
+// process). p is a knob rather than the uniform 1/2 over branch kinds
+// because uniform sampling would crash half the decisions and drown the
+// long, mostly-live executions in all-crash ones.
+type RandomCrash struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewRandomCrash returns a random strategy with the given seed that crashes
+// a parked process with probability p at every decision.
+func NewRandomCrash(seed int64, p float64) *RandomCrash {
+	return &RandomCrash{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Next implements Strategy.
+func (r *RandomCrash) Next(_ int, parked []int) Choice {
+	crash := r.p > 0 && r.rng.Float64() < r.p
+	return Choice{Proc: parked[r.rng.Intn(len(parked))], Crash: crash}
+}
+
 // Solo runs processes one at a time to completion, in the given id order:
 // the schedule with neither step nor interval contention at the memory
 // level. Processes not in the order are run (in id order) after it.

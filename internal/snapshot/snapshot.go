@@ -118,3 +118,10 @@ func (s *Snapshot[T]) ReadComponent(p *memory.Proc, i int) T {
 	}
 	return c.val
 }
+
+// ResetState implements memory.Resettable: all components revert to ⊥.
+func (s *Snapshot[T]) ResetState() {
+	for _, r := range s.regs {
+		r.ResetState()
+	}
+}

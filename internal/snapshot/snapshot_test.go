@@ -50,9 +50,10 @@ func TestGenericValues(t *testing.T) {
 // component; one scanner scans twice. Scans must be monotone (a later scan
 // cannot observe an older value) and each scan must return 0, 1 or 2.
 func TestExhaustiveScanMonotone(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		s := New(2, int64(0))
+		env.Register(s)
 		var v1, v2 []int64
 		bodies := []func(p *memory.Proc){
 			func(p *memory.Proc) {
@@ -75,7 +76,10 @@ func TestExhaustiveScanMonotone(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			v1, v2 = nil, nil
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {
@@ -89,9 +93,10 @@ func TestExhaustiveScanMonotone(t *testing.T) {
 // the scan began (validity) — checked under exhaustive interleavings with
 // single-step updates.
 func TestExhaustiveScanSeesCompletedUpdates(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		s := New(2, int64(0))
+		env.Register(s)
 		var view []int64
 		bodies := []func(p *memory.Proc){
 			func(p *memory.Proc) { s.Update(p, 0, 7) },
@@ -109,7 +114,10 @@ func TestExhaustiveScanSeesCompletedUpdates(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			view = nil
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {

@@ -78,3 +78,17 @@ func (s *Splitter) Get(p *memory.Proc) Outcome {
 func (s *Splitter) Reset(p *memory.Proc) {
 	s.y.Write(p, false)
 }
+
+// ResetState implements memory.Resettable (an unaccounted return to the
+// construction state, unlike the in-protocol Reset).
+func (s *Splitter) ResetState() {
+	s.x.ResetState()
+	s.y.ResetState()
+}
+
+// HashState implements memory.Fingerprinter.
+func (s *Splitter) HashState(h *memory.StateHash) bool {
+	s.x.HashState(h)
+	s.y.HashState(h)
+	return true
+}

@@ -56,9 +56,10 @@ func TestSequentialSecondLoses(t *testing.T) {
 // process returns Stop.
 func TestExhaustiveAtMostOneStop(t *testing.T) {
 	outcomes := map[string]int{}
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		s := New()
+		env.Register(s)
 		got := make([]Outcome, 2)
 		bodies := []func(p *memory.Proc){
 			func(p *memory.Proc) { got[0] = s.Get(p) },
@@ -71,7 +72,10 @@ func TestExhaustiveAtMostOneStop(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			clear(got)
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, explore.Config{})
 	if err != nil {
@@ -95,9 +99,10 @@ func TestExhaustiveAtMostOneStop(t *testing.T) {
 
 // Exhaustive with three processes (capped): at most one Stop per epoch.
 func TestThreeWayAtMostOneStop(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(3)
 		s := New()
+		env.Register(s)
 		got := make([]Outcome, 3)
 		bodies := make([]func(p *memory.Proc), 3)
 		for i := 0; i < 3; i++ {
@@ -116,7 +121,10 @@ func TestThreeWayAtMostOneStop(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			clear(got)
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
 	if err != nil {

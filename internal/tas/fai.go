@@ -142,3 +142,32 @@ func (s *SpecFetchInc) Inc(p *memory.Proc) (int64, int) {
 
 // Modules exposes the two modules for composition-level tests.
 func (s *SpecFetchInc) Modules() (*F1, *F2) { return s.f1, s.f2 }
+
+// ResetState implements memory.Resettable.
+func (f *F1) ResetState() {
+	f.x.ResetState()
+	f.y.ResetState()
+	f.v.ResetState()
+	f.c.ResetState()
+}
+
+// HashState implements memory.Fingerprinter.
+func (f *F1) HashState(h *memory.StateHash) bool {
+	f.x.HashState(h)
+	f.y.HashState(h)
+	f.v.HashState(h)
+	f.c.HashState(h)
+	return true
+}
+
+// ResetState implements memory.Resettable.
+func (f *F2) ResetState() {
+	f.base.ResetState()
+	f.hw.ResetState()
+}
+
+// ResetState implements memory.Resettable.
+func (s *SpecFetchInc) ResetState() {
+	s.f1.ResetState()
+	s.f2.ResetState()
+}

@@ -58,9 +58,10 @@ func TestF1InheritedEstimatePassesThrough(t *testing.T) {
 // strictly increasing; hardware must never reissue a speculatively
 // committed ticket.
 func TestExhaustiveSpecFetchIncUnique(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		s := NewSpecFetchInc()
+		env.Register(s)
 		tickets := make([][]int64, 2)
 		modules := make([][]int, 2)
 		bodies := make([]func(p *memory.Proc), 2)
@@ -92,7 +93,13 @@ func TestExhaustiveSpecFetchIncUnique(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			for i := range tickets {
+				tickets[i] = tickets[i][:0]
+				modules[i] = modules[i][:0]
+			}
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, engineCfg)
 	if err != nil {
@@ -105,9 +112,10 @@ func TestExhaustiveSpecFetchIncUnique(t *testing.T) {
 }
 
 func TestRandomizedSpecFetchIncThreeProcs(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(3)
 		s := NewSpecFetchInc()
+		env.Register(s)
 		tickets := make([][]int64, 3)
 		bodies := make([]func(p *memory.Proc), 3)
 		for i := 0; i < 3; i++ {
@@ -131,9 +139,14 @@ func TestRandomizedSpecFetchIncThreeProcs(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			for i := range tickets {
+				tickets[i] = tickets[i][:0]
+			}
+		}
+		return env, bodies, check, reset
 	}
-	if _, err := explore.Sample(h, 3000, 23); err != nil {
+	if _, err := explore.Sample(h, 3000, 23, false); err != nil {
 		t.Fatal(err)
 	}
 }

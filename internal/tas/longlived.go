@@ -44,6 +44,18 @@ func newLongLived(n int, soloFast bool) *LongLived {
 	return t
 }
 
+// ResetState implements memory.Resettable: the round counter and the
+// instance array revert to construction state (slot instances are
+// discarded and re-created on demand; the factory is deterministic), and
+// the process-local winner flags clear.
+func (t *LongLived) ResetState() {
+	t.count.ResetState()
+	t.arr.ResetState()
+	for i := range t.crtWinner {
+		t.crtWinner[i] = false
+	}
+}
+
 // TestAndSet performs the long-lived operation: read the current round,
 // then run that round's composed one-shot object.
 func (t *LongLived) TestAndSet(p *memory.Proc) int64 {

@@ -80,6 +80,25 @@ func NewSoloFastA1() *A1 {
 	return a
 }
 
+// ResetState implements memory.Resettable: all four registers revert to
+// their initial values, so a registered A1 can be reused across pooled
+// executions.
+func (a *A1) ResetState() {
+	a.p.ResetState()
+	a.s.ResetState()
+	a.aborted.ResetState()
+	a.v.ResetState()
+}
+
+// HashState implements memory.Fingerprinter.
+func (a *A1) HashState(h *memory.StateHash) bool {
+	a.p.HashState(h)
+	a.s.HashState(h)
+	a.aborted.HashState(h)
+	a.v.HashState(h)
+	return true
+}
+
 // Name implements core.Module.
 func (a *A1) Name() string {
 	if a.soloFast {
@@ -149,6 +168,12 @@ type A2 struct {
 // NewA2 returns a fresh wait-free module.
 func NewA2() *A2 { return &A2{t: memory.NewHardwareTAS()} }
 
+// ResetState implements memory.Resettable.
+func (a *A2) ResetState() { a.t.ResetState() }
+
+// HashState implements memory.Fingerprinter.
+func (a *A2) HashState(h *memory.StateHash) bool { return a.t.HashState(h) }
+
 // Name implements core.Module.
 func (a *A2) Name() string { return "A2" }
 
@@ -181,6 +206,17 @@ func NewSoloFastOneShot() *OneShot { return &OneShot{a1: NewSoloFastA1(), a2: Ne
 
 // Modules exposes the two modules for composition-level tests.
 func (o *OneShot) Modules() (*A1, *A2) { return o.a1, o.a2 }
+
+// ResetState implements memory.Resettable.
+func (o *OneShot) ResetState() {
+	o.a1.ResetState()
+	o.a2.ResetState()
+}
+
+// HashState implements memory.Fingerprinter.
+func (o *OneShot) HashState(h *memory.StateHash) bool {
+	return o.a1.HashState(h) && o.a2.HashState(h)
+}
 
 // TestAndSet runs the composed object: A1 first, switching to A2 with A1's
 // switch value on abort. It returns spec.Winner or spec.Loser.

@@ -199,9 +199,10 @@ func checkLemma4Invariants(outs []a1Outcome, ops []trace.Op, res *sched.Result) 
 // checking Lemma 4's invariants (and optionally Definition 2) on every
 // interleaving.
 func a1Harness(n int, withDef2 bool, crashes bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		a1 := NewA1()
+		env.Register(a1)
 		rec := trace.NewRecorder(n)
 		outs := make([]a1Outcome, n)
 		bodies := make([]func(p *memory.Proc), n)
@@ -242,7 +243,11 @@ func a1Harness(n int, withDef2 bool, crashes bool) explore.Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			rec.Reset()
+			clear(outs)
+		}
+		return env, bodies, check, reset
 	}
 }
 
@@ -316,7 +321,7 @@ func TestExhaustiveA1ThreeProcsWithCrashes(t *testing.T) {
 }
 
 func TestRandomizedA1ThreeProcs(t *testing.T) {
-	if _, err := explore.Sample(a1Harness(3, true, false), 2500, 5); err != nil {
+	if _, err := explore.Sample(a1Harness(3, true, false), 2500, 5, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -325,12 +330,14 @@ func TestRandomizedA1ThreeProcs(t *testing.T) {
 // trace recording, checking wait-freedom, unique winner, linearizability,
 // and Definition 2 for each module's trace.
 func composedHarness(n int, withDef2 bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		recA1 := trace.NewRecorder(n)
 		recA2 := trace.NewRecorder(n)
 		recAll := trace.NewRecorder(n)
-		comp := core.NewComposition(NewA1(), NewA2()).WithRecorders(recA1, recA2)
+		m1, m2 := NewA1(), NewA2()
+		env.Register(m1, m2)
+		comp := core.NewComposition(m1, m2).WithRecorders(recA1, recA2)
 		resps := make([]int64, n)
 		modules := make([]int, n)
 		bodies := make([]func(p *memory.Proc), n)
@@ -374,7 +381,14 @@ func composedHarness(n int, withDef2 bool) explore.Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			recA1.Reset()
+			recA2.Reset()
+			recAll.Reset()
+			clear(resps)
+			clear(modules)
+		}
+		return env, bodies, check, reset
 	}
 }
 
@@ -407,9 +421,10 @@ func TestExhaustiveComposedThreeProcs(t *testing.T) {
 // stays pending, which CheckTAS accounts for), and survivors must finish
 // (wait-freedom of the A2 tail).
 func crashComposedHarness(n int) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(n)
 		o := NewOneShot()
+		env.Register(o)
 		rec := trace.NewRecorder(n)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
@@ -442,7 +457,7 @@ func crashComposedHarness(n int) explore.Harness {
 			}
 			return nil
 		}
-		return env, bodies, check
+		return env, bodies, check, rec.Reset
 	}
 }
 
@@ -488,7 +503,7 @@ func TestExhaustiveComposedFourProcs(t *testing.T) {
 }
 
 func TestRandomizedComposedThreeProcs(t *testing.T) {
-	if _, err := explore.Sample(composedHarness(3, true), 1500, 17); err != nil {
+	if _, err := explore.Sample(composedHarness(3, true), 1500, 17, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -533,12 +548,14 @@ func TestTheorem2A1ComposedWithItself(t *testing.T) {
 	// "Module A1 can also be composed with itself" (Section 6.3). The
 	// A1→A1 composition may abort as a whole; Definition 2 must hold for
 	// both module traces and for the composed trace.
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		rec1 := trace.NewRecorder(2)
 		rec2 := trace.NewRecorder(2)
 		recAll := trace.NewRecorder(2)
-		comp := core.NewComposition(NewA1(), NewA1()).WithRecorders(rec1, rec2)
+		m1, m2 := NewA1(), NewA1()
+		env.Register(m1, m2)
+		comp := core.NewComposition(m1, m2).WithRecorders(rec1, rec2)
 		bodies := make([]func(p *memory.Proc), 2)
 		for i := 0; i < 2; i++ {
 			i := i
@@ -563,7 +580,12 @@ func TestTheorem2A1ComposedWithItself(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			rec1.Reset()
+			rec2.Reset()
+			recAll.Reset()
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, engineCfg)
 	if err != nil {
@@ -771,9 +793,10 @@ func TestSoloFastDifference(t *testing.T) {
 }
 
 func TestSoloFastComposedStillCorrect(t *testing.T) {
-	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error) {
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
 		env := memory.NewEnv(2)
 		o := NewSoloFastOneShot()
+		env.Register(o)
 		resps := make([]int64, 2)
 		bodies := make([]func(p *memory.Proc), 2)
 		rec := trace.NewRecorder(2)
@@ -801,7 +824,11 @@ func TestSoloFastComposedStillCorrect(t *testing.T) {
 			}
 			return nil
 		}
-		return env, bodies, check
+		reset := func() {
+			rec.Reset()
+			clear(resps)
+		}
+		return env, bodies, check, reset
 	}
 	rep, err := explore.Run(h, engineCfg)
 	if err != nil {
@@ -884,5 +911,88 @@ func TestCompositionPanics(t *testing.T) {
 func TestCompositionOutcomeString(t *testing.T) {
 	if core.Committed.String() != "committed" || core.Aborted.String() != "aborted" {
 		t.Fatal("bad outcome strings")
+	}
+}
+
+// TestSeedExecutionCountA1TwoProcs pins the compatibility anchor of the
+// execution core: in unpruned, uncached, 1-worker mode the pooled engine
+// visits exactly the seed engine's 9662 interleavings of the two-process
+// A1 harness, and the reconstruction fallback agrees.
+func TestSeedExecutionCountA1TwoProcs(t *testing.T) {
+	rep, err := explore.Run(a1Harness(2, false, false), explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 9662 || rep.Pruned != 0 || rep.CacheHits != 0 {
+		t.Fatalf("pooled seed-mode walk: %+v, want exactly 9662 executions", rep)
+	}
+	if testing.Short() {
+		return
+	}
+	rep, err = explore.Run(explore.NoReset(a1Harness(2, false, false)), explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 9662 {
+		t.Fatalf("spawn-path seed-mode walk: %+v, want exactly 9662 executions", rep)
+	}
+}
+
+// TestPooledExecutorSpeedup pins experiment E11's headline: reusing one
+// executor per worker (pooled goroutines, Env.Reset between executions)
+// beats PR 1's per-execution reconstruct-and-spawn path by at least 2x in
+// wall-clock on the three-process A1 harness. Counts are asserted equal —
+// pooling must be a pure performance change. Wall-clock comparisons are
+// noisy, so each mode takes the best of three runs and the test is skipped
+// in short mode (CI asserts the deterministic halves elsewhere).
+func TestPooledExecutorSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock comparison")
+	}
+	cfg := explore.Config{Prune: true, Workers: 1}
+	measure := func(h explore.Harness) (time.Duration, int) {
+		best := time.Duration(1 << 62)
+		execs := 0
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			rep, err := explore.Run(h, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			execs = rep.Executions
+		}
+		return best, execs
+	}
+	spawnWall, spawnExecs := measure(explore.NoReset(a1Harness(3, false, false)))
+	pooledWall, pooledExecs := measure(a1Harness(3, false, false))
+	if spawnExecs != pooledExecs {
+		t.Fatalf("pooling changed the walk: %d vs %d executions", pooledExecs, spawnExecs)
+	}
+	if pooledWall*2 > spawnWall {
+		t.Fatalf("pooled executor took %v, want <= 1/2 of the spawn path's %v", pooledWall, spawnWall)
+	}
+	t.Logf("A1 n=3: spawn %v, pooled %v (%.1fx) over %d executions",
+		spawnWall, pooledWall, float64(spawnWall)/float64(pooledWall), pooledExecs)
+}
+
+// Wall-clock benchmarks of the execution core on the A1 n=3 walk (the E11
+// configuration): pooled executors versus PR 1's reconstruct-and-spawn
+// path. One iteration is one full pruned exploration.
+func BenchmarkExploreA1n3Pooled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.Run(a1Harness(3, false, false), explore.Config{Prune: true, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExploreA1n3Spawn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.Run(explore.NoReset(a1Harness(3, false, false)), explore.Config{Prune: true, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

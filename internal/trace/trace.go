@@ -96,6 +96,19 @@ func NewRecorder(n int) *Recorder {
 // are uniquely identified).
 func (r *Recorder) NextID() int64 { return r.ids.Add(1) }
 
+// Reset discards all recorded events and restarts the stamp and id
+// counters, retaining the per-process buffers. It is the recorder's part of
+// a pooled harness's reset path: after Reset the recorder is
+// indistinguishable from a freshly constructed one, without the
+// allocations. Must not be called while processes are recording.
+func (r *Recorder) Reset() {
+	r.seq.Store(0)
+	r.ids.Store(0)
+	for i := range r.procs {
+		r.procs[i].events = r.procs[i].events[:0]
+	}
+}
+
 func (r *Recorder) record(e Event) int64 {
 	e.Seq = r.seq.Add(1)
 	r.procs[e.Proc].events = append(r.procs[e.Proc].events, e)
