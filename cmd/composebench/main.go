@@ -1,19 +1,25 @@
 // Command composebench runs the experiment suite that regenerates the
-// paper's quantitative claims (DESIGN.md, E1–E8) and prints each result as
-// a markdown table. EXPERIMENTS.md records a reference run.
+// paper's quantitative claims (DESIGN.md, E1–E12) and prints each result
+// as a markdown table. EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
 //	composebench              # run every experiment
 //	composebench -exp E3      # run one experiment
 //	composebench -seed 7      # re-roll the randomized schedules
+//	composebench -json out.json   # additionally record rows as JSON
 //	composebench -list        # list experiments
 //
 // Randomized experiments derive their schedules from -seed (default 1), so
 // a table regenerates identically until the seed is changed deliberately.
+// With -json, every table row is additionally written to the given file as
+// a JSON array of one object per row ({experiment, table, title, row,
+// cells}), the machine-readable form the bench trajectory (BENCH_*.json)
+// records; the markdown output is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "base seed for randomized experiment schedules")
+	jsonOut := flag.String("json", "", "also write the experiment rows to this file as JSON")
 	flag.Parse()
 	bench.SetSeed(*seed)
 
@@ -45,18 +52,35 @@ func main() {
 	}
 
 	ran := 0
+	var rows []bench.RowJSON
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		ran++
 		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Desc)
-		for _, t := range e.Run() {
+		tables := e.Run()
+		for _, t := range tables {
 			fmt.Println(t.Markdown())
+		}
+		if *jsonOut != "" {
+			rows = append(rows, bench.RowsJSON(e.ID, tables)...)
 		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "composebench: no experiment matches %q (try -list)\n", *expFlag)
 		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", " ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "composebench: encoding rows: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "composebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("composebench: %d experiment rows written to %s\n", len(rows), *jsonOut)
 	}
 }

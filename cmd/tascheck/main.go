@@ -15,26 +15,40 @@
 // -timebudget cuts the walk after a wall-clock budget, -checkpoint-out
 // saves the unexplored frontier, and -checkpoint-in resumes from it.
 //
+// Beyond -exhaustive-n processes the checker switches to the randomized
+// subsystem (internal/randexp): -sampler picks the scheduling
+// distribution (uniform random, PCT with -pct-depth change points, the
+// bias-corrected random walk, or rate-weighted stochastic scheduling with
+// -rates), sampling runs on -workers parallel pooled executors with
+// results — including the canonical failing seed — independent of the
+// worker count, and -saturation stops early once coverage (distinct
+// terminal states and schedule shapes) plateaus.
+//
 // Usage:
 //
 //	tascheck                          # invariants, 2 processes, exhaustive
 //	tascheck -mode def2 -n 2          # Definition 2 on every interleaving
 //	tascheck -mode composed -n 3 -crashes
-//	tascheck -mode composed -n 4 -samples 5000
+//	tascheck -mode composed -n 5 -sampler pct -samples 5000 -workers 8
+//	tascheck -mode composed -n 8 -sampler rates -rates 8,1 -saturation 5
 //	tascheck -mode composed -n 4 -exhaustive-n 4 -timebudget 30s -checkpoint-out f.json
 //	tascheck -mode composed -n 4 -exhaustive-n 4 -checkpoint-in f.json -workers 16
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/linearize"
 	"repro/internal/memory"
+	"repro/internal/randexp"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/tas"
@@ -45,8 +59,12 @@ func main() {
 	mode := flag.String("mode", "invariants", "invariants | def2 | composed")
 	n := flag.Int("n", 2, "number of processes")
 	maxExecs := flag.Int("max", 2000000, "max execution attempts for exhaustive exploration")
-	samples := flag.Int("samples", 3000, "random schedules when n > -exhaustive-n")
-	seed := flag.Int64("seed", 1, "base seed for random schedules")
+	samples := flag.Int("samples", 3000, "sampled schedules when n > -exhaustive-n")
+	seed := flag.Int64("seed", 1, "base seed for sampled schedules")
+	sampler := flag.String("sampler", "random", "sampled-mode scheduler: random | pct | walk | rates")
+	pctDepth := flag.Int("pct-depth", randexp.DefaultPCTDepth, "PCT bug-depth parameter d (d-1 priority change points)")
+	rates := flag.String("rates", "", "comma-separated per-process rate weights for -sampler rates (later processes reuse the last weight)")
+	saturation := flag.Int("saturation", 0, "stop sampling after this many consecutive batches with no new coverage (0 = off)")
 	workers := flag.Int("workers", 8, "parallel exploration workers")
 	prune := flag.Bool("prune", true, "sleep-set partial-order reduction")
 	cache := flag.Bool("cache", false, "state-fingerprint caching (see DESIGN.md caveats)")
@@ -85,38 +103,47 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		runSampled(h, *mode, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation)
+		return
+	}
+	// Symmetrically, the sampler knobs mean nothing on an exhaustive walk.
+	for flagName, set := range map[string]bool{
+		"-sampler":    *sampler != "random",
+		"-pct-depth":  *pctDepth != randexp.DefaultPCTDepth,
+		"-rates":      *rates != "",
+		"-saturation": *saturation != 0,
+	} {
+		if set {
+			fmt.Fprintf(os.Stderr, "tascheck: %s applies only to sampled exploration; raise -n above -exhaustive-n %d\n", flagName, *exhaustiveN)
+			os.Exit(2)
+		}
 	}
 
-	var rep explore.Report
 	var err error
-	if *n <= *exhaustiveN {
-		cfg := explore.Config{
-			MaxExecutions: *maxExecs,
-			TimeBudget:    *timeBudget,
-			Crashes:       *crashes,
-			Workers:       *workers,
-			Prune:         *prune,
-			CacheStates:   *cache,
-			FailFast:      *failFast,
+	cfg := explore.Config{
+		MaxExecutions: *maxExecs,
+		TimeBudget:    *timeBudget,
+		Crashes:       *crashes,
+		Workers:       *workers,
+		Prune:         *prune,
+		CacheStates:   *cache,
+		FailFast:      *failFast,
+	}
+	if *ckptIn != "" {
+		cfg.Resume, err = loadCheckpoint(*ckptIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+			os.Exit(2)
 		}
-		if *ckptIn != "" {
-			cfg.Resume, err = loadCheckpoint(*ckptIn)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
-				os.Exit(2)
-			}
+	}
+	rep, err := explore.Run(h, cfg)
+	if rep.Checkpoint != nil && *ckptOut != "" {
+		if werr := saveCheckpoint(*ckptOut, rep.Checkpoint); werr != nil {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", werr)
+			os.Exit(2)
 		}
-		rep, err = explore.Run(h, cfg)
-		if rep.Checkpoint != nil && *ckptOut != "" {
-			if werr := saveCheckpoint(*ckptOut, rep.Checkpoint); werr != nil {
-				fmt.Fprintf(os.Stderr, "tascheck: %v\n", werr)
-				os.Exit(2)
-			}
-			fmt.Printf("tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
-				len(rep.Checkpoint.Items), *ckptOut, *ckptOut)
-		}
-	} else {
-		rep, err = explore.Sample(h, *samples, *seed, *crashes)
+		fmt.Printf("tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
+			len(rep.Checkpoint.Items), *ckptOut, *ckptOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d executions: %v\n", rep.Executions, err)
@@ -129,11 +156,80 @@ func main() {
 	if rep.Partial {
 		how = "partial (hit -max or -timebudget)"
 	}
-	if *n > *exhaustiveN {
-		how = "sampled"
-	}
 	fmt.Printf("tascheck %s: OK — %d interleavings (%s), %d pruned as redundant, %d state-cache hits, max depth %d\n",
 		*mode, rep.Executions, how, rep.Pruned, rep.CacheHits, rep.MaxDepth)
+}
+
+// runSampled drives the randomized subsystem for process counts beyond the
+// exhaustive range and prints its coverage-aware summary.
+func runSampled(h explore.Harness, mode, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int) {
+	kind, err := randexp.ParseSampler(sampler)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
+	}
+	weights, err := parseRates(rates)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := randexp.Config{
+		Sampler:    kind,
+		Samples:    samples,
+		Seed:       seed,
+		Workers:    workers,
+		PCTDepth:   pctDepth,
+		Rates:      weights,
+		SatBatches: saturation,
+	}
+	if crashes {
+		cfg.CrashProb = explore.SampleCrashProb
+	}
+	rep, err := randexp.Run(randexp.Harness(h), cfg)
+	if err != nil {
+		var ce *randexp.CheckError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d sampled executions: seed %d reproduces it (schedule %v): %v\n",
+				rep.Executions, ce.Seed, ce.Schedule, ce.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		}
+		os.Exit(1)
+	}
+	how := fmt.Sprintf("sampled, %s", kind)
+	if kind == randexp.SamplerPCT {
+		how = fmt.Sprintf("sampled, pct d=%d k=%d", pctDepth, rep.PCTSteps)
+	}
+	if rep.Saturated {
+		how += ", saturated early"
+	}
+	states := "unavailable (harness registers no fingerprintable objects)"
+	if rep.FingerprintOK {
+		states = fmt.Sprintf("%d", rep.DistinctStates)
+	}
+	fmt.Printf("tascheck %s: OK — %d interleavings (%s), distinct terminal states %s, distinct schedule shapes %d, max depth %d\n",
+		mode, rep.Executions, how, states, rep.DistinctShapes, rep.MaxDepth)
+	if kind == randexp.SamplerWalk && rep.TreeSizeEstimate > 0 {
+		fmt.Printf("tascheck: walk estimate of total interleavings: %.3g\n", rep.TreeSizeEstimate)
+	}
+}
+
+// parseRates parses the -rates flag: a comma-separated list of positive
+// weights.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -rates entry %q: want positive numbers", p)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 func loadCheckpoint(path string) (*explore.Checkpoint, error) {

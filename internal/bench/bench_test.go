@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -249,6 +251,87 @@ func TestE10Shapes(t *testing.T) {
 	}
 	if prunedExecs*3 > seedExecs {
 		t.Fatalf("pruned mode ran %d executions, want <= 1/3 of the seed mode's %d", prunedExecs, seedExecs)
+	}
+}
+
+func TestE12Shapes(t *testing.T) {
+	tables := RunE12()
+	if len(tables) != 2 {
+		t.Fatalf("E12 tables = %d", len(tables))
+	}
+	bug := tables[0]
+	if len(bug.Rows) != len(e12Samplers) {
+		t.Fatalf("E12a rows = %d, want %d", len(bug.Rows), len(e12Samplers))
+	}
+	failures := map[string]int{}
+	for i, s := range e12Samplers {
+		failures[s.name] = cellInt(t, bug, i, 1)
+	}
+	// The planted bug must stay invisible to unstructured sampling and to
+	// PCT without its change point, and visible to matching-depth PCT and
+	// the straggler rates model.
+	for _, blind := range []string{"uniform random", "walk", "pct d=1"} {
+		if failures[blind] != 0 {
+			t.Fatalf("E12a: %s found the rare bug (%d failures) — not rare enough: %v", blind, failures[blind], bug.Rows)
+		}
+	}
+	for _, sharp := range []string{"pct d=2", "pct d=3", "rates 12:1"} {
+		if failures[sharp] == 0 {
+			t.Fatalf("E12a: %s found nothing: %v", sharp, bug.Rows)
+		}
+	}
+
+	cov := tables[1]
+	if len(cov.Rows) != 8 {
+		t.Fatalf("E12b rows = %d", len(cov.Rows))
+	}
+	walkEstimates := 0
+	for i := range cov.Rows {
+		if got := cellInt(t, cov, i, 2); got != e12Samples/3 {
+			t.Fatalf("E12b row %d executions = %d (a sampler failed on the correct TAS?): %v", i, got, cov.Rows)
+		}
+		if cellInt(t, cov, i, 3) == 0 || cellInt(t, cov, i, 4) == 0 {
+			t.Fatalf("E12b row %d reports no coverage: %v", i, cov.Rows[i])
+		}
+		if cov.Rows[i][1] == "walk" && cov.Rows[i][5] != "—" {
+			walkEstimates++
+		}
+	}
+	if walkEstimates != 2 {
+		t.Fatalf("E12b: %d walk tree-size estimates, want 2: %v", walkEstimates, cov.Rows)
+	}
+}
+
+// TestRowsJSONRoundTrip pins the composebench -json contract: one object
+// per row, cells keyed by column name, and lossless through
+// encoding/json.
+func TestRowsJSONRoundTrip(t *testing.T) {
+	tab := &Table{ID: "X1", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, "x")
+	tab.AddRow(2, "y", "overflow")
+	rows := RowsJSON("EX", []*Table{tab})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Experiment != "EX" || rows[0].Table != "X1" || rows[0].Row != 0 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[0].Cells["a"] != "1" || rows[0].Cells["b"] != "x" {
+		t.Fatalf("row 0 cells = %v", rows[0].Cells)
+	}
+	if rows[1].Cells["col2"] != "overflow" {
+		t.Fatalf("extra cell not positionally named: %v", rows[1].Cells)
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []RowJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", rows, back)
 	}
 }
 

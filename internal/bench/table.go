@@ -103,5 +103,45 @@ func All() []Experiment {
 		{"E9", RunE9, "ablations: stage stacks and the speculative fetch-and-increment"},
 		{"E10", RunE10, "exploration engine: partial-order reduction and worker-pool scaling"},
 		{"E11", RunE11, "execution core: pooled executors, resettable memory, state-fingerprint caching"},
+		{"E12", RunE12, "randomized exploration: PCT vs uniform bug finding, sampler coverage growth"},
 	}
+}
+
+// RowJSON is the machine-readable form of one experiment-table row
+// (composebench -json): enough context to interpret the cells without the
+// markdown rendering, one object per row so bench trajectories can be
+// recorded and diffed line by line.
+type RowJSON struct {
+	Experiment string            `json:"experiment"`
+	Table      string            `json:"table"`
+	Title      string            `json:"title"`
+	Row        int               `json:"row"`
+	Cells      map[string]string `json:"cells"`
+}
+
+// RowsJSON flattens tables (produced by the experiment with the given id)
+// into their RowJSON records, pairing each cell with its column name.
+// Extra cells beyond the declared columns get positional names ("col7").
+func RowsJSON(experiment string, tables []*Table) []RowJSON {
+	var out []RowJSON
+	for _, t := range tables {
+		for i, row := range t.Rows {
+			cells := make(map[string]string, len(row))
+			for j, c := range row {
+				name := fmt.Sprintf("col%d", j)
+				if j < len(t.Columns) {
+					name = t.Columns[j]
+				}
+				cells[name] = c
+			}
+			out = append(out, RowJSON{
+				Experiment: experiment,
+				Table:      t.ID,
+				Title:      t.Title,
+				Row:        i,
+				Cells:      cells,
+			})
+		}
+	}
+	return out
 }

@@ -61,12 +61,14 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/randexp"
 	"repro/internal/sched"
 )
 
@@ -205,13 +207,21 @@ type Checkpoint struct {
 }
 
 // CheckError wraps a check failure with the schedule that produced it, so a
-// failing interleaving can be replayed with sched.NewReplay.
+// failing interleaving can be replayed with sched.NewReplay. Failures found
+// by Sample additionally carry the seed of the failing run (Sampled
+// distinguishes them, since 0 is a legitimate seed), so they can be
+// reproduced by seed without re-running the batch.
 type CheckError struct {
 	Schedule []sched.Choice
+	Seed     int64
+	Sampled  bool
 	Err      error
 }
 
 func (e *CheckError) Error() string {
+	if e.Sampled {
+		return fmt.Sprintf("explore: check failed on seed %d (schedule %v): %v", e.Seed, e.Schedule, e.Err)
+	}
 	return fmt.Sprintf("explore: check failed on schedule %v: %v", e.Schedule, e.Err)
 }
 
@@ -788,49 +798,37 @@ func NoReset(h Harness) Harness {
 // crash at half of all decisions).
 const SampleCrashProb = 0.25
 
-// Sample runs k seeded-random interleavings of h (seeds seed..seed+k-1) and
-// returns after the first check failure. It is the fallback for process
-// counts where exhaustive exploration is infeasible. With crashes set the
-// schedules include seeded crash injection (parity with Run's Crashes
-// branches; see SampleCrashProb for the sampling bias). Harnesses providing
-// a reset path are constructed once and run through a pooled executor, like
-// Run's pooled mode.
+// Sample runs k uniformly seeded-random interleavings of h (seeds
+// seed..seed+k-1) and reports the canonically least failing seed, if any.
+// It is the fallback for process counts where exhaustive exploration is
+// infeasible, and is now a thin shim over the randexp subsystem's
+// single-worker uniform sampler: harnesses providing a reset path run
+// pooled, harnesses without one are explicitly reconstructed for every run
+// (the documented fallback — all shared state must live inside the
+// closure), and a failure carries both the schedule and the failing seed
+// in the CheckError, so it reproduces without re-running the batch. With
+// crashes set the schedules include seeded crash injection (parity with
+// Run's Crashes branches; see SampleCrashProb for the sampling bias).
+// Sampling stops at the end of the first randexp batch containing a
+// failure, so on a failing harness Executions may exceed the failing run's
+// index; structured samplers, parallel sampling, and coverage reporting
+// are available by calling randexp.Run directly.
 func Sample(h Harness, k int, seed int64, crashes bool) (Report, error) {
-	var rep Report
-	env, bodies, check, reset := h()
-	var x *sched.Executor
-	if reset != nil {
-		x = sched.NewExecutor(env, bodies)
-		defer x.Close()
+	p := 0.0
+	if crashes {
+		p = SampleCrashProb
 	}
-	for i := 0; i < k; i++ {
-		if i > 0 && x == nil {
-			env, bodies, check, _ = h()
-		}
-		var strat sched.Strategy
-		if crashes {
-			strat = sched.NewRandomCrash(seed+int64(i), SampleCrashProb)
-		} else {
-			strat = sched.NewRandom(seed + int64(i))
-		}
-		var res *sched.Result
-		if x != nil {
-			res = x.RunStrategy(strat)
-		} else {
-			res = sched.Run(env, strat, bodies)
-		}
-		rep.Executions++
-		if d := len(res.Schedule); d > rep.MaxDepth {
-			rep.MaxDepth = d
-		}
-		err := check(res)
-		if x != nil {
-			env.Reset()
-			reset()
-		}
-		if err != nil {
-			return rep, &CheckError{Schedule: res.Schedule, Err: err}
-		}
+	srep, err := randexp.Run(randexp.Harness(h), randexp.Config{
+		Sampler:   randexp.SamplerRandom,
+		Samples:   k,
+		Seed:      seed,
+		Workers:   1,
+		CrashProb: p,
+	})
+	rep := Report{Executions: srep.Executions, MaxDepth: srep.MaxDepth}
+	var ce *randexp.CheckError
+	if errors.As(err, &ce) {
+		return rep, &CheckError{Schedule: ce.Schedule, Seed: ce.Seed, Sampled: true, Err: ce.Err}
 	}
-	return rep, nil
+	return rep, err
 }

@@ -1,0 +1,563 @@
+// Package randexp is the randomized-exploration subsystem: where
+// internal/explore discharges the paper's universally-quantified claims by
+// enumerating every interleaving for small process counts, randexp opens
+// the large-n regime by sampling interleavings from structured scheduler
+// distributions, in parallel, with a coverage signal and deterministic
+// failure reporting.
+//
+// # Samplers
+//
+// Four schedulers are offered (see internal/sched for their semantics and
+// guarantees):
+//
+//   - random: uniform choice among parked processes at every decision — the
+//     legacy explore.Sample behaviour.
+//   - pct: the PCT priority scheduler, whose d−1 priority change points
+//     give every run probability at least 1/(n·k^(d−1)) of triggering any
+//     depth-d ordering bug. The schedule-length bound k is measured by a
+//     deterministic round-robin probe run unless Config.PCTSteps pins it.
+//   - walk: uniform sampling that tracks the product of branching factors,
+//     correcting for the tree bias of per-step uniform choice; averaging
+//     the weights yields an unbiased estimate of the total interleaving
+//     count (Report.TreeSizeEstimate).
+//   - rates: a stochastic scheduler with per-process rate weights, the
+//     "practically wait-free" scheduler model; skewed rates reach the
+//     slow-straggler orderings uniform sampling essentially never produces.
+//
+// # Determinism
+//
+// Sampling proceeds in fixed-size batches of consecutive seeds
+// (Config.BatchSize, independent of Workers). Within a batch, runs execute
+// on a worker pool — each worker owning one pooled executor instance, as in
+// explore's pooled mode — but results are merged in seed order, batch by
+// batch. Coverage counters, the saturation decision, and the canonical
+// failure (the lex-least failing seed, always in the first batch that
+// contains any failure) are therefore identical for every worker count;
+// only wall-clock changes. A reported failure replays with
+// sched.NewReplay(CheckError.Schedule), or by re-running its seed.
+//
+// # Coverage and saturation
+//
+// Each run contributes its terminal-state fingerprint (Env.Fingerprint
+// over registered objects, when available) and its schedule-shape hash
+// (the (proc, crash) choice sequence). Distinct counts and a per-batch
+// new-coverage curve expose how fast the sampler is still finding new
+// behaviour; with Config.SatBatches set, sampling stops early once that
+// many consecutive batches discover nothing new. Saturation is a stopping
+// heuristic, not a soundness claim — see DESIGN.md.
+package randexp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Harness builds one instance of the system under test; it is structurally
+// identical to explore.Harness (convert with randexp.Harness(h)) and obeys
+// the same contract: when reset is non-nil the instance must register its
+// shared objects and restore all harness-local state in reset, and it is
+// then run through a pooled sched.Executor; when reset is nil the harness
+// is reconstructed for every sampled run. Construction, check and reset
+// calls are serialized across workers, so harness closures may accumulate
+// into shared state.
+type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error, reset func())
+
+// Sampler names a scheduling distribution.
+type Sampler string
+
+// The available samplers.
+const (
+	SamplerRandom Sampler = "random"
+	SamplerPCT    Sampler = "pct"
+	SamplerWalk   Sampler = "walk"
+	SamplerRates  Sampler = "rates"
+)
+
+// ParseSampler validates a sampler name (as passed to tascheck -sampler).
+func ParseSampler(s string) (Sampler, error) {
+	switch Sampler(s) {
+	case SamplerRandom, SamplerPCT, SamplerWalk, SamplerRates:
+		return Sampler(s), nil
+	}
+	return "", fmt.Errorf("randexp: unknown sampler %q (random | pct | walk | rates)", s)
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBatchSize = 64
+	DefaultPCTDepth  = 3
+)
+
+// Config parameterizes a sampling run.
+type Config struct {
+	// Sampler selects the scheduling distribution (default random).
+	Sampler Sampler
+	// Samples is the total number of seeded runs: seeds Seed..Seed+Samples-1.
+	Samples int
+	// Seed is the base seed.
+	Seed int64
+	// Workers is the number of runs executed concurrently (0 or 1 =
+	// sequential). Worker count never changes any reported result, only
+	// wall-clock.
+	Workers int
+	// CrashProb, when positive, injects seeded crashes: at each decision a
+	// parked process is crashed with this probability (explore.SampleCrashProb
+	// is the conventional value).
+	CrashProb float64
+	// PCTDepth is the PCT bug-depth parameter d: d−1 priority change
+	// points per run (default DefaultPCTDepth). Only meaningful for the
+	// pct sampler.
+	PCTDepth int
+	// PCTSteps pins the PCT schedule-length bound k. 0 measures it with
+	// one deterministic round-robin probe run before sampling starts.
+	PCTSteps int
+	// Rates are the per-process rate weights of the rates sampler
+	// (processes beyond the slice reuse the last weight; empty = uniform).
+	Rates []float64
+	// BatchSize is the number of consecutive seeds merged at a time
+	// (default DefaultBatchSize). It is the determinism granule: failure
+	// stops and saturation stops happen on batch boundaries, so results
+	// depend on BatchSize but never on Workers.
+	BatchSize int
+	// SatBatches, when positive, stops sampling early after this many
+	// consecutive batches that discovered no new terminal fingerprint and
+	// no new schedule shape. 0 disables the saturation stop.
+	SatBatches int
+	// KeepGoing continues sampling after a failing batch instead of
+	// stopping, so failure *rates* can be measured over the full seed
+	// range. The returned CheckError still reports the lex-least failing
+	// seed.
+	KeepGoing bool
+}
+
+// Report summarizes a sampling run. All fields are independent of
+// Config.Workers.
+type Report struct {
+	// Executions is the number of seeded runs performed (all runs of every
+	// started batch).
+	Executions int
+	// Failures is the number of runs whose check failed.
+	Failures int
+	// FailSeed is the smallest failing seed (meaningful when Failures > 0).
+	FailSeed int64
+	// MaxDepth is the largest schedule length seen.
+	MaxDepth int
+	// DepthHist is the histogram of schedule lengths (bucket width 8).
+	DepthHist *stats.Hist
+	// DistinctStates is the number of distinct terminal-state fingerprints
+	// seen; 0 when the harness does not register fingerprintable objects
+	// (FingerprintOK reports which).
+	DistinctStates int
+	// FingerprintOK reports whether terminal states could be fingerprinted.
+	FingerprintOK bool
+	// DistinctShapes is the number of distinct schedule shapes (choice
+	// sequences) seen.
+	DistinctShapes int
+	// CoverageCurve[i] is the number of new coverage units (first-seen
+	// terminal fingerprints plus first-seen schedule shapes) discovered in
+	// batch i.
+	CoverageCurve []int
+	// Saturated reports whether the run stopped early on the SatBatches
+	// plateau heuristic.
+	Saturated bool
+	// PCTSteps is the schedule-length bound k the pct sampler used (probe
+	// result or Config.PCTSteps); 0 for other samplers.
+	PCTSteps int
+	// TreeSizeEstimate is the walk sampler's unbiased estimate of the
+	// total number of interleavings; 0 for other samplers and under crash
+	// injection (which invalidates the estimator).
+	TreeSizeEstimate float64
+}
+
+// CheckError wraps a check failure with the seed and schedule that
+// produced it: re-running the seed or replaying the schedule with
+// sched.NewReplay reproduces the failure without re-sampling the batch.
+type CheckError struct {
+	Seed     int64
+	Schedule []sched.Choice
+	Err      error
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("randexp: check failed on seed %d (schedule %v): %v", e.Seed, e.Schedule, e.Err)
+}
+
+func (e *CheckError) Unwrap() error { return e.Err }
+
+// instance is one worker's constructed harness, pooled when the harness
+// provides a reset path (same shape as the explore engine's).
+type instance struct {
+	env    *memory.Env
+	bodies []func(p *memory.Proc)
+	check  func(res *sched.Result) error
+	reset  func()
+	exec   *sched.Executor
+}
+
+func (inst *instance) close() {
+	if inst != nil && inst.exec != nil {
+		inst.exec.Close()
+	}
+}
+
+// outcome is the per-run record merged, in seed order, into the Report.
+type outcome struct {
+	seed     int64
+	depth    int
+	fp       uint64
+	fpOK     bool
+	shape    uint64
+	weight   float64 // exp(log importance weight); walk sampler only
+	err      error
+	schedule []sched.Choice
+}
+
+// runner is the shared state of one Run call.
+type runner struct {
+	h        Harness
+	cfg      Config
+	pctSteps int
+	insts    []*instance
+	// checkMu serializes harness construction, check and reset calls, so
+	// harness closures may share state across instances (the explore
+	// contract).
+	checkMu sync.Mutex
+}
+
+func (r *runner) newInstance() *instance {
+	r.checkMu.Lock()
+	env, bodies, check, reset := r.h()
+	r.checkMu.Unlock()
+	inst := &instance{env: env, bodies: bodies, check: check, reset: reset}
+	if reset != nil {
+		inst.exec = sched.NewExecutor(env, bodies)
+	}
+	return inst
+}
+
+// instanceFor returns worker w's instance: persistent when pooled, fresh
+// per call when the harness has no reset path (the documented fallback —
+// all shared state must then live inside the closure, and the construction
+// cost is paid per run, exactly as in the explore engine's
+// reconstruction mode).
+func (r *runner) instanceFor(w int) *instance {
+	if inst := r.insts[w]; inst != nil && inst.exec != nil {
+		return inst
+	}
+	inst := r.newInstance()
+	r.insts[w] = inst
+	return inst
+}
+
+// probeDepth measures the harness's schedule length under one round-robin
+// execution — a deterministic stand-in for the PCT bound k.
+func (r *runner) probeDepth() int {
+	inst := r.instanceFor(0)
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.RunStrategy(sched.NewRoundRobin())
+		r.checkMu.Lock()
+		inst.env.Reset()
+		inst.reset()
+		r.checkMu.Unlock()
+	} else {
+		res = sched.Run(inst.env, sched.NewRoundRobin(), inst.bodies)
+	}
+	if d := len(res.Schedule); d > 0 {
+		return d
+	}
+	return 1
+}
+
+// strategyFor builds the seeded strategy for one run. The returned *Walk
+// is non-nil only for the walk sampler, whose weight is read after the
+// run.
+func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, *sched.Walk) {
+	// Crash draws come from a distinct stream so they cannot perturb the
+	// structured samplers' decision state.
+	crashSeed := seed ^ 0x5DEECE66D
+	switch r.cfg.Sampler {
+	case SamplerPCT:
+		d := r.cfg.PCTDepth
+		if d < 1 {
+			d = DefaultPCTDepth
+		}
+		var s sched.Strategy = sched.NewPCT(seed, n, r.pctSteps, d)
+		if r.cfg.CrashProb > 0 {
+			s = sched.WithCrashes(s, crashSeed, r.cfg.CrashProb)
+		}
+		return s, nil
+	case SamplerWalk:
+		w := sched.NewWalk(seed)
+		if r.cfg.CrashProb > 0 {
+			// Crash injection truncates paths and shrinks later parked
+			// sets, so the walk's weight no longer inverts any fixed
+			// tree's path probability; the handle is dropped and no
+			// estimate is reported rather than reporting a wrong one.
+			return sched.WithCrashes(w, crashSeed, r.cfg.CrashProb), nil
+		}
+		return w, w
+	case SamplerRates:
+		var s sched.Strategy = sched.NewRates(seed, r.cfg.Rates)
+		if r.cfg.CrashProb > 0 {
+			s = sched.WithCrashes(s, crashSeed, r.cfg.CrashProb)
+		}
+		return s, nil
+	default: // SamplerRandom
+		if r.cfg.CrashProb > 0 {
+			// Single-stream draw order kept identical to the legacy
+			// explore.Sample path, so crash-mode samples reproduce across
+			// the shim.
+			return sched.NewRandomCrash(seed, r.cfg.CrashProb), nil
+		}
+		return sched.NewRandom(seed), nil
+	}
+}
+
+// shapeHash folds a schedule's (proc, crash) sequence into a 64-bit
+// signature.
+func shapeHash(schedule []sched.Choice) uint64 {
+	h := memory.NewStateHash()
+	for _, c := range schedule {
+		w := uint64(c.Proc) << 1
+		if c.Crash {
+			w |= 1
+		}
+		h.Add(w)
+	}
+	return h.Sum()
+}
+
+// runOne performs one seeded run on the given instance and records its
+// outcome. The terminal fingerprint is taken before the instance is reset.
+func (r *runner) runOne(inst *instance, seed int64) outcome {
+	strat, walk := r.strategyFor(seed, inst.env.N())
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.RunStrategy(strat)
+	} else {
+		res = sched.Run(inst.env, strat, inst.bodies)
+	}
+	out := outcome{seed: seed, depth: len(res.Schedule), shape: shapeHash(res.Schedule)}
+	out.fp, out.fpOK = inst.env.Fingerprint()
+	if walk != nil {
+		out.weight = math.Exp(walk.LogWeight())
+	}
+	r.checkMu.Lock()
+	err := inst.check(res)
+	if inst.exec != nil {
+		inst.env.Reset()
+		inst.reset()
+	}
+	r.checkMu.Unlock()
+	if err != nil {
+		out.err = err
+		out.schedule = res.Schedule
+	}
+	return out
+}
+
+// Run samples cfg.Samples seeded executions of h and returns the merged
+// report. A check failure is returned as a *CheckError carrying the
+// lex-least failing seed; by the batch discipline that seed (and every
+// other Report field) is identical for every Config.Workers value.
+func Run(h Harness, cfg Config) (Report, error) {
+	rep := Report{DepthHist: stats.NewHist(8)}
+	if cfg.Samples <= 0 {
+		return rep, nil
+	}
+	if cfg.Sampler == "" {
+		cfg.Sampler = SamplerRandom
+	}
+	if _, err := ParseSampler(string(cfg.Sampler)); err != nil {
+		return rep, err
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = DefaultBatchSize
+	}
+
+	r := &runner{h: h, cfg: cfg, insts: make([]*instance, workers)}
+	defer func() {
+		for _, inst := range r.insts {
+			inst.close()
+		}
+	}()
+	if cfg.Sampler == SamplerPCT {
+		r.pctSteps = cfg.PCTSteps
+		if r.pctSteps < 1 {
+			r.pctSteps = r.probeDepth()
+		}
+		rep.PCTSteps = r.pctSteps
+	}
+
+	states := make(map[uint64]struct{})
+	shapes := make(map[uint64]struct{})
+	var firstFail *outcome
+	weightSum, weightRuns := 0.0, 0
+	staleBatches := 0
+
+	next := cfg.Seed
+	for remaining := cfg.Samples; remaining > 0; {
+		m := batch
+		if remaining < m {
+			m = remaining
+		}
+		outs := make([]outcome, m)
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		active := workers
+		if m < active {
+			active = m
+		}
+		for w := 0; w < active; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= m {
+						return
+					}
+					outs[i] = r.runOne(r.instanceFor(w), next+int64(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Merge in seed order: coverage, depth accounting, failures.
+		newCov := 0
+		for i := range outs {
+			o := &outs[i]
+			rep.Executions++
+			rep.DepthHist.Add(o.depth)
+			if o.depth > rep.MaxDepth {
+				rep.MaxDepth = o.depth
+			}
+			if o.fpOK {
+				rep.FingerprintOK = true
+				if _, seen := states[o.fp]; !seen {
+					states[o.fp] = struct{}{}
+					newCov++
+				}
+			}
+			if _, seen := shapes[o.shape]; !seen {
+				shapes[o.shape] = struct{}{}
+				newCov++
+			}
+			if o.weight > 0 {
+				weightSum += o.weight
+				weightRuns++
+			}
+			if o.err != nil {
+				rep.Failures++
+				if firstFail == nil {
+					firstFail = o
+				}
+			}
+		}
+		rep.CoverageCurve = append(rep.CoverageCurve, newCov)
+		next += int64(m)
+		remaining -= m
+
+		if firstFail != nil && !cfg.KeepGoing {
+			break
+		}
+		if cfg.SatBatches > 0 {
+			if newCov == 0 {
+				staleBatches++
+			} else {
+				staleBatches = 0
+			}
+			if staleBatches >= cfg.SatBatches {
+				rep.Saturated = true
+				break
+			}
+		}
+	}
+
+	rep.DistinctStates = len(states)
+	rep.DistinctShapes = len(shapes)
+	if cfg.Sampler == SamplerWalk && weightRuns > 0 {
+		rep.TreeSizeEstimate = weightSum / float64(weightRuns)
+	}
+	if firstFail != nil {
+		rep.FailSeed = firstFail.seed
+		return rep, &CheckError{Seed: firstFail.seed, Schedule: firstFail.schedule, Err: firstFail.err}
+	}
+	return rep, nil
+}
+
+// HandoffBug returns a reference harness with a seeded rare-interleaving
+// bug of depth 2, used to compare samplers' bug-finding power (bench E12
+// and the subsystem's own tests). Process 0 performs warmup private reads,
+// publishes a flag, performs gap more private reads, then reads an ack;
+// process 1 reads the flag as its very first step and acknowledges only if
+// it saw it set; processes 2..n-1 are warmup-read noise. The check fails
+// exactly when the full handoff happened, which requires (a) process 0's
+// flag write — its step warmup+1 — to precede process 1's first step, and
+// (b) process 1's ack to land inside process 0's gap window. Under uniform
+// sampling constraint (a) alone has probability about 2^-(warmup+1); under
+// PCT with depth 2 the bug needs only process 0 outranking process 1 plus
+// one change point in the gap window, and a skewed rates sampler (fast
+// process 0, slow process 1) finds it at constant rate.
+func HandoffBug(n, warmup, gap int) Harness {
+	if n < 2 {
+		panic("randexp: HandoffBug requires n >= 2")
+	}
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(n)
+		flag := memory.NewIntReg(0)
+		ack := memory.NewIntReg(0)
+		env.Register(flag, ack)
+		scratch := make([]*memory.IntReg, n)
+		for i := range scratch {
+			scratch[i] = memory.NewIntReg(0)
+			env.Register(scratch[i])
+		}
+		got := new(int64)
+		bodies := make([]func(p *memory.Proc), n)
+		bodies[0] = func(p *memory.Proc) {
+			for s := 0; s < warmup; s++ {
+				scratch[0].Read(p)
+			}
+			flag.Write(p, 1)
+			for s := 0; s < gap; s++ {
+				scratch[0].Read(p)
+			}
+			*got = ack.Read(p)
+		}
+		bodies[1] = func(p *memory.Proc) {
+			if flag.Read(p) == 1 {
+				ack.Write(p, 1)
+			}
+		}
+		for i := 2; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				for s := 0; s < warmup; s++ {
+					scratch[i].Read(p)
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			if *got == 1 {
+				return errors.New("handoff bug: process 0 observed the acknowledged flag")
+			}
+			return nil
+		}
+		reset := func() { *got = 0 }
+		return env, bodies, check, reset
+	}
+}

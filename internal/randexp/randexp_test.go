@@ -1,0 +1,368 @@
+package randexp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// lostUpdateHarness: the classic two-process non-atomic increment, with the
+// final value recorded per run. Small enough that sampling saturates its
+// whole behaviour space quickly.
+func lostUpdateHarness(outcomes map[int64]int) Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		env.Register(r)
+		inc := func(p *memory.Proc) {
+			v := r.Read(p)
+			r.Write(p, v+1)
+		}
+		check := func(res *sched.Result) error {
+			if outcomes != nil {
+				outcomes[r.Read(env.Proc(0))]++
+			}
+			return nil
+		}
+		return env, []func(p *memory.Proc){inc, inc}, check, func() {}
+	}
+}
+
+// bugCfg is the reference planted-bug configuration: n=5, a rare depth-2
+// handoff bug (see HandoffBug).
+const (
+	bugN      = 5
+	bugWarmup = 16
+	bugGap    = 10
+)
+
+func TestRunBasicCoverage(t *testing.T) {
+	outcomes := map[int64]int{}
+	rep, err := Run(lostUpdateHarness(outcomes), Config{Samples: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 200 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	if outcomes[1] == 0 || outcomes[2] == 0 || outcomes[1]+outcomes[2] != 200 {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+	if !rep.FingerprintOK || rep.DistinctStates != 2 {
+		t.Fatalf("distinct terminal states = %d (fpOK=%v), want 2", rep.DistinctStates, rep.FingerprintOK)
+	}
+	// Six interleavings, all of depth 4.
+	if rep.DistinctShapes != 6 || rep.MaxDepth != 4 {
+		t.Fatalf("shapes = %d, maxDepth = %d; want 6, 4", rep.DistinctShapes, rep.MaxDepth)
+	}
+	if rep.DepthHist.N != 200 || rep.DepthHist.Min != 4 || rep.DepthHist.Max != 4 {
+		t.Fatalf("depth hist = %+v", rep.DepthHist)
+	}
+	if len(rep.CoverageCurve) == 0 || rep.CoverageCurve[0] == 0 {
+		t.Fatalf("coverage curve = %v", rep.CoverageCurve)
+	}
+}
+
+func TestRunRejectsUnknownSampler(t *testing.T) {
+	_, err := Run(lostUpdateHarness(nil), Config{Samples: 10, Sampler: "bogus"})
+	if err == nil {
+		t.Fatal("unknown sampler accepted")
+	}
+	if _, err := ParseSampler("pct"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaturationStopsEarly: on a 6-interleaving harness the coverage
+// plateaus almost immediately, so the saturation heuristic must stop the
+// run long before the sample budget while having seen every behaviour.
+func TestSaturationStopsEarly(t *testing.T) {
+	outcomes := map[int64]int{}
+	rep, err := Run(lostUpdateHarness(outcomes), Config{
+		Samples: 100000, Seed: 1, BatchSize: 16, SatBatches: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Saturated {
+		t.Fatalf("run did not saturate: %+v", rep)
+	}
+	if rep.Executions >= 100000 || rep.Executions < 16 {
+		t.Fatalf("executions = %d, want an early batch-aligned stop", rep.Executions)
+	}
+	if rep.Executions%16 != 0 {
+		t.Fatalf("executions = %d, not batch-aligned", rep.Executions)
+	}
+	if rep.DistinctShapes != 6 || rep.DistinctStates != 2 {
+		t.Fatalf("saturated before full coverage: %d shapes, %d states", rep.DistinctShapes, rep.DistinctStates)
+	}
+	tail := rep.CoverageCurve[len(rep.CoverageCurve)-3:]
+	if tail[0] != 0 || tail[1] != 0 || tail[2] != 0 {
+		t.Fatalf("coverage curve tail not a plateau: %v", rep.CoverageCurve)
+	}
+}
+
+// TestPCTFindsPlantedBugFasterThanRandom is the subsystem's reason to
+// exist: on the depth-2 handoff bug at n=5, PCT with matching depth must
+// find the failure within the seed budget while uniform random sampling
+// (and the walk, which samples the same distribution) finds nothing at
+// all. Deterministic: fixed seeds, fixed batch discipline.
+func TestPCTFindsPlantedBugFasterThanRandom(t *testing.T) {
+	const samples = 2000
+	pctRep, pctErr := Run(HandoffBug(bugN, bugWarmup, bugGap), Config{
+		Sampler: SamplerPCT, PCTDepth: 2, Samples: samples, Seed: 1,
+	})
+	var ce *CheckError
+	if !errors.As(pctErr, &ce) {
+		t.Fatalf("pct d=2 found nothing in %d runs: %v", samples, pctErr)
+	}
+	if ce.Seed != pctRep.FailSeed {
+		t.Fatalf("CheckError seed %d != report FailSeed %d", ce.Seed, pctRep.FailSeed)
+	}
+	pctRuns := int(ce.Seed - 1 + 1) // seeds start at 1
+	for _, sampler := range []Sampler{SamplerRandom, SamplerWalk} {
+		rep, err := Run(HandoffBug(bugN, bugWarmup, bugGap), Config{
+			Sampler: sampler, Samples: samples, Seed: 1, KeepGoing: true,
+		})
+		if err != nil || rep.Failures != 0 {
+			t.Fatalf("%s found the rare bug in %d runs (failures=%d, err=%v) — the planted bug is not rare enough",
+				sampler, samples, rep.Failures, err)
+		}
+	}
+	if pctRuns > samples/2 {
+		t.Fatalf("pct needed %d runs; want a measurable margin under the %d budget", pctRuns, samples)
+	}
+	t.Logf("pct d=2: first failing seed %d (k=%d); random/walk: 0 failures in %d runs",
+		ce.Seed, pctRep.PCTSteps, samples)
+}
+
+// TestPCTDepthMatters: the handoff bug needs one priority change point
+// (depth 2); with d=1 PCT degenerates to strict priority scheduling, under
+// which the full handoff is impossible — process 0 either outranks process
+// 1 and reads the ack before process 1 could write it, or is outranked and
+// the flag is read too early.
+func TestPCTDepthMatters(t *testing.T) {
+	rep, err := Run(HandoffBug(bugN, bugWarmup, bugGap), Config{
+		Sampler: SamplerPCT, PCTDepth: 1, Samples: 1000, Seed: 1, KeepGoing: true,
+	})
+	if err != nil || rep.Failures != 0 {
+		t.Fatalf("pct d=1 triggered the depth-2 bug: failures=%d err=%v", rep.Failures, err)
+	}
+}
+
+// TestRatesFindsStragglerBug: skewed rates (fast process 0, slow everyone
+// else) reach the handoff ordering at constant probability per run.
+func TestRatesFindsStragglerBug(t *testing.T) {
+	_, err := Run(HandoffBug(bugN, bugWarmup, bugGap), Config{
+		Sampler: SamplerRates, Rates: []float64{12, 1}, Samples: 2000, Seed: 1,
+	})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("skewed rates found nothing: %v", err)
+	}
+}
+
+// TestParallelSamplingDeterministic is the acceptance contract: w workers
+// must produce the identical report — canonical failing seed included — as
+// one worker.
+func TestParallelSamplingDeterministic(t *testing.T) {
+	run := func(workers int) (Report, int64) {
+		rep, err := Run(HandoffBug(bugN, bugWarmup, bugGap), Config{
+			Sampler: SamplerPCT, PCTDepth: 2, Samples: 2000, Seed: 1, Workers: workers,
+		})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: no failure found: %v", workers, err)
+		}
+		return rep, ce.Seed
+	}
+	base, baseSeed := run(1)
+	for _, workers := range []int{4, 8} {
+		rep, seed := run(workers)
+		if seed != baseSeed {
+			t.Fatalf("workers=%d: canonical failing seed %d, want %d", workers, seed, baseSeed)
+		}
+		if !reflect.DeepEqual(rep, base) {
+			t.Fatalf("workers=%d: report diverged:\n%+v\nvs\n%+v", workers, rep, base)
+		}
+	}
+	// Coverage-only runs must be worker-independent too.
+	cov := func(workers int) Report {
+		rep, err := Run(lostUpdateHarness(nil), Config{
+			Sampler: SamplerWalk, Samples: 500, Seed: 7, Workers: workers, BatchSize: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := cov(1), cov(6); !reflect.DeepEqual(a, b) {
+		t.Fatalf("walk coverage reports diverged across workers:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFailingSeedReplays: the reported seed and schedule must both
+// independently reproduce the failure.
+func TestFailingSeedReplays(t *testing.T) {
+	cfg := Config{Sampler: SamplerPCT, PCTDepth: 2, Samples: 2000, Seed: 1}
+	rep, err := Run(HandoffBug(bugN, bugWarmup, bugGap), cfg)
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatal("no failure to replay")
+	}
+	// (a) Re-running with the failing seed as base finds it on the first run.
+	cfg2 := cfg
+	cfg2.Seed = ce.Seed
+	cfg2.PCTSteps = rep.PCTSteps // pin the probe bound: same seed ⇒ same run
+	rep2, err2 := Run(HandoffBug(bugN, bugWarmup, bugGap), cfg2)
+	var ce2 *CheckError
+	if !errors.As(err2, &ce2) || ce2.Seed != ce.Seed {
+		t.Fatalf("re-running seed %d did not reproduce: %v", ce.Seed, err2)
+	}
+	if rep2.FailSeed != ce.Seed {
+		t.Fatalf("FailSeed = %d, want %d", rep2.FailSeed, ce.Seed)
+	}
+	if !reflect.DeepEqual(ce2.Schedule, ce.Schedule) {
+		t.Fatal("same seed produced a different failing schedule")
+	}
+	// (b) Replaying the schedule on a fresh instance reproduces the failure.
+	env, bodies, check, _ := HandoffBug(bugN, bugWarmup, bugGap)()
+	res := sched.Run(env, sched.NewReplay(ce.Schedule), bodies)
+	if check(res) == nil {
+		t.Fatal("replayed schedule did not reproduce the handoff bug")
+	}
+}
+
+// TestWalkTreeEstimate: the walk's importance weights estimate the
+// interleaving count; on the 6-leaf lost-update tree the estimate must
+// land near 6.
+func TestWalkTreeEstimate(t *testing.T) {
+	rep, err := Run(lostUpdateHarness(nil), Config{Sampler: SamplerWalk, Samples: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TreeSizeEstimate < 5.4 || rep.TreeSizeEstimate > 6.6 {
+		t.Fatalf("tree-size estimate = %v, want ~6", rep.TreeSizeEstimate)
+	}
+	// Other samplers must not report an estimate, and neither must a
+	// crash-mode walk (crashes invalidate the estimator).
+	rep, err = Run(lostUpdateHarness(nil), Config{Sampler: SamplerRandom, Samples: 50, Seed: 1})
+	if err != nil || rep.TreeSizeEstimate != 0 {
+		t.Fatalf("random sampler reported a tree estimate: %v (err %v)", rep.TreeSizeEstimate, err)
+	}
+	rep, err = Run(lostUpdateHarness(nil), Config{Sampler: SamplerWalk, Samples: 50, Seed: 1, CrashProb: 0.25})
+	if err != nil || rep.TreeSizeEstimate != 0 {
+		t.Fatalf("crash-mode walk reported a tree estimate: %v (err %v)", rep.TreeSizeEstimate, err)
+	}
+}
+
+// TestCrashInjection: crash-mode sampling reaches crashed terminal states
+// on every sampler, deterministically per seed, and crash-free sampling
+// never crashes anyone.
+func TestCrashInjection(t *testing.T) {
+	for _, sampler := range []Sampler{SamplerRandom, SamplerPCT, SamplerWalk, SamplerRates} {
+		crashed := 0
+		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+			env := memory.NewEnv(3)
+			r := memory.NewIntReg(0)
+			env.Register(r)
+			body := func(p *memory.Proc) {
+				for i := 0; i < 4; i++ {
+					r.Read(p)
+				}
+			}
+			check := func(res *sched.Result) error {
+				for i := 0; i < 3; i++ {
+					if res.Crashed[i] {
+						crashed++
+					}
+					if res.Crashed[i] && res.Finished[i] {
+						return errors.New("crashed and finished")
+					}
+				}
+				return nil
+			}
+			return env, []func(p *memory.Proc){body, body, body}, check, func() {}
+		}
+		rep, err := Run(h, Config{Sampler: sampler, Samples: 200, Seed: 1, CrashProb: 0.25})
+		if err != nil {
+			t.Fatalf("%s: %v", sampler, err)
+		}
+		if rep.Executions != 200 || crashed == 0 {
+			t.Fatalf("%s: %d executions, %d crashes", sampler, rep.Executions, crashed)
+		}
+		crashed = 0
+		if _, err := Run(h, Config{Sampler: sampler, Samples: 100, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if crashed != 0 {
+			t.Fatalf("%s: crash-free sampling crashed %d processes", sampler, crashed)
+		}
+	}
+}
+
+// TestNonPooledFallback: a harness without a reset path must be
+// reconstructed per run (shared state lives inside the closure) and still
+// sample correctly, including across workers.
+func TestNonPooledFallback(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		outcomes := map[int64]int{}
+		var mu = outcomes // written under the runner's check lock
+		h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+			env := memory.NewEnv(2)
+			r := memory.NewIntReg(0)
+			inc := func(p *memory.Proc) {
+				v := r.Read(p)
+				r.Write(p, v+1)
+			}
+			check := func(res *sched.Result) error {
+				mu[r.Read(env.Proc(0))]++
+				return nil
+			}
+			return env, []func(p *memory.Proc){inc, inc}, check, nil
+		}
+		rep, err := Run(h, Config{Samples: 120, Seed: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Executions != 120 || outcomes[1]+outcomes[2] != 120 {
+			t.Fatalf("workers=%d: rep %+v outcomes %v", workers, rep, outcomes)
+		}
+		if outcomes[1] == 0 || outcomes[2] == 0 {
+			t.Fatalf("workers=%d: fallback sampling missed an outcome: %v", workers, outcomes)
+		}
+	}
+}
+
+// TestKeepGoingCountsAllFailures: KeepGoing must run the full budget and
+// count every failure while still reporting the lex-least failing seed.
+func TestKeepGoingCountsAllFailures(t *testing.T) {
+	alwaysFail := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		env.Register(r)
+		body := func(p *memory.Proc) { r.Read(p) }
+		check := func(res *sched.Result) error { return fmt.Errorf("always") }
+		return env, []func(p *memory.Proc){body, body}, check, func() {}
+	}
+	rep, err := Run(alwaysFail, Config{Samples: 150, Seed: 10, KeepGoing: true})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CheckError, got %v", err)
+	}
+	if rep.Executions != 150 || rep.Failures != 150 {
+		t.Fatalf("keepgoing rep = %+v", rep)
+	}
+	if ce.Seed != 10 || rep.FailSeed != 10 {
+		t.Fatalf("canonical seed = %d / %d, want 10", ce.Seed, rep.FailSeed)
+	}
+	// Without KeepGoing the run stops after the first (failing) batch.
+	rep, err = Run(alwaysFail, Config{Samples: 150, Seed: 10})
+	if !errors.As(err, &ce) || rep.Executions != DefaultBatchSize {
+		t.Fatalf("non-keepgoing rep = %+v, err %v", rep, err)
+	}
+}

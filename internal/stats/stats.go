@@ -1,11 +1,13 @@
 // Package stats provides the small descriptive-statistics helpers the
-// benchmark harness uses to summarize step-count samples.
+// benchmark harness and the randomized-exploration subsystem use to
+// summarize step-count and schedule-depth samples.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Summary holds descriptive statistics of a sample.
@@ -72,6 +74,105 @@ func Percentile(sorted []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Hist is a fixed-bucket-width histogram over non-negative integer samples
+// (schedule depths, per-process step counts). The zero value with Width 0
+// behaves as width 1.
+type Hist struct {
+	// Width is the bucket width; bucket i covers [i*Width, (i+1)*Width).
+	Width int
+	// Counts[i] is the number of samples in bucket i.
+	Counts []int
+	// N is the total number of samples.
+	N int
+	// Min and Max are the extreme samples seen (undefined when N == 0).
+	Min, Max int
+}
+
+// NewHist returns an empty histogram with the given bucket width (minimum
+// 1).
+func NewHist(width int) *Hist {
+	if width < 1 {
+		width = 1
+	}
+	return &Hist{Width: width}
+}
+
+// Add records one sample. Negative samples are clamped to 0.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	w := h.Width
+	if w < 1 {
+		w = 1
+	}
+	b := v / w
+	for len(h.Counts) <= b {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[b]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+}
+
+// Merge folds other into h. Widths must match (enforced by panic: merging
+// histograms of different bucket widths is a programming error).
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	hw, ow := h.Width, other.Width
+	if hw < 1 {
+		hw = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	if hw != ow {
+		panic(fmt.Sprintf("stats: merging Hist width %d into width %d", ow, hw))
+	}
+	for len(h.Counts) < len(other.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	if h.N == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if h.N == 0 || other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.N += other.N
+}
+
+// String renders the non-empty buckets compactly: "[0,8):3 [8,16):12".
+func (h *Hist) String() string {
+	if h.N == 0 {
+		return "(empty)"
+	}
+	w := h.Width
+	if w < 1 {
+		w = 1
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "[%d,%d):%d", i*w, (i+1)*w, c)
+	}
+	return b.String()
 }
 
 // MeanInt64 averages an int64 sample.

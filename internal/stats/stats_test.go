@@ -67,6 +67,61 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+func TestHist(t *testing.T) {
+	h := NewHist(8)
+	for _, v := range []int{0, 3, 7, 8, 9, 40, -2} {
+		h.Add(v)
+	}
+	if h.N != 7 || h.Min != 0 || h.Max != 40 {
+		t.Fatalf("hist = %+v", h)
+	}
+	// Buckets: [0,8) holds 0,3,7 and the clamped -2; [8,16) holds 8,9;
+	// [40,48) holds 40.
+	if h.Counts[0] != 4 || h.Counts[1] != 2 || h.Counts[5] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if got := h.String(); got != "[0,8):4 [8,16):2 [40,48):1" {
+		t.Fatalf("String() = %q", got)
+	}
+	if NewHist(0).Width != 1 {
+		t.Fatal("width must clamp to 1")
+	}
+	if (&Hist{}).String() != "(empty)" {
+		t.Fatal("empty hist rendering")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(4), NewHist(4)
+	a.Add(1)
+	a.Add(9)
+	b.Add(5)
+	b.Add(17)
+	a.Merge(b)
+	if a.N != 4 || a.Min != 1 || a.Max != 17 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if a.Counts[0] != 1 || a.Counts[1] != 1 || a.Counts[2] != 1 || a.Counts[4] != 1 {
+		t.Fatalf("merged counts = %v", a.Counts)
+	}
+	a.Merge(nil)
+	a.Merge(NewHist(4))
+	if a.N != 4 {
+		t.Fatal("merging nil/empty changed the histogram")
+	}
+	empty := NewHist(4)
+	empty.Merge(b)
+	if empty.N != 2 || empty.Min != 5 || empty.Max != 17 {
+		t.Fatalf("merge into empty = %+v", empty)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched widths must panic")
+		}
+	}()
+	NewHist(2).Merge(b)
+}
+
 // Property: Min ≤ P50 ≤ Max and Min ≤ Mean ≤ Max on any non-empty sample.
 func TestQuickSummaryBounds(t *testing.T) {
 	f := func(raw []int16) bool {
