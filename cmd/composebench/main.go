@@ -7,11 +7,16 @@
 //	composebench              # run every experiment
 //	composebench -exp E3      # run one experiment
 //	composebench -seed 7      # re-roll the randomized schedules
+//	composebench -scenario fai -exp E10,E11,E12   # engine experiments on another scenario
 //	composebench -json out.json   # additionally record rows as JSON
 //	composebench -list        # list experiments
 //
 // Randomized experiments derive their schedules from -seed (default 1), so
 // a table regenerates identically until the seed is changed deliberately.
+// The engine experiments (E10–E12) drive harnesses from the scenario
+// registry (internal/scenario); -scenario swaps in any registered or
+// generated (gen:<seed>) scenario, so their rows can be produced for every
+// checkable workload, not just the composed TAS.
 // With -json, every table row is additionally written to the given file as
 // a JSON array of one object per row ({experiment, table, title, row,
 // cells}), the machine-readable form the bench trajectory (BENCH_*.json)
@@ -32,9 +37,14 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "base seed for randomized experiment schedules")
+	scenarioFlag := flag.String("scenario", "", "registered or gen:<seed> scenario the engine experiments (E10-E12) drive (default: each experiment's documented workload)")
 	jsonOut := flag.String("json", "", "also write the experiment rows to this file as JSON")
 	flag.Parse()
 	bench.SetSeed(*seed)
+	if err := bench.SetScenario(*scenarioFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "composebench: %v (try tascheck -list)\n", err)
+		os.Exit(2)
+	}
 
 	experiments := bench.All()
 	if *list {

@@ -1,9 +1,11 @@
-// Command tascheck drives the model-checking side of the reproduction: it
-// explores interleavings of the speculative test-and-set (exhaustively up
-// to three processes by default, seeded-randomly beyond) and checks Lemma
-// 4's invariants, linearizability (Theorem 3 / Lemma 7), and the
-// safe-composability conditions of Definition 2 on every explored
-// execution.
+// Command tascheck drives the model-checking side of the reproduction over
+// the scenario registry (internal/scenario): every checkable workload —
+// the speculative test-and-set and its compositions, the consensus,
+// snapshot and splitter substrates, the universal construction, the
+// example workloads, and the seeded composition generator's gen:<seed>
+// family — is a named scenario built on demand and explored exhaustively
+// up to three processes (seeded-randomly beyond), with its oracle checked
+// on every explored execution.
 //
 // Exploration runs on the pooled, partial-order-reduced engine of
 // internal/explore: -workers sets the worker pool, -prune toggles
@@ -24,15 +26,22 @@
 // worker count, and -saturation stops early once coverage (distinct
 // terminal states and schedule shapes) plateaus.
 //
+// -scenario all runs the parallel sweep: every registered scenario,
+// exhaustive below -exhaustive-n and sampled above, budgeted per scenario
+// by -max and -samples, one deterministic report row each (byte-identical
+// for every -workers value). -list prints the registry.
+//
 // Usage:
 //
-//	tascheck                          # invariants, 2 processes, exhaustive
-//	tascheck -mode def2 -n 2          # Definition 2 on every interleaving
-//	tascheck -mode composed -n 3 -crashes
-//	tascheck -mode composed -n 5 -sampler pct -samples 5000 -workers 8
-//	tascheck -mode composed -n 8 -sampler rates -rates 8,1 -saturation 5
-//	tascheck -mode composed -n 4 -exhaustive-n 4 -timebudget 30s -checkpoint-out f.json
-//	tascheck -mode composed -n 4 -exhaustive-n 4 -checkpoint-in f.json -workers 16
+//	tascheck                          # scenario a1, 2 processes, exhaustive
+//	tascheck -list
+//	tascheck -scenario composed -n 3 -crashes
+//	tascheck -scenario gen:7 -n 2     # a generated composition
+//	tascheck -scenario all -n 2 -max 20000 -samples 500 -workers 8
+//	tascheck -scenario composed -n 5 -sampler pct -samples 5000 -workers 8
+//	tascheck -scenario composed -n 8 -sampler rates -rates 8,1 -saturation 5
+//	tascheck -scenario composed -n 4 -exhaustive-n 4 -timebudget 30s -checkpoint-out f.json
+//	tascheck -scenario composed -n 4 -exhaustive-n 4 -checkpoint-in f.json -workers 16
 package main
 
 import (
@@ -44,28 +53,24 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/explore"
-	"repro/internal/linearize"
-	"repro/internal/memory"
 	"repro/internal/randexp"
-	"repro/internal/sched"
-	"repro/internal/spec"
-	"repro/internal/tas"
-	"repro/internal/trace"
+	"repro/internal/scenario"
 )
 
 func main() {
-	mode := flag.String("mode", "invariants", "invariants | def2 | composed")
-	n := flag.Int("n", 2, "number of processes")
-	maxExecs := flag.Int("max", 2000000, "max execution attempts for exhaustive exploration")
-	samples := flag.Int("samples", 3000, "sampled schedules when n > -exhaustive-n")
+	mode := flag.String("mode", "", "legacy scenario alias: invariants | def2 | composed (prefer -scenario)")
+	scenarioName := flag.String("scenario", "", "scenario to check: a registered name, gen:<seed>, or 'all' for the sweep (see -list)")
+	list := flag.Bool("list", false, "print every registered and generator scenario with its oracle, then exit")
+	n := flag.Int("n", 0, "number of processes (0 = the scenario's default)")
+	maxExecs := flag.Int("max", 2000000, "max execution attempts for exhaustive exploration (per scenario in a sweep)")
+	samples := flag.Int("samples", 3000, "sampled schedules when n > -exhaustive-n (per scenario in a sweep)")
 	seed := flag.Int64("seed", 1, "base seed for sampled schedules")
 	sampler := flag.String("sampler", "random", "sampled-mode scheduler: random | pct | walk | rates")
 	pctDepth := flag.Int("pct-depth", randexp.DefaultPCTDepth, "PCT bug-depth parameter d (d-1 priority change points)")
 	rates := flag.String("rates", "", "comma-separated per-process rate weights for -sampler rates (later processes reuse the last weight)")
 	saturation := flag.Int("saturation", 0, "stop sampling after this many consecutive batches with no new coverage (0 = off)")
-	workers := flag.Int("workers", 8, "parallel exploration workers")
+	workers := flag.Int("workers", 8, "parallel exploration workers (parallel scenarios in a sweep)")
 	prune := flag.Bool("prune", true, "sleep-set partial-order reduction")
 	cache := flag.Bool("cache", false, "state-fingerprint caching (see DESIGN.md caveats)")
 	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
@@ -76,50 +81,78 @@ func main() {
 	ckptIn := flag.String("checkpoint-in", "", "resume the walk from a frontier saved by -checkpoint-out")
 	flag.Parse()
 
-	var h explore.Harness
-	switch *mode {
-	case "invariants", "def2":
-		h = a1Harness(*n, *mode == "def2", *crashes)
-	case "composed":
-		h = composedHarness(*n, *crashes)
-	default:
-		fmt.Fprintf(os.Stderr, "tascheck: unknown mode %q\n", *mode)
+	if *list {
+		fmt.Print(scenario.Listing())
+		return
+	}
+
+	name := *scenarioName
+	if name == "" {
+		// Legacy -mode spelling: map onto the registry so existing
+		// invocations keep working.
+		switch m := *mode; m {
+		case "", "invariants":
+			name = "a1"
+		case "def2", "composed":
+			name = m
+		default:
+			exitWithListing("unknown mode %q", m)
+		}
+	} else if *mode != "" {
+		fmt.Fprintln(os.Stderr, "tascheck: -mode and -scenario are aliases; pass only one")
 		os.Exit(2)
 	}
 
-	if *n > *exhaustiveN {
+	if name == "all" {
+		rejectFlags("a scenario sweep (sweeps always prune, run scenarios on one engine worker each, and sample uniformly)", map[string]bool{
+			"-sampler":        *sampler != "random",
+			"-pct-depth":      *pctDepth != randexp.DefaultPCTDepth,
+			"-rates":          *rates != "",
+			"-saturation":     *saturation != 0,
+			"-cache":          *cache,
+			"-failfast":       *failFast,
+			"-prune=false":    !*prune,
+			"-timebudget":     *timeBudget != 0,
+			"-checkpoint-out": *ckptOut != "",
+			"-checkpoint-in":  *ckptIn != "",
+		})
+		runSweep(*n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes)
+		return
+	}
+
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		exitWithListing("%v", err)
+	}
+	procs := sc.Procs(*n)
+	if *crashes && !sc.Params.Crashes {
+		fmt.Fprintf(os.Stderr, "tascheck: scenario %s does not support -crashes (its checks assume every process completes)\n", sc.Name)
+		os.Exit(2)
+	}
+	h, oracle := sc.Build(procs, scenario.Options{Crashes: *crashes})
+
+	if procs > *exhaustiveN {
 		// The sampled path has no frontier, budget or fingerprint cache;
 		// reject rather than silently ignore the flags, so a user who meant
 		// to resume or budget an exhaustive walk learns to raise
 		// -exhaustive-n instead of reading a vacuous OK.
-		for flagName, set := range map[string]bool{
+		rejectFlags(fmt.Sprintf("sampled exploration; raise -exhaustive-n to at least %d or lower -n", procs), map[string]bool{
 			"-timebudget":     *timeBudget != 0,
 			"-checkpoint-out": *ckptOut != "",
 			"-checkpoint-in":  *ckptIn != "",
 			"-cache":          *cache,
-		} {
-			if set {
-				fmt.Fprintf(os.Stderr, "tascheck: %s applies only to exhaustive exploration; raise -exhaustive-n to at least %d or lower -n\n", flagName, *n)
-				os.Exit(2)
-			}
-		}
-		runSampled(h, *mode, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation)
+		})
+		runSampled(h, sc.Name, oracle, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation)
 		return
 	}
 	// Symmetrically, the sampler knobs mean nothing on an exhaustive walk.
-	for flagName, set := range map[string]bool{
+	rejectFlags(fmt.Sprintf("exhaustive exploration; raise -n above -exhaustive-n %d", *exhaustiveN), map[string]bool{
 		"-sampler":    *sampler != "random",
 		"-pct-depth":  *pctDepth != randexp.DefaultPCTDepth,
 		"-rates":      *rates != "",
 		"-saturation": *saturation != 0,
-	} {
-		if set {
-			fmt.Fprintf(os.Stderr, "tascheck: %s applies only to sampled exploration; raise -n above -exhaustive-n %d\n", flagName, *exhaustiveN)
-			os.Exit(2)
-		}
-	}
+	})
 
-	var err error
 	cfg := explore.Config{
 		MaxExecutions: *maxExecs,
 		TimeBudget:    *timeBudget,
@@ -147,6 +180,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d executions: %v\n", rep.Executions, err)
+		if sc.Params.ExpectFail {
+			fmt.Fprintf(os.Stderr, "tascheck: (scenario %s plants this bug; finding it is the expected outcome)\n", sc.Name)
+		}
 		os.Exit(1)
 	}
 	how := "exhaustive"
@@ -156,13 +192,52 @@ func main() {
 	if rep.Partial {
 		how = "partial (hit -max or -timebudget)"
 	}
-	fmt.Printf("tascheck %s: OK — %d interleavings (%s), %d pruned as redundant, %d state-cache hits, max depth %d\n",
-		*mode, rep.Executions, how, rep.Pruned, rep.CacheHits, rep.MaxDepth)
+	fmt.Printf("tascheck %s (n=%d, oracle %s): OK — %d interleavings (%s), %d pruned as redundant, %d state-cache hits, max depth %d\n",
+		sc.Name, procs, oracle, rep.Executions, how, rep.Pruned, rep.CacheHits, rep.MaxDepth)
+}
+
+// rejectFlags exits with a usage error when any of the named flags was set
+// on a path it does not apply to.
+func rejectFlags(context string, set map[string]bool) {
+	for flagName, on := range set {
+		if on {
+			fmt.Fprintf(os.Stderr, "tascheck: %s does not apply to %s\n", flagName, context)
+			os.Exit(2)
+		}
+	}
+}
+
+// exitWithListing prints the error followed by the scenario registry, the
+// fix for nearly every unknown-name mistake, and exits with a usage error.
+func exitWithListing(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tascheck: "+format+"\n\navailable scenarios:\n\n", args...)
+	fmt.Fprint(os.Stderr, scenario.Listing())
+	os.Exit(2)
+}
+
+// runSweep drives the registry-wide parallel sweep and prints its
+// deterministic report.
+func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, crashes bool) {
+	cfg := scenario.SweepConfig{
+		N:             n,
+		ExhaustiveN:   exhaustiveN,
+		MaxExecutions: maxExecs,
+		Samples:       samples,
+		Seed:          seed,
+		Workers:       workers,
+		Crashes:       crashes,
+	}
+	rows, err := scenario.Sweep(scenario.Registered(), cfg)
+	fmt.Print(scenario.Render(rows))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // runSampled drives the randomized subsystem for process counts beyond the
 // exhaustive range and prints its coverage-aware summary.
-func runSampled(h explore.Harness, mode, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int) {
+func runSampled(h explore.Harness, name string, oracle scenario.Oracle, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int) {
 	kind, err := randexp.ParseSampler(sampler)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
@@ -207,8 +282,8 @@ func runSampled(h explore.Harness, mode, sampler string, samples int, seed int64
 	if rep.FingerprintOK {
 		states = fmt.Sprintf("%d", rep.DistinctStates)
 	}
-	fmt.Printf("tascheck %s: OK — %d interleavings (%s), distinct terminal states %s, distinct schedule shapes %d, max depth %d\n",
-		mode, rep.Executions, how, states, rep.DistinctShapes, rep.MaxDepth)
+	fmt.Printf("tascheck %s (oracle %s): OK — %d interleavings (%s), distinct terminal states %s, distinct schedule shapes %d, max depth %d\n",
+		name, oracle, rep.Executions, how, states, rep.DistinctShapes, rep.MaxDepth)
 	if kind == randexp.SamplerWalk && rep.TreeSizeEstimate > 0 {
 		fmt.Printf("tascheck: walk estimate of total interleavings: %.3g\n", rep.TreeSizeEstimate)
 	}
@@ -251,133 +326,6 @@ func saveCheckpoint(path string, ck *explore.Checkpoint) error {
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("writing checkpoint: %w", err)
-	}
-	return nil
-}
-
-func a1Harness(n int, withDef2, crashes bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
-		env := memory.NewEnv(n)
-		a1 := tas.NewA1()
-		env.Register(a1)
-		rec := trace.NewRecorder(n)
-		bodies := make([]func(p *memory.Proc), n)
-		for i := 0; i < n; i++ {
-			i := i
-			bodies[i] = func(p *memory.Proc) {
-				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
-				rec.RecordInvoke(i, m)
-				out, resp, sv := a1.Invoke(p, m, nil)
-				if out == core.Committed {
-					rec.RecordCommit(i, m, resp, "A1")
-				} else {
-					rec.RecordAbort(i, m, sv, "A1")
-				}
-			}
-		}
-		check := func(res *sched.Result) error {
-			if err := checkWinners(rec.Ops()); err != nil {
-				return err
-			}
-			if crashes {
-				if err := checkSurvivors(res, n); err != nil {
-					return err
-				}
-			}
-			if err := checkProjection(rec.Ops()); err != nil {
-				return err
-			}
-			if withDef2 {
-				return core.CheckDefinition2(spec.TASType{}, tas.MConstraint{}, rec.Events())
-			}
-			return nil
-		}
-		return env, bodies, check, rec.Reset
-	}
-}
-
-func composedHarness(n int, crashes bool) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
-		env := memory.NewEnv(n)
-		o := tas.NewOneShot()
-		env.Register(o)
-		rec := trace.NewRecorder(n)
-		bodies := make([]func(p *memory.Proc), n)
-		for i := 0; i < n; i++ {
-			i := i
-			bodies[i] = func(p *memory.Proc) {
-				m := spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}
-				rec.RecordInvoke(i, m)
-				v := o.TestAndSet(p)
-				rec.RecordCommit(i, m, v, "")
-			}
-		}
-		check := func(res *sched.Result) error {
-			if err := checkWinners(rec.Ops()); err != nil {
-				return err
-			}
-			if !crashes {
-				// Wait-freedom: without crashes every process completes, so
-				// exactly one winner must have committed.
-				winners := 0
-				for _, op := range rec.Ops() {
-					if op.Committed() && op.Resp == spec.Winner {
-						winners++
-					}
-				}
-				if winners != 1 {
-					return fmt.Errorf("%d winners", winners)
-				}
-			} else if err := checkSurvivors(res, n); err != nil {
-				return err
-			}
-			return checkProjection(rec.Ops())
-		}
-		return env, bodies, check, rec.Reset
-	}
-}
-
-// checkWinners enforces the at-most-one-winner safety property over the
-// committed operations (under crashes a winner may be missing: it crashed
-// mid-operation or never ran, so only the upper bound is universal).
-func checkWinners(ops []trace.Op) error {
-	winners := 0
-	for _, op := range ops {
-		if op.Committed() && op.Resp == spec.Winner {
-			winners++
-		}
-	}
-	if winners > 1 {
-		return fmt.Errorf("%d winners", winners)
-	}
-	return nil
-}
-
-// checkSurvivors enforces crash-mode liveness: every process the scheduler
-// did not crash must have run to completion.
-func checkSurvivors(res *sched.Result, n int) error {
-	for i := 0; i < n; i++ {
-		if !res.Crashed[i] && !res.Finished[i] {
-			return fmt.Errorf("survivor %d did not finish", i)
-		}
-	}
-	return nil
-}
-
-// checkProjection runs the TAS linearizability check on the invoke/commit
-// projection (aborted operations become pending invocations, Theorem 3).
-func checkProjection(ops []trace.Op) error {
-	proj := make([]trace.Op, 0, len(ops))
-	for _, op := range ops {
-		if op.Aborted {
-			op.Aborted = false
-			op.Pending = true
-			op.Ret = 0
-		}
-		proj = append(proj, op)
-	}
-	if lr := linearize.CheckTAS(proj); !lr.Ok {
-		return fmt.Errorf("not linearizable: %s", lr.Reason)
 	}
 	return nil
 }

@@ -13,9 +13,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/baseline"
 	"repro/internal/memory"
+	"repro/internal/scenario"
 	"repro/internal/tas"
 )
 
@@ -73,6 +75,16 @@ func main() {
 	p0.ResetCounters()
 	ll.TestAndSet(p0)
 	fmt.Printf("  owner after reset: back on the fast path with %d RMW\n", p0.RMWs())
+
+	// The measurements above are one schedule each; the registered scenario
+	// checks the lock's mutual exclusion over every interleaving of an
+	// owner-plus-intruder workload.
+	fmt.Println()
+	line, ok := scenario.VerifyLine("biasedlock", 2, 0)
+	fmt.Println(line)
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func report(env *memory.Env, name string, cycle func(p *memory.Proc)) {

@@ -13,11 +13,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/memory"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 	"repro/internal/tas"
 )
@@ -78,6 +80,16 @@ func main() {
 	fmt.Printf("  fleet-wide fast-path share: %.1f%% of %d ops\n",
 		100*float64(totalFast)/float64(totalOps), totalOps)
 	fmt.Printf("  rounds consumed: %d\n", election.Round(env.Proc(0)))
+
+	// The run above is one schedule; the registered scenario checks
+	// one-leader-per-term (leadership intervals disjoint, rounds == terms)
+	// over every interleaving.
+	fmt.Println()
+	line, ok := scenario.VerifyLine("leaderelection", 2, 0)
+	fmt.Println(line)
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func max64(a, b int64) int64 {

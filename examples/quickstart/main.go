@@ -11,9 +11,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/memory"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 	"repro/internal/tas"
 )
@@ -58,9 +60,18 @@ func main() {
 			r.proc, outcome, moduleName[r.module], r.steps, r.rmws)
 	}
 	fmt.Println()
-	fmt.Printf("winners: %d (must be exactly 1)\n", winners)
+	fmt.Printf("winners: %d\n", winners)
 	fmt.Printf("total shared-memory steps: %d, total RMWs: %d\n",
 		env.TotalSteps(), env.TotalRMWs())
 	fmt.Println("note: RMW > 0 only for operations that experienced step contention —")
 	fmt.Println("the composition uses no primitive with consensus number above 2.")
+
+	// This run was one schedule; the registered scenario checks the
+	// unique-winner and linearizability claims over *every* interleaving.
+	fmt.Println()
+	line, ok := scenario.VerifyLine("quickstart", 3, 0)
+	fmt.Println(line)
+	if !ok {
+		os.Exit(1)
+	}
 }

@@ -16,11 +16,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/abstract"
 	"repro/internal/consensus"
 	"repro/internal/memory"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 )
 
@@ -90,24 +92,11 @@ func main() {
 	}
 	wg.Wait()
 
-	// Per-producer FIFO check: each producer's values must come out in
-	// insertion order (across the union of consumer streams, order within
-	// each consumer suffices for a FIFO queue with a single linearization).
 	total := 0
 	for c := range dequeued {
 		total += len(dequeued[c])
-		lastPerProducer := map[int64]int64{}
-		for _, v := range dequeued[c] {
-			prod := v / 1000
-			if prev, ok := lastPerProducer[prod]; ok && v <= prev {
-				fmt.Printf("FIFO violation: consumer %d saw %d after %d\n", c, v, prev)
-				return
-			}
-			lastPerProducer[prod] = v
-		}
 	}
-
-	fmt.Printf("universal FIFO queue: %d produced, %d consumed, FIFO order verified\n",
+	fmt.Printf("universal FIFO queue: %d produced, %d consumed\n",
 		producers*perProd, total)
 	for w := 0; w < n; w++ {
 		role := "producer"
@@ -119,4 +108,16 @@ func main() {
 	}
 	fmt.Println("stage 1 is reached only after contention forced an Abstract abort;")
 	fmt.Println("its init histories replayed the committed prefix (Theorem 1 composition).")
+
+	// The FIFO claim is not asserted on this one schedule: the registered
+	// scenario checks queue linearizability (Theorem 3 projection) on the
+	// same producer/consumer composition at n=4 — two *concurrent*
+	// enqueuers, the case where FIFO order is non-trivial — over a seeded
+	// sample of schedules.
+	fmt.Println()
+	line, ok := scenario.VerifyLine("universalqueue", 4, 800)
+	fmt.Println(line)
+	if !ok {
+		os.Exit(1)
+	}
 }

@@ -5,61 +5,18 @@ import (
 	"time"
 
 	"repro/internal/explore"
-	"repro/internal/memory"
-	"repro/internal/sched"
-	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/tas"
 )
 
-// a1ExploreHarness is the A1-only reference harness of the execution-core
-// experiment: n processes racing one obstruction-free module, at-most-one-
-// winner checked on every execution. It registers its objects and resets,
-// so the engine runs it pooled; explore.NoReset strips that for the spawn
-// rows.
-func a1ExploreHarness(n int) explore.Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
-		env := memory.NewEnv(n)
-		a1 := tas.NewA1()
-		env.Register(a1)
-		resps := make([]int64, n)
-		outs := make([]bool, n)
-		bodies := make([]func(p *memory.Proc), n)
-		for i := 0; i < n; i++ {
-			i := i
-			bodies[i] = func(p *memory.Proc) {
-				out, resp, _ := a1.Invoke(p, spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}, nil)
-				outs[i] = out.String() == "committed"
-				resps[i] = resp
-			}
-		}
-		check := func(res *sched.Result) error {
-			winners := 0
-			for i := range resps {
-				if outs[i] && resps[i] == spec.Winner {
-					winners++
-				}
-			}
-			if winners > 1 {
-				return fmt.Errorf("%d winners", winners)
-			}
-			return nil
-		}
-		reset := func() {
-			clear(resps)
-			clear(outs)
-		}
-		return env, bodies, check, reset
-	}
-}
-
 // RunE11 characterizes the reusable execution core added on top of E10's
-// engine. Table one compares the pooled executor (one instance per worker,
-// Env.Reset between executions, baton-passing scheduler) against the
-// per-execution reconstruct-and-spawn path on identical walks. Table two
-// measures state-fingerprint caching (CacheStates) on top of sleep sets:
-// executions skipped because an equal (memory fingerprint, per-process
-// progress, sleep set) decision point was already explored.
+// engine, on registry harnesses (the A1 and composed scenarios by default,
+// or the scenario selected with composebench -scenario). Table one compares
+// the pooled executor (one instance per worker, Env.Reset between
+// executions, baton-passing scheduler) against the per-execution
+// reconstruct-and-spawn path on identical walks. Table two measures
+// state-fingerprint caching (CacheStates) on top of sleep sets: executions
+// skipped because an equal (memory fingerprint, per-process progress,
+// sleep set) decision point was already explored.
 func RunE11() []*Table {
 	poolTab := &Table{
 		ID:    "E11a",
@@ -70,15 +27,23 @@ func RunE11() []*Table {
 			"teardown costs per interleaving.",
 		Columns: []string{"harness", "mode", "executions", "wall-clock", "speedup"},
 	}
-	rows := []struct {
-		name string
-		h    explore.Harness
-		cfg  explore.Config
-	}{
-		{"A1 n=2 (seed walk: no pruning)", a1ExploreHarness(2), explore.Config{Workers: 1}},
-		{"A1 n=3 (sleep sets)", a1ExploreHarness(3), explore.Config{Prune: true, Workers: 1}},
+	type row struct {
+		label string
+		h     explore.Harness
+		cfg   explore.Config
 	}
-	for _, r := range rows {
+	// As in E10, the attempt budget only matters when -scenario swaps in a
+	// workload with a larger tree than the documented defaults.
+	const budget = 200000
+	mkRow := func(def string, n int, suffix string, cfg explore.Config) row {
+		h, label := harnessFor(def, n)
+		cfg.MaxExecutions = budget
+		return row{label + suffix, h, cfg}
+	}
+	for _, r := range []row{
+		mkRow("a1", 2, " (seed walk: no pruning)", explore.Config{Workers: 1}),
+		mkRow("a1", 3, " (sleep sets)", explore.Config{Prune: true, Workers: 1}),
+	} {
 		var spawnWall time.Duration
 		for _, mode := range []string{"spawn per execution", "pooled executor"} {
 			h := r.h
@@ -89,16 +54,24 @@ func RunE11() []*Table {
 			rep, err := explore.Run(h, r.cfg)
 			wall := time.Since(start)
 			if err != nil {
-				poolTab.AddRow(r.name, mode, "FAILED", err, "")
+				poolTab.AddRow(r.label, mode, "FAILED", err, "")
 				continue
+			}
+			// Budget-cut rows are marked and excluded from the speedup
+			// ratio: the two modes may have been cut at different depths.
+			execs := fmt.Sprintf("%d", rep.Executions)
+			if rep.Partial {
+				execs += " (budget-cut)"
 			}
 			speedup := "—"
 			if mode == "spawn per execution" {
-				spawnWall = wall
-			} else if spawnWall > 0 {
+				if !rep.Partial {
+					spawnWall = wall
+				}
+			} else if spawnWall > 0 && !rep.Partial {
 				speedup = stats.F1(float64(spawnWall)/float64(wall)) + "x"
 			}
-			poolTab.AddRow(r.name, mode, rep.Executions, wall.Round(100*time.Microsecond), speedup)
+			poolTab.AddRow(r.label, mode, execs, wall.Round(100*time.Microsecond), speedup)
 		}
 	}
 	poolTab.Notes = "Shape check: execution counts per harness are identical across modes (pooling " +
@@ -114,14 +87,10 @@ func RunE11() []*Table {
 			"based sleep sets, under the soundness caveats recorded in DESIGN.md.",
 		Columns: []string{"harness", "CacheStates", "executions", "cache hits", "pruned", "wall-clock"},
 	}
-	for _, r := range []struct {
-		name string
-		h    explore.Harness
-		cfg  explore.Config
-	}{
-		{"A1 n=2", a1ExploreHarness(2), explore.Config{Prune: true, Workers: 1}},
-		{"A1 n=3", a1ExploreHarness(3), explore.Config{Prune: true, Workers: 1}},
-		{"composed TAS n=3", engineHarness(3), explore.Config{Prune: true, Workers: 1}},
+	for _, r := range []row{
+		mkRow("a1", 2, "", explore.Config{Prune: true, Workers: 1}),
+		mkRow("a1", 3, "", explore.Config{Prune: true, Workers: 1}),
+		mkRow("composed", 3, "", explore.Config{Prune: true, Workers: 1}),
 	} {
 		for _, cache := range []bool{false, true} {
 			cfg := r.cfg
@@ -130,10 +99,14 @@ func RunE11() []*Table {
 			rep, err := explore.Run(r.h, cfg)
 			wall := time.Since(start)
 			if err != nil {
-				cacheTab.AddRow(r.name, cache, "FAILED", err, "", "")
+				cacheTab.AddRow(r.label, cache, "FAILED", err, "", "")
 				continue
 			}
-			cacheTab.AddRow(r.name, cache, rep.Executions, rep.CacheHits, rep.Pruned,
+			execs := fmt.Sprintf("%d", rep.Executions)
+			if rep.Partial {
+				execs += " (budget-cut)"
+			}
+			cacheTab.AddRow(r.label, cache, execs, rep.CacheHits, rep.Pruned,
 				wall.Round(100*time.Microsecond))
 		}
 	}

@@ -97,7 +97,8 @@ func RunE12() []*Table {
 			cfg := s.cfg
 			cfg.Samples = covSamples
 			cfg.Seed = seedFor(1300)
-			rep, err := randexp.Run(randexp.Harness(engineHarness(n)), cfg)
+			h, _ := harnessFor("composed", n)
+			rep, err := randexp.Run(randexp.Harness(h), cfg)
 			if err != nil {
 				covTab.AddRow(n, s.name, "FAILED", err, "", "")
 				continue

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// genFamily classifies a generated scenario by its family (independent of
+// the per-seed parameters embedded in the description).
+func genFamily(t *testing.T, sc Scenario) string {
+	t.Helper()
+	switch {
+	case strings.Contains(sc.Description, "tournament tree"):
+		return "tas-tree"
+	case strings.Contains(sc.Description, "fetch-and-increment"):
+		return "fai-stack"
+	case strings.Contains(sc.Description, "renaming network"):
+		return "splitter-net"
+	}
+	t.Fatalf("unrecognized generated scenario description %q", sc.Description)
+	return ""
+}
+
+// conformanceScenarios is the set the registry conformance tests cover:
+// every registered scenario plus one generated scenario per family.
+func conformanceScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	scs := Registered()
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= 20 && len(seen) < 3; seed++ {
+		g := Generate(seed)
+		family := genFamily(t, g)
+		if !seen[family] {
+			seen[family] = true
+			scs = append(scs, g)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("generator seeds 1..20 produced only %d families", len(seen))
+	}
+	return scs
+}
+
+func TestRegistryHasAtLeastTenScenarios(t *testing.T) {
+	if n := len(Registered()); n < 10 {
+		t.Fatalf("registry holds %d scenarios, want >= 10", n)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("composed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("unknown name must not resolve")
+	}
+	if _, err := Lookup("gen:notanumber"); err == nil {
+		t.Fatal("malformed generator seed must not resolve")
+	}
+	g, err := Lookup("gen:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "gen:42" {
+		t.Fatalf("generated scenario named %q", g.Name)
+	}
+}
+
+func TestListingMentionsEveryScenario(t *testing.T) {
+	l := Listing()
+	for _, sc := range Registered() {
+		if !strings.Contains(l, sc.Name) {
+			t.Fatalf("listing omits %s", sc.Name)
+		}
+	}
+	if !strings.Contains(l, "gen:<seed>") {
+		t.Fatal("listing omits the generator family")
+	}
+}
+
+// TestConformance is the registry conformance check: every scenario (and
+// one generated scenario per family) builds at n=2, declares its reset and
+// fingerprint capabilities truthfully, and explores identically under
+// pooled and reconstruct-fallback execution — equal counts plus the
+// engine's nondeterminism net certify that reset restores construction
+// state exactly.
+func TestConformance(t *testing.T) {
+	const budget = 400
+	for _, sc := range conformanceScenarios(t) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			n := sc.Procs(2)
+			h, oracle := sc.Build(n, Options{})
+			if oracle.String() == "" {
+				t.Fatal("empty oracle")
+			}
+			env, bodies, _, reset := h()
+			if len(bodies) != n || env.N() != n {
+				t.Fatalf("built %d bodies over env of %d procs, want %d", len(bodies), env.N(), n)
+			}
+			if (reset == nil) != sc.Params.NoReset {
+				t.Fatalf("reset path nil=%v, Params.NoReset=%v", reset == nil, sc.Params.NoReset)
+			}
+			if _, ok := env.Fingerprint(); ok != sc.Params.Fingerprints {
+				t.Fatalf("Fingerprint ok=%v, Params.Fingerprints=%v", ok, sc.Params.Fingerprints)
+			}
+
+			cfg := explore.Config{Prune: true, Workers: 1, MaxExecutions: budget}
+			pooled, errPooled := explore.Run(h, cfg)
+			fallback, errFallback := explore.Run(explore.NoReset(h), cfg)
+			checkErrs(t, sc, errPooled, errFallback)
+			if !sameReport(pooled, fallback) {
+				t.Fatalf("pooled report %+v != fallback report %+v", pooled, fallback)
+			}
+
+			if sc.Params.Crashes {
+				hc, _ := sc.Build(n, Options{Crashes: true})
+				ccfg := cfg
+				ccfg.Crashes = true
+				pooled, errPooled = explore.Run(hc, ccfg)
+				fallback, errFallback = explore.Run(explore.NoReset(hc), ccfg)
+				checkErrs(t, sc, errPooled, errFallback)
+				if !sameReport(pooled, fallback) {
+					t.Fatalf("crash-mode pooled report %+v != fallback report %+v", pooled, fallback)
+				}
+			}
+		})
+	}
+}
+
+// sameReport compares the deterministic counters of two reports, ignoring
+// the checkpoint frontier (a pointer, carried only by budget-cut walks).
+func sameReport(a, b explore.Report) bool {
+	return a.Executions == b.Executions && a.Pruned == b.Pruned &&
+		a.CacheHits == b.CacheHits && a.Partial == b.Partial && a.MaxDepth == b.MaxDepth
+}
+
+// checkErrs asserts the exploration outcome matches the scenario's
+// declaration: clean for ordinary scenarios, the same canonical check
+// failure on both execution paths for ExpectFail ones.
+func checkErrs(t *testing.T, sc Scenario, errPooled, errFallback error) {
+	t.Helper()
+	if !sc.Params.ExpectFail {
+		if errPooled != nil || errFallback != nil {
+			t.Fatalf("unexpected failure: pooled=%v fallback=%v", errPooled, errFallback)
+		}
+		return
+	}
+	var ce *explore.CheckError
+	if !errors.As(errPooled, &ce) || !errors.As(errFallback, &ce) {
+		t.Fatalf("expected the planted bug on both paths, got pooled=%v fallback=%v", errPooled, errFallback)
+	}
+	if errPooled.Error() != errFallback.Error() {
+		t.Fatalf("canonical failures differ:\npooled:   %v\nfallback: %v", errPooled, errFallback)
+	}
+}
+
+// TestConformanceRepeatable re-runs one pooled exploration over the same
+// harness value to certify that a completed walk leaves the instance fully
+// reset (Run constructs fresh instances internally, so this exercises
+// construction determinism rather than in-place reuse).
+func TestConformanceRepeatable(t *testing.T) {
+	for _, sc := range conformanceScenarios(t) {
+		if sc.Params.ExpectFail {
+			continue
+		}
+		h, _ := sc.Build(sc.Procs(2), Options{})
+		cfg := explore.Config{Prune: true, Workers: 1, MaxExecutions: 200}
+		first, err := explore.Run(h, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		second, err := explore.Run(h, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !sameReport(first, second) {
+			t.Fatalf("%s: reports differ across runs: %+v vs %+v", sc.Name, first, second)
+		}
+	}
+}

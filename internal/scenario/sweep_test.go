@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepReportWorkerIndependent pins the sweep's determinism contract:
+// the rendered report — every registered scenario plus a generated one,
+// including budget-cut and expected-fail rows — is byte-identical for 1
+// and 8 workers.
+func TestSweepReportWorkerIndependent(t *testing.T) {
+	scs := append(Registered(), Generate(1))
+	cfg := SweepConfig{N: 2, MaxExecutions: 400, Samples: 100}
+
+	cfg.Workers = 1
+	rows1, err1 := Sweep(scs, cfg)
+	cfg.Workers = 8
+	rows8, err8 := Sweep(scs, cfg)
+	if err1 != nil || err8 != nil {
+		t.Fatalf("sweep reported unexpected failures: %v / %v", err1, err8)
+	}
+	r1, r8 := Render(rows1), Render(rows8)
+	if r1 != r8 {
+		t.Fatalf("sweep reports differ between 1 and 8 workers:\n--- 1 worker ---\n%s--- 8 workers ---\n%s", r1, r8)
+	}
+	if !strings.Contains(r1, "FAIL(expected)") {
+		t.Fatalf("sweep report should carry the planted-bug row as an expected failure:\n%s", r1)
+	}
+	for _, sc := range scs {
+		if !strings.Contains(r1, sc.Name) {
+			t.Fatalf("sweep report omits %s:\n%s", sc.Name, r1)
+		}
+	}
+}
+
+// TestSweepSampledWorkerIndependent pins the same contract on the sampled
+// path (n above the exhaustive threshold).
+func TestSweepSampledWorkerIndependent(t *testing.T) {
+	sc, err := Lookup("composed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{N: 5, ExhaustiveN: 3, Samples: 128, Seed: 9}
+	cfg.Workers = 1
+	rows1, err1 := Sweep([]Scenario{sc}, cfg)
+	cfg.Workers = 4
+	rows4, err4 := Sweep([]Scenario{sc}, cfg)
+	if err1 != nil || err4 != nil {
+		t.Fatalf("sampled sweep failed: %v / %v", err1, err4)
+	}
+	if rows1[0] != rows4[0] {
+		t.Fatalf("sampled rows differ: %+v vs %+v", rows1[0], rows4[0])
+	}
+	if rows1[0].Mode != "sampled" || rows1[0].Executions != 128 {
+		t.Fatalf("unexpected sampled row: %+v", rows1[0])
+	}
+}
+
+// TestRunOneExpectedFailure pins how a planted-bug scenario reads in a
+// sweep: the failure is found, labelled expected, and deterministic.
+func TestRunOneExpectedFailure(t *testing.T) {
+	sc, err := Lookup("handoffbug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunOne(sc, SweepConfig{N: 2})
+	if !strings.HasPrefix(row.Outcome, "FAIL(expected):") {
+		t.Fatalf("outcome %q, want an expected failure", row.Outcome)
+	}
+	again := RunOne(sc, SweepConfig{N: 2})
+	if row != again {
+		t.Fatalf("expected-failure row not deterministic: %+v vs %+v", row, again)
+	}
+}
+
+// TestGenerateDeterministicPerSeed pins the generator's contract: the
+// same seed yields the same scenario (structure and report), and the seed
+// space reaches every family.
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	families := map[string]int64{}
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Name != b.Name || a.Description != b.Description || a.Params != b.Params {
+			t.Fatalf("seed %d: generator not deterministic: %+v vs %+v", seed, a, b)
+		}
+		families[genFamily(t, a)] = seed
+		rowA := RunOne(a, SweepConfig{N: 2, MaxExecutions: 300})
+		rowB := RunOne(b, SweepConfig{N: 2, MaxExecutions: 300})
+		if rowA != rowB {
+			t.Fatalf("seed %d: generated scenario reports differ: %+v vs %+v", seed, rowA, rowB)
+		}
+		if !strings.HasPrefix(rowA.Outcome, "ok") {
+			t.Fatalf("seed %d (%s): outcome %q", seed, a.Description, rowA.Outcome)
+		}
+	}
+	if len(families) != 3 {
+		t.Fatalf("seeds 1..20 reached %d families (%v), want all 3", len(families), families)
+	}
+}

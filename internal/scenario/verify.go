@@ -1,0 +1,28 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyLine model-checks the named scenario under the sweep discipline
+// and returns a one-line human-readable verdict plus whether the check
+// passed. It is the hook the example programs use to back their demos
+// with the registry's checked form of the same workload instead of
+// hand-rolled assertions: the demo shows one wall-clock execution, the
+// verify line certifies the oracle over every explored interleaving —
+// or, for n beyond the exhaustive range, over a seeded sample — and a
+// false ok lets the caller exit nonzero. budget bounds the exhaustive
+// walk's execution attempts and the sampled run's schedule count (0 =
+// unbounded walk / default sample size).
+func VerifyLine(name string, n, budget int) (string, bool) {
+	sc, err := Lookup(name)
+	if err != nil {
+		return fmt.Sprintf("model check: %v", err), false
+	}
+	row := RunOne(sc, SweepConfig{N: n, MaxExecutions: budget, Samples: budget})
+	line := fmt.Sprintf("model check [scenario %s, n=%d, oracle %s]: %s — %d interleavings (%s), max depth %d",
+		row.Name, row.N, row.Oracle, row.Outcome, row.Executions, row.Mode, row.MaxDepth)
+	ok := row.Outcome == "ok" || strings.HasPrefix(row.Outcome, "FAIL(expected)")
+	return line, ok
+}

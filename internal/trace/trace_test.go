@@ -168,3 +168,44 @@ func TestEventAndKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestResetWithPendingOps(t *testing.T) {
+	// A pooled harness may reset mid-history state: an execution cut off by
+	// a crash leaves invocations without responses. Reset must discard the
+	// pending halves too, so the next execution cannot mismatch a stale
+	// invocation with a fresh response.
+	r := NewRecorder(2)
+	m1 := spec.Request{ID: r.NextID(), Proc: 0, Op: spec.OpTAS}
+	m2 := spec.Request{ID: r.NextID(), Proc: 1, Op: spec.OpTAS}
+	r.RecordInvoke(0, m1)
+	r.RecordInvoke(1, m2)
+	r.RecordCommit(1, m2, spec.Loser, "A1")
+	ops := r.Ops()
+	if len(ops) != 2 || !ops[0].Pending || ops[1].Pending {
+		t.Fatalf("precondition: want one pending and one committed op, got %+v", ops)
+	}
+
+	r.Reset()
+	if evs := r.Events(); len(evs) != 0 {
+		t.Fatalf("events survive Reset: %v", evs)
+	}
+	if ops := r.Ops(); len(ops) != 0 {
+		t.Fatalf("ops survive Reset: %+v", ops)
+	}
+
+	// The recorder must be indistinguishable from a fresh one: ids restart
+	// at 1 and stamps at 1, so replayed executions reproduce identical
+	// traces.
+	if id := r.NextID(); id != 1 {
+		t.Fatalf("NextID after Reset = %d, want 1", id)
+	}
+	m := spec.Request{ID: 1, Proc: 0, Op: spec.OpTAS}
+	if s := r.RecordInvoke(0, m); s != 1 {
+		t.Fatalf("first stamp after Reset = %d, want 1", s)
+	}
+	r.RecordCommit(0, m, spec.Winner, "A1")
+	ops = r.Ops()
+	if len(ops) != 1 || ops[0].Pending || ops[0].Resp != spec.Winner {
+		t.Fatalf("recording after Reset broken: %+v", ops)
+	}
+}
