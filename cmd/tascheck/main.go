@@ -7,24 +7,31 @@
 // up to three processes (seeded-randomly beyond), with its oracle checked
 // on every explored execution.
 //
-// Exploration runs on the pooled, partial-order-reduced engine of
-// internal/explore: -workers sets the worker pool, -prune toggles
-// sleep-set pruning (on by default; the engine then skips interleavings
-// that only reorder commuting accesses), -cache adds state-fingerprint
-// caching on top (see DESIGN.md for its soundness caveats), and -crashes
-// adds crash branches at every decision point (seeded crash injection on
-// the sampled path). Long explorations survive interruption:
-// -timebudget cuts the walk after a wall-clock budget, -checkpoint-out
-// saves the unexplored frontier, and -checkpoint-in resumes from it.
+// Exploration runs on the unified engine core (internal/engine) through
+// its exhaustive frontend: -workers sets the worker pool and -prune picks
+// the partial-order reduction — source-DPOR race-driven backtracking
+// (dpor, the default), the legacy sleep sets (sleep, which reproduces
+// every count pinned before the engine unification), or none. -cache adds
+// state-fingerprint caching in a cache shared across all workers (sleep or
+// none only; see DESIGN.md for its soundness caveats), and -crashes adds
+// crash branches at every decision point (seeded crash injection on the
+// sampled path). Long explorations survive interruption: -timebudget cuts
+// the walk after a wall-clock budget, -checkpoint-out saves the unexplored
+// frontier, and -checkpoint-in resumes from it (sleep or none only:
+// source-DPOR backtracking state is not serializable).
 //
 // Beyond -exhaustive-n processes the checker switches to the randomized
-// subsystem (internal/randexp): -sampler picks the scheduling
-// distribution (uniform random, PCT with -pct-depth change points, the
-// bias-corrected random walk, or rate-weighted stochastic scheduling with
-// -rates), sampling runs on -workers parallel pooled executors with
-// results — including the canonical failing seed — independent of the
-// worker count, and -saturation stops early once coverage (distinct
-// terminal states and schedule shapes) plateaus.
+// frontend (internal/randexp): -sampler picks the scheduling distribution
+// (uniform random, PCT with -pct-depth change points, the bias-corrected
+// random walk, or rate-weighted stochastic scheduling with -rates),
+// sampling runs on -workers parallel pooled executors with results —
+// including the canonical failing seed — independent of the worker count,
+// and -saturation stops early once coverage (distinct terminal states and
+// schedule shapes) plateaus.
+//
+// -json prints the single-run result as one JSON object (scenario, mode,
+// counts, verdict, canonical failure) for parity with composebench -json;
+// the exit code still distinguishes ok (0) from failure (1).
 //
 // -scenario all runs the parallel sweep: every registered scenario,
 // exhaustive below -exhaustive-n and sampled above, budgeted per scenario
@@ -36,12 +43,14 @@
 //	tascheck                          # scenario a1, 2 processes, exhaustive
 //	tascheck -list
 //	tascheck -scenario composed -n 3 -crashes
+//	tascheck -scenario composed -n 3 -prune sleep    # legacy pinned counts
 //	tascheck -scenario gen:7 -n 2     # a generated composition
+//	tascheck -scenario a1 -n 2 -json
 //	tascheck -scenario all -n 2 -max 20000 -samples 500 -workers 8
 //	tascheck -scenario composed -n 5 -sampler pct -samples 5000 -workers 8
 //	tascheck -scenario composed -n 8 -sampler rates -rates 8,1 -saturation 5
-//	tascheck -scenario composed -n 4 -exhaustive-n 4 -timebudget 30s -checkpoint-out f.json
-//	tascheck -scenario composed -n 4 -exhaustive-n 4 -checkpoint-in f.json -workers 16
+//	tascheck -scenario composed -n 4 -exhaustive-n 4 -prune sleep -timebudget 30s -checkpoint-out f.json
+//	tascheck -scenario composed -n 4 -exhaustive-n 4 -prune sleep -checkpoint-in f.json -workers 16
 package main
 
 import (
@@ -71,19 +80,30 @@ func main() {
 	rates := flag.String("rates", "", "comma-separated per-process rate weights for -sampler rates (later processes reuse the last weight)")
 	saturation := flag.Int("saturation", 0, "stop sampling after this many consecutive batches with no new coverage (0 = off)")
 	workers := flag.Int("workers", 8, "parallel exploration workers (parallel scenarios in a sweep)")
-	prune := flag.Bool("prune", true, "sleep-set partial-order reduction")
-	cache := flag.Bool("cache", false, "state-fingerprint caching (see DESIGN.md caveats)")
+	prune := flag.String("prune", "dpor", "partial-order reduction: dpor (source-DPOR) | sleep (legacy sleep sets) | none")
+	cache := flag.Bool("cache", false, "state-fingerprint caching, shared across workers (requires -prune sleep or none; see DESIGN.md caveats)")
 	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
 	failFast := flag.Bool("failfast", false, "stop at the first failing schedule instead of the canonical one")
 	exhaustiveN := flag.Int("exhaustive-n", 3, "largest n explored exhaustively rather than sampled")
 	timeBudget := flag.Duration("timebudget", 0, "stop the exhaustive walk after this wall-clock budget (0 = none)")
 	ckptOut := flag.String("checkpoint-out", "", "write the unexplored frontier of a budget-cut walk to this file")
 	ckptIn := flag.String("checkpoint-in", "", "resume the walk from a frontier saved by -checkpoint-out")
+	jsonOut := flag.Bool("json", false, "print the single-run result as one JSON object (not valid with -scenario all or -list)")
 	flag.Parse()
 
 	if *list {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "tascheck: -json does not apply to -list (it is a single-run result object)")
+			os.Exit(2)
+		}
 		fmt.Print(scenario.Listing())
 		return
+	}
+
+	pruneMode, err := explore.ParsePruneMode(*prune)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
 	}
 
 	name := *scenarioName
@@ -104,17 +124,18 @@ func main() {
 	}
 
 	if name == "all" {
-		rejectFlags("a scenario sweep (sweeps always prune, run scenarios on one engine worker each, and sample uniformly)", map[string]bool{
+		rejectFlags("a scenario sweep (sweeps always run source-DPOR on one engine worker per scenario and sample uniformly)", map[string]bool{
 			"-sampler":        *sampler != "random",
 			"-pct-depth":      *pctDepth != randexp.DefaultPCTDepth,
 			"-rates":          *rates != "",
 			"-saturation":     *saturation != 0,
 			"-cache":          *cache,
 			"-failfast":       *failFast,
-			"-prune=false":    !*prune,
+			"-prune":          pruneMode != explore.PruneSourceDPOR,
 			"-timebudget":     *timeBudget != 0,
 			"-checkpoint-out": *ckptOut != "",
 			"-checkpoint-in":  *ckptIn != "",
+			"-json":           *jsonOut,
 		})
 		runSweep(*n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes)
 		return
@@ -141,8 +162,9 @@ func main() {
 			"-checkpoint-out": *ckptOut != "",
 			"-checkpoint-in":  *ckptIn != "",
 			"-cache":          *cache,
+			"-prune":          pruneMode != explore.PruneSourceDPOR,
 		})
-		runSampled(h, sc.Name, oracle, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation)
+		runSampled(h, sc, procs, oracle, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation, *jsonOut)
 		return
 	}
 	// Symmetrically, the sampler knobs mean nothing on an exhaustive walk.
@@ -152,13 +174,22 @@ func main() {
 		"-rates":      *rates != "",
 		"-saturation": *saturation != 0,
 	})
+	if pruneMode == explore.PruneSourceDPOR {
+		// Source-DPOR's backtracking obligations live in pointers, not in
+		// the serializable frontier, and are not captured by the cache key.
+		rejectFlags("source-DPOR exploration; pass -prune sleep (or none) to use these", map[string]bool{
+			"-cache":          *cache,
+			"-checkpoint-out": *ckptOut != "",
+			"-checkpoint-in":  *ckptIn != "",
+		})
+	}
 
 	cfg := explore.Config{
 		MaxExecutions: *maxExecs,
 		TimeBudget:    *timeBudget,
 		Crashes:       *crashes,
 		Workers:       *workers,
-		Prune:         *prune,
+		Prune:         pruneMode,
 		CacheStates:   *cache,
 		FailFast:      *failFast,
 	}
@@ -175,8 +206,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tascheck: %v\n", werr)
 			os.Exit(2)
 		}
-		fmt.Printf("tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
+		fmt.Fprintf(os.Stderr, "tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
 			len(rep.Checkpoint.Items), *ckptOut, *ckptOut)
+	}
+	how := "exhaustive"
+	if *ckptIn != "" {
+		how = "resumed"
+	}
+	if rep.Partial {
+		how = "exhaustive-partial"
+	}
+	if *jsonOut {
+		printJSON(scenario.ExhaustiveResult(sc.Name, procs, oracle, pruneMode, how, rep, err))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: FAILED after %d executions: %v\n", rep.Executions, err)
@@ -185,15 +230,21 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	how := "exhaustive"
-	if *ckptIn != "" {
-		how = "resumed"
-	}
 	if rep.Partial {
 		how = "partial (hit -max or -timebudget)"
 	}
-	fmt.Printf("tascheck %s (n=%d, oracle %s): OK — %d interleavings (%s), %d pruned as redundant, %d state-cache hits, max depth %d\n",
-		sc.Name, procs, oracle, rep.Executions, how, rep.Pruned, rep.CacheHits, rep.MaxDepth)
+	fmt.Printf("tascheck %s (n=%d, oracle %s, prune %s): OK — %d interleavings (%s), %d pruned as redundant, %d backtracks, %d state-cache hits, max depth %d\n",
+		sc.Name, procs, oracle, pruneMode, rep.Executions, how, rep.Pruned, rep.Backtracks, rep.CacheHits, rep.MaxDepth)
+}
+
+// printJSON emits one indented JSON object on stdout.
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(data))
 }
 
 // rejectFlags exits with a usage error when any of the named flags was set
@@ -235,9 +286,9 @@ func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, cr
 	}
 }
 
-// runSampled drives the randomized subsystem for process counts beyond the
+// runSampled drives the randomized frontend for process counts beyond the
 // exhaustive range and prints its coverage-aware summary.
-func runSampled(h explore.Harness, name string, oracle scenario.Oracle, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int) {
+func runSampled(h explore.Harness, sc scenario.Scenario, procs int, oracle scenario.Oracle, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int, jsonOut bool) {
 	kind, err := randexp.ParseSampler(sampler)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
@@ -260,7 +311,14 @@ func runSampled(h explore.Harness, name string, oracle scenario.Oracle, sampler 
 	if crashes {
 		cfg.CrashProb = explore.SampleCrashProb
 	}
-	rep, err := randexp.Run(randexp.Harness(h), cfg)
+	rep, err := randexp.Run(h, cfg)
+	if jsonOut {
+		printJSON(scenario.SampledResult(sc.Name, procs, oracle, string(kind), rep, err))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if err != nil {
 		var ce *randexp.CheckError
 		if errors.As(err, &ce) {
@@ -283,7 +341,7 @@ func runSampled(h explore.Harness, name string, oracle scenario.Oracle, sampler 
 		states = fmt.Sprintf("%d", rep.DistinctStates)
 	}
 	fmt.Printf("tascheck %s (oracle %s): OK — %d interleavings (%s), distinct terminal states %s, distinct schedule shapes %d, max depth %d\n",
-		name, oracle, rep.Executions, how, states, rep.DistinctShapes, rep.MaxDepth)
+		sc.Name, oracle, rep.Executions, how, states, rep.DistinctShapes, rep.MaxDepth)
 	if kind == randexp.SamplerWalk && rep.TreeSizeEstimate > 0 {
 		fmt.Printf("tascheck: walk estimate of total interleavings: %.3g\n", rep.TreeSizeEstimate)
 	}

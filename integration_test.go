@@ -65,7 +65,7 @@ func TestIntegrationComposedTASWithCrashes(t *testing.T) {
 		}
 		return env, bodies, check, rec.Reset
 	}
-	rep, err := explore.Run(h, explore.Config{Crashes: true, Prune: true, Workers: 8})
+	rep, err := explore.Run(h, explore.Config{Crashes: true, Prune: explore.PruneSourceDPOR, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +133,17 @@ func TestIntegrationFullStackSoak(t *testing.T) {
 					committed = append(committed, op)
 				}
 			}
-			if lr := linearize.Check(spec.QueueType{}, committed); !lr.Ok {
+			if lr, lerr := linearize.Check(spec.QueueType{}, committed); lerr != nil {
+				return fmt.Errorf("queue projection: %w", lerr)
+			} else if !lr.Ok {
 				return fmt.Errorf("queue projection not linearizable: %s", lr.Reason)
 			}
 			// The long-lived object with resets linearizes against the
 			// resettable TAS type (Theorem 4), checked with the generic
 			// checker since CheckTAS models only one-shot instances.
-			if lr := linearize.Check(spec.TASType{}, tasRec.Ops()); !lr.Ok {
+			if lr, lerr := linearize.Check(spec.TASType{}, tasRec.Ops()); lerr != nil {
+				return fmt.Errorf("TAS round: %w", lerr)
+			} else if !lr.Ok {
 				return fmt.Errorf("TAS round not linearizable: %s", lr.Reason)
 			}
 			return nil

@@ -196,7 +196,9 @@ func abstractHarness(nproc, opsPer int, specs func(n int) []StageSpec) explore.H
 					committed = append(committed, op)
 				}
 			}
-			if lr := linearize.Check(spec.FetchIncType{}, committed); !lr.Ok {
+			if lr, lerr := linearize.Check(spec.FetchIncType{}, committed); lerr != nil {
+				return fmt.Errorf("committed projection: %w", lerr)
+			} else if !lr.Ok {
 				return fmt.Errorf("committed projection not linearizable: %s", lr.Reason)
 			}
 			return nil
@@ -210,7 +212,7 @@ func abstractHarness(nproc, opsPer int, specs func(n int) []StageSpec) explore.H
 
 func TestExhaustiveAbstractProperties(t *testing.T) {
 	specs := func(n int) []StageSpec { return []StageSpec{splitSpec(), casSpec()} }
-	rep, err := explore.Run(abstractHarness(2, 1, specs), explore.Config{Prune: true, Workers: 8, MaxExecutions: 10000})
+	rep, err := explore.Run(abstractHarness(2, 1, specs), explore.Config{Prune: explore.PruneSourceDPOR, Workers: 8, MaxExecutions: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -241,16 +241,64 @@ func TestE10Shapes(t *testing.T) {
 		t.Fatalf("E10 tables = %d", len(tables))
 	}
 	rows := tables[0].Rows
-	if len(rows) != 3 {
-		t.Fatalf("E10 rows = %d, want seed n=2, pruned n=2, pruned n=3", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("E10 rows = %d, want seed n=2, sleep n=2, dpor n=2, sleep n=3, dpor n=3", len(rows))
 	}
 	seedExecs := cellInt(t, tables[0], 0, 2)
-	prunedExecs := cellInt(t, tables[0], 1, 2)
-	if prunedExecs == 0 || seedExecs == 0 {
+	sleepExecs := cellInt(t, tables[0], 1, 2)
+	dporExecs := cellInt(t, tables[0], 2, 2)
+	if seedExecs == 0 || sleepExecs == 0 || dporExecs == 0 {
 		t.Fatalf("E10 executions missing: %v", rows)
 	}
-	if prunedExecs*3 > seedExecs {
-		t.Fatalf("pruned mode ran %d executions, want <= 1/3 of the seed mode's %d", prunedExecs, seedExecs)
+	if sleepExecs*3 > seedExecs {
+		t.Fatalf("sleep-set mode ran %d executions, want <= 1/3 of the seed mode's %d", sleepExecs, seedExecs)
+	}
+	// Both reductions complete one interleaving per trace class — equal
+	// executions — while source-DPOR attempts strictly fewer runs. Checked
+	// on the n=2 pair (rows 1, 2) and the n=3 pair (rows 3, 4).
+	for _, pair := range [][2]int{{1, 2}, {3, 4}} {
+		sleepE, dporE := cellInt(t, tables[0], pair[0], 2), cellInt(t, tables[0], pair[1], 2)
+		if sleepE != dporE {
+			t.Fatalf("E10 rows %v: executions diverged between reductions: %d vs %d", pair, sleepE, dporE)
+		}
+		sleepA, dporA := cellInt(t, tables[0], pair[0], 3), cellInt(t, tables[0], pair[1], 3)
+		if dporA >= sleepA {
+			t.Fatalf("E10 rows %v: source-DPOR attempted %d runs, want strictly fewer than sleep sets' %d", pair, dporA, sleepA)
+		}
+	}
+}
+
+func TestE14Shapes(t *testing.T) {
+	tables := RunE14()
+	if len(tables) != 1 {
+		t.Fatalf("E14 tables = %d", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) != 8 {
+		t.Fatalf("E14 rows = %d, want 4 harnesses x 2 modes", len(rows))
+	}
+	for r := 0; r < len(rows); r += 2 {
+		sleepExecs, dporExecs := cellInt(t, tables[0], r, 2), cellInt(t, tables[0], r+1, 2)
+		if sleepExecs != dporExecs {
+			t.Fatalf("E14 rows %d/%d: executions diverged between reductions: %d vs %d", r, r+1, sleepExecs, dporExecs)
+		}
+		sleepAtt, dporAtt := cellInt(t, tables[0], r, 3), cellInt(t, tables[0], r+1, 3)
+		if dporAtt >= sleepAtt {
+			t.Fatalf("E14 rows %d/%d: dpor attempted %d runs, want strictly fewer than sleep's %d", r, r+1, dporAtt, sleepAtt)
+		}
+	}
+	// The reference attempt counts of the n=3 rows are pinned exactly.
+	if a := cellInt(t, tables[0], 2, 3); a != 4037 {
+		t.Fatalf("a1 n=3 sleep attempts = %d, want 4037", a)
+	}
+	if a := cellInt(t, tables[0], 3, 3); a != 1127 {
+		t.Fatalf("a1 n=3 dpor attempts = %d, want 1127", a)
+	}
+	if a := cellInt(t, tables[0], 6, 3); a != 7165 {
+		t.Fatalf("composed n=3 sleep attempts = %d, want 7165", a)
+	}
+	if a := cellInt(t, tables[0], 7, 3); a != 1991 {
+		t.Fatalf("composed n=3 dpor attempts = %d, want 1991", a)
 	}
 }
 
@@ -349,7 +397,7 @@ func TestE11Shapes(t *testing.T) {
 		t.Fatalf("E11 tables = %d", len(tables))
 	}
 	pool := tables[0]
-	if len(pool.Rows) != 4 {
+	if len(pool.Rows) != 6 {
 		t.Fatalf("E11a rows = %d", len(pool.Rows))
 	}
 	// Per harness: spawn and pooled rows must report identical execution

@@ -42,7 +42,8 @@ func RunE11() []*Table {
 	}
 	for _, r := range []row{
 		mkRow("a1", 2, " (seed walk: no pruning)", explore.Config{Workers: 1}),
-		mkRow("a1", 3, " (sleep sets)", explore.Config{Prune: true, Workers: 1}),
+		mkRow("a1", 3, " (sleep sets)", explore.Config{Prune: explore.PruneSleep, Workers: 1}),
+		mkRow("a1", 3, " (source-DPOR)", explore.Config{Prune: explore.PruneSourceDPOR, Workers: 1}),
 	} {
 		var spawnWall time.Duration
 		for _, mode := range []string{"spawn per execution", "pooled executor"} {
@@ -88,9 +89,9 @@ func RunE11() []*Table {
 		Columns: []string{"harness", "CacheStates", "executions", "cache hits", "pruned", "wall-clock"},
 	}
 	for _, r := range []row{
-		mkRow("a1", 2, "", explore.Config{Prune: true, Workers: 1}),
-		mkRow("a1", 3, "", explore.Config{Prune: true, Workers: 1}),
-		mkRow("composed", 3, "", explore.Config{Prune: true, Workers: 1}),
+		mkRow("a1", 2, "", explore.Config{Prune: explore.PruneSleep, Workers: 1}),
+		mkRow("a1", 3, "", explore.Config{Prune: explore.PruneSleep, Workers: 1}),
+		mkRow("composed", 3, "", explore.Config{Prune: explore.PruneSleep, Workers: 1}),
 	} {
 		for _, cache := range []bool{false, true} {
 			cfg := r.cfg

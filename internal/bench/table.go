@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"E10", RunE10, "exploration engine: partial-order reduction and worker-pool scaling"},
 		{"E11", RunE11, "execution core: pooled executors, resettable memory, state-fingerprint caching"},
 		{"E12", RunE12, "randomized exploration: PCT vs uniform bug finding, sampler coverage growth"},
+		{"E14", RunE14, "unified engine core: source-DPOR vs legacy sleep sets, attempts and wall-clock"},
 	}
 }
 

@@ -191,7 +191,7 @@ func consensusHarness(t *testing.T, name string, stats *map[string]int) explore.
 
 func TestExhaustiveSplitConsensus(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "split", &stats), explore.Config{Prune: true, Workers: 8})
+	rep, err := explore.Run(consensusHarness(t, "split", &stats), explore.Config{Prune: explore.PruneSourceDPOR, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestExhaustiveSplitConsensus(t *testing.T) {
 
 func TestExhaustiveBakery(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "bakery", &stats), explore.Config{Prune: true, Workers: 8, MaxExecutions: 200000})
+	rep, err := explore.Run(consensusHarness(t, "bakery", &stats), explore.Config{Prune: explore.PruneSourceDPOR, Workers: 8, MaxExecutions: 200000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestExhaustiveCAS(t *testing.T) {
 
 func TestExhaustiveChainWaitFree(t *testing.T) {
 	stats := map[string]int{}
-	rep, err := explore.Run(consensusHarness(t, "chain", &stats), explore.Config{Prune: true, Workers: 8, MaxExecutions: 200000})
+	rep, err := explore.Run(consensusHarness(t, "chain", &stats), explore.Config{Prune: explore.PruneSourceDPOR, Workers: 8, MaxExecutions: 200000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// candidate is one branch at a decision point: the transition plus the
+// pending access backing it (meaningless for crash transitions).
+type candidate struct {
+	t   Transition
+	acc memory.Access
+}
+
+// independent reports whether transitions a and b commute from the current
+// state: transitions of the same process never do; a crash commutes with
+// any other process's transition (it performs no access); two steps commute
+// unless their accesses conflict.
+func independent(a, b candidate) bool {
+	if a.t.Proc == b.t.Proc {
+		return false
+	}
+	if a.t.Crash || b.t.Crash {
+		return true
+	}
+	return !a.acc.Conflicts(b.acc)
+}
+
+// itemChooser drives one execution of a work item: it replays the prefix,
+// then at every deeper decision point takes the first branch not covered by
+// the sleep set and — depending on the prune mode — enqueues sibling
+// branches as new work items (all of them under PruneNone/PruneSleep; only
+// crash branches under PruneSourceDPOR, whose step siblings are added
+// later by race analysis).
+type itemChooser struct {
+	e    *engine
+	item WorkItem
+	env  *memory.Env
+
+	sleep    []Transition   // sleep set at the current decision point
+	path     []int          // canonical branch index taken at every step
+	schedule []sched.Choice // choices taken so far (prefix for siblings)
+	steps    []int          // per-process granted-step counts so far
+	crashed  uint64         // bitmask of processes crashed so far
+	pruned   int
+	bad      error
+	aborted  bool // all branches asleep or state cached: drain the run
+	cacheHit bool // aborted because the state key was already claimed
+
+	// Source-DPOR trace bookkeeping, maintained only in that mode: the
+	// taken transitions, their accesses (zero for crash events), and the
+	// branching decision node at every depth (nil where fewer than two
+	// processes were parked). chainIdx advances through item.chain while
+	// replaying.
+	trans    []Transition
+	accs     []memory.Access
+	nodes    []*dnode
+	chain    []*dnode // branching-node chain of the path walked so far
+	chainIdx int
+	scratch  *dporScratch // per-worker race-analysis buffers
+
+	cands []candidate // per-decision scratch, reused across steps
+	woken []candidate // per-decision scratch for the sleep-filtered set
+}
+
+// note records a taken choice in the per-process progress counters that,
+// together with the memory fingerprint, identify the reached state.
+func (c *itemChooser) note(t Transition) {
+	if t.Crash {
+		c.crashed |= 1 << uint(t.Proc)
+	} else {
+		c.steps[t.Proc]++
+	}
+}
+
+// noteDPOR appends the taken transition to the source-DPOR trace record.
+// node is the branching decision node at this depth (nil when the point
+// cannot be a backtrack target).
+func (c *itemChooser) noteDPOR(t Transition, acc memory.Access, node *dnode) {
+	if c.e.cfg.Prune != PruneSourceDPOR {
+		return
+	}
+	if t.Crash {
+		acc = memory.Access{}
+	}
+	c.trans = append(c.trans, t)
+	c.accs = append(c.accs, acc)
+	c.nodes = append(c.nodes, node)
+}
+
+// stateKey combines the memory fingerprint with the per-process progress
+// counters, the crashed set, and the (order-normalized) sleep set. Two
+// decision points with equal keys have — up to the caveats in DESIGN.md —
+// identical futures and identical exploration obligations.
+func (c *itemChooser) stateKey(fp memory.Fingerprint) cacheKey {
+	h := memory.NewStateHash()
+	for _, s := range c.steps {
+		h.Add(uint64(s))
+	}
+	h.Add(c.crashed)
+	if len(c.sleep) > 0 {
+		sl := append([]Transition(nil), c.sleep...)
+		sort.Slice(sl, func(i, j int) bool {
+			if sl[i].Proc != sl[j].Proc {
+				return sl[i].Proc < sl[j].Proc
+			}
+			return !sl[i].Crash && sl[j].Crash
+		})
+		for _, t := range sl {
+			w := uint64(t.Proc) << 1
+			if t.Crash {
+				w |= 1
+			}
+			h.Add(w + 1) // +1 keeps the empty set distinct from {proc 0}
+		}
+	}
+	return cacheKey{fp[0], fp[1], h.Sum()}
+}
+
+func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
+	if c.aborted {
+		// Unwind the remaining processes; this run is abandoned.
+		return sched.Choice{Proc: parked[0].ID, Crash: true}
+	}
+
+	if step < len(c.item.Prefix) {
+		// Replay zone: ancestors already expanded these decision points, so
+		// the canonical branch index is computed directly from the sorted
+		// parked set (steps by process id, then crashes by process id)
+		// without materializing the candidate list.
+		want := c.item.Prefix[step]
+		idx := -1
+		var acc memory.Access
+		for i, ps := range parked {
+			if ps.ID == want.Proc {
+				idx = i
+				acc = ps.Next
+				break
+			}
+		}
+		if idx < 0 || (want.Crash && !c.e.cfg.Crashes) {
+			// The tree is deterministic, so a recorded transition is always
+			// re-enabled on replay. Seeing otherwise means the harness is
+			// nondeterministic (e.g. shared state escaping the closure).
+			c.bad = fmt.Errorf("engine: nondeterministic harness: step %d cannot replay %+v", step, want)
+			c.aborted = true
+			return sched.Choice{Proc: parked[0].ID, Crash: true}
+		}
+		if want.Crash {
+			idx += len(parked)
+		}
+		c.path = append(c.path, idx)
+		c.note(want)
+		var node *dnode
+		if c.chainIdx < len(c.item.chain) && c.item.chain[c.chainIdx].depth == step {
+			node = c.item.chain[c.chainIdx]
+			c.chainIdx++
+		}
+		c.noteDPOR(want, acc, node)
+		choice := sched.Choice{Proc: want.Proc, Crash: want.Crash}
+		c.schedule = append(c.schedule, choice)
+		if step == len(c.item.Prefix)-1 {
+			c.sleep = c.item.Sleep
+		}
+		return choice
+	}
+
+	// Enumeration zone: candidate branches in canonical order — steps by
+	// process id, then (with Crashes) crashes by process id — built into a
+	// buffer reused across decisions.
+	cands := c.cands[:0]
+	for _, ps := range parked {
+		cands = append(cands, candidate{t: Transition{Proc: ps.ID}, acc: ps.Next})
+	}
+	if c.e.cfg.Crashes {
+		for _, ps := range parked {
+			cands = append(cands, candidate{t: Transition{Proc: ps.ID, Crash: true}, acc: ps.Next})
+		}
+	}
+	c.cands = cands
+
+	awake := cands
+	if c.e.cfg.Prune != PruneNone && len(c.sleep) > 0 {
+		awake = c.woken[:0]
+		for _, cand := range cands {
+			asleep := false
+			for _, s := range c.sleep {
+				if s == cand.t {
+					asleep = true
+					break
+				}
+			}
+			if !asleep {
+				awake = append(awake, cand)
+			}
+		}
+		c.woken = awake
+		c.pruned += len(cands) - len(awake)
+		if len(awake) == 0 {
+			c.aborted = true
+			return sched.Choice{Proc: parked[0].ID, Crash: true}
+		}
+	}
+
+	if c.e.cfg.CacheStates && len(awake) > 1 {
+		// State caching claims branching decision points by their state
+		// key; a later arrival at an equal-state node abandons its run
+		// (and thereby the whole duplicate subtree: the siblings it would
+		// have enqueued are exactly the claimant's). Non-branching points
+		// are skipped — their chains are claimed at the next branch.
+		if fp, ok := c.env.Fingerprint(); ok {
+			if !c.e.cache.claim(c.stateKey(fp)) {
+				c.cacheHit = true
+				c.aborted = true
+				return sched.Choice{Proc: parked[0].ID, Crash: true}
+			}
+		}
+	}
+
+	chosen := awake[0]
+	if c.e.cfg.Prune == PruneSourceDPOR {
+		return c.chooseDPOR(step, parked, cands, awake, chosen)
+	}
+
+	if len(awake) > 1 {
+		if c.e.cfg.MaxDepth > 0 && step >= c.e.cfg.MaxDepth {
+			c.e.noteTruncated()
+		} else {
+			// Sibling i's sleep set accumulates every earlier branch (in
+			// canonical order) it commutes with. Sleep sets are built in
+			// canonical order but the items are enqueued in reverse, so
+			// that the LIFO pop yields this node's siblings canonical-
+			// first; deeper nodes' siblings are enqueued later and pop
+			// earlier, which is also canonical (lex-least first). A
+			// sequential budget-cut walk therefore covers exactly the
+			// prefix the seed depth-first engine would have covered.
+			explored := []candidate{chosen}
+			items := make([]WorkItem, 0, len(awake)-1)
+			for _, sib := range awake[1:] {
+				var sl []Transition
+				if c.e.cfg.Prune != PruneNone {
+					// Sleep entries are transitions of parked processes;
+					// their pending access is this decision point's.
+					sl = sleepFor(c.sleep, func(t Transition) candidate { return c.withAccess(t, parked) }, explored, sib)
+					explored = append(explored, sib)
+				}
+				prefix := make([]Transition, len(c.schedule), len(c.schedule)+1)
+				for i, pc := range c.schedule {
+					prefix[i] = Transition{Proc: pc.Proc, Crash: pc.Crash}
+				}
+				prefix = append(prefix, sib.t)
+				items = append(items, WorkItem{Prefix: prefix, Sleep: sl})
+			}
+			for i := len(items) - 1; i >= 0; i-- {
+				c.e.enqueue(items[i])
+			}
+		}
+	}
+
+	// Advance: transitions dependent on the chosen one wake up.
+	if c.e.cfg.Prune != PruneNone {
+		c.advanceSleep(parked, chosen)
+	}
+	c.take(cands, chosen)
+	return sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
+}
+
+// take records the chosen branch in the canonical path and the schedule and
+// advances the progress counters.
+func (c *itemChooser) take(cands []candidate, chosen candidate) {
+	for i, cand := range cands {
+		if cand.t == chosen.t {
+			c.path = append(c.path, i)
+			break
+		}
+	}
+	c.note(chosen.t)
+	c.schedule = append(c.schedule, sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash})
+}
+
+// withAccess resolves a sleep-set transition to a candidate by looking up
+// its process's pending access at the current decision point. A sleeping
+// process is by construction still parked at the access it slept on.
+func (c *itemChooser) withAccess(t Transition, parked []sched.ProcState) candidate {
+	for _, ps := range parked {
+		if ps.ID == t.Proc {
+			return candidate{t: t, acc: ps.Next}
+		}
+	}
+	return candidate{t: t}
+}
+
+// sleepFor computes a newly launched branch's sleep set — the single
+// soundness-critical discipline both reductions share: the inherited
+// sleeping transitions (resolved to their pending accesses at this
+// decision point by resolve) and the branches launched earlier from the
+// same point, each kept only if independent of the branch being launched
+// (a dependent one would not commute past it, so its subtree is not
+// covered elsewhere from here).
+func sleepFor(inherited []Transition, resolve func(Transition) candidate, explored []candidate, branch candidate) []Transition {
+	var sl []Transition
+	for _, s := range inherited {
+		if independent(resolve(s), branch) {
+			sl = append(sl, s)
+		}
+	}
+	for _, ex := range explored {
+		if independent(ex, branch) {
+			sl = append(sl, ex.t)
+		}
+	}
+	return sl
+}

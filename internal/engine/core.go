@@ -1,0 +1,245 @@
+package engine
+
+// The reusable execution core shared by both frontends: per-worker harness
+// instances (pooled through a persistent sched.Executor when the harness
+// provides a reset path, reconstructed per run otherwise), the lock that
+// serializes harness construction/check/reset, and the batched seeded
+// sampling loop with its seed-order merge discipline.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// instance is one worker's constructed harness. With a reset path the
+// worker keeps it for its whole lifetime and reuses it through the pooled
+// executor; without one, a fresh instance is built per run and exec is nil.
+type instance struct {
+	env    *memory.Env
+	bodies []func(p *memory.Proc)
+	check  func(res *sched.Result) error
+	reset  func()
+	exec   *sched.Executor
+}
+
+// close releases the instance's pooled executor, if any.
+func (inst *instance) close() {
+	if inst != nil && inst.exec != nil {
+		inst.exec.Close()
+	}
+}
+
+// Core owns the execution-driving state both frontends share: one harness,
+// up to workers live instances, and the lock serializing construction,
+// check and reset calls (so harness closures may accumulate into shared
+// state across executions — the Harness contract).
+type Core struct {
+	h     Harness
+	insts []*instance
+	// checkMu serializes harness construction, check and reset calls, and
+	// (in the exhaustive walker) guards the merged result fields.
+	checkMu sync.Mutex
+}
+
+// NewCore creates a core for up to the given number of concurrent workers
+// (minimum 1). Instances are constructed lazily, one per worker.
+func NewCore(h Harness, workers int) *Core {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Core{h: h, insts: make([]*instance, workers)}
+}
+
+// newInstance constructs a harness instance (serialized with checks, so
+// harness closures may share state) and, if the harness provides a reset
+// path, its pooled executor.
+func (c *Core) newInstance() *instance {
+	c.checkMu.Lock()
+	env, bodies, check, reset := c.h()
+	c.checkMu.Unlock()
+	inst := &instance{env: env, bodies: bodies, check: check, reset: reset}
+	if reset != nil {
+		inst.exec = sched.NewExecutor(env, bodies)
+	}
+	return inst
+}
+
+// instanceFor returns worker w's instance: persistent when pooled, fresh
+// per call when the harness has no reset path (the documented fallback —
+// all shared state must then live inside the closure, and the construction
+// cost is paid per run).
+func (c *Core) instanceFor(w int) *instance {
+	if inst := c.insts[w]; inst != nil && inst.exec != nil {
+		return inst
+	}
+	inst := c.newInstance()
+	c.insts[w] = inst
+	return inst
+}
+
+// Close releases every pooled executor the core constructed.
+func (c *Core) Close() {
+	for _, inst := range c.insts {
+		inst.close()
+	}
+}
+
+// Probe runs one throwaway execution under the strategy on worker 0's
+// instance — resetting it afterwards — and returns the schedule length
+// (minimum 1). The sampling frontends use it to measure deterministic
+// schedule-length bounds (the PCT k parameter) before sampling starts.
+func (c *Core) Probe(s sched.Strategy) int {
+	inst := c.instanceFor(0)
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.RunStrategy(s)
+		c.checkMu.Lock()
+		inst.env.Reset()
+		inst.reset()
+		c.checkMu.Unlock()
+	} else {
+		res = sched.Run(inst.env, s, inst.bodies)
+	}
+	if d := len(res.Schedule); d > 0 {
+		return d
+	}
+	return 1
+}
+
+// SeedOutcome is the per-run record of the sampling loop, merged in seed
+// order into whatever report the frontend folds.
+type SeedOutcome struct {
+	// Seed is the run's seed.
+	Seed int64
+	// Depth is the schedule length.
+	Depth int
+	// Shape is the schedule-shape signature (see ShapeHash).
+	Shape uint64
+	// Fingerprint is the terminal-state digest, taken before the instance
+	// is reset; FingerprintOK reports whether the harness registers
+	// fingerprintable objects.
+	Fingerprint   memory.Fingerprint
+	FingerprintOK bool
+	// Weight is stamped by the strategy's finish hook (importance-weighted
+	// samplers); zero otherwise.
+	Weight float64
+	// Err is the check failure, if any; Schedule is retained only then, so
+	// the failing interleaving can be replayed.
+	Err      error
+	Schedule []sched.Choice
+}
+
+// SeedStrategy builds the seeded strategy for one run over n processes.
+// The returned finish hook, when non-nil, is called with the run's outcome
+// after the execution completes (before check and reset), so the frontend
+// can stamp sampler-specific data — e.g. an importance weight read off the
+// strategy instance.
+type SeedStrategy func(seed int64, n int) (sched.Strategy, func(out *SeedOutcome))
+
+// SampleConfig bounds a batched sampling loop.
+type SampleConfig struct {
+	// Samples is the total number of seeded runs: seeds Seed..Seed+Samples-1.
+	Samples int
+	// Seed is the base seed.
+	Seed int64
+	// BatchSize is the number of consecutive seeds merged at a time
+	// (minimum 1). It is the determinism granule: the fold sees whole
+	// batches in seed order, so any stop decision lands on a batch
+	// boundary and results depend on BatchSize but never on the worker
+	// count.
+	BatchSize int
+}
+
+// SampleBatches runs seeds cfg.Seed..cfg.Seed+cfg.Samples-1 through the
+// strategy in fixed-size batches. Within a batch, runs execute on the
+// core's worker pool — each worker owning one pooled instance — but
+// outcomes are delivered to fold as one seed-ordered slice per batch, so
+// everything the frontend derives from them is independent of the worker
+// count; only wall-clock changes. fold returning false stops the loop
+// after that batch (failure stops, saturation stops).
+func (c *Core) SampleBatches(cfg SampleConfig, strat SeedStrategy, fold func(batch []SeedOutcome) bool) {
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	workers := len(c.insts)
+	next := cfg.Seed
+	for remaining := cfg.Samples; remaining > 0; {
+		m := batch
+		if remaining < m {
+			m = remaining
+		}
+		outs := make([]SeedOutcome, m)
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		active := workers
+		if m < active {
+			active = m
+		}
+		for w := 0; w < active; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= m {
+						return
+					}
+					outs[i] = c.runSeed(c.instanceFor(w), next+int64(i), strat)
+				}
+			}(w)
+		}
+		wg.Wait()
+		next += int64(m)
+		remaining -= m
+		if !fold(outs) {
+			return
+		}
+	}
+}
+
+// runSeed performs one seeded run on the given instance and records its
+// outcome. The terminal fingerprint is taken before the instance is reset.
+func (c *Core) runSeed(inst *instance, seed int64, strat SeedStrategy) SeedOutcome {
+	s, finish := strat(seed, inst.env.N())
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.RunStrategy(s)
+	} else {
+		res = sched.Run(inst.env, s, inst.bodies)
+	}
+	out := SeedOutcome{Seed: seed, Depth: len(res.Schedule), Shape: ShapeHash(res.Schedule)}
+	out.Fingerprint, out.FingerprintOK = inst.env.Fingerprint()
+	if finish != nil {
+		finish(&out)
+	}
+	c.checkMu.Lock()
+	err := inst.check(res)
+	if inst.exec != nil {
+		inst.env.Reset()
+		inst.reset()
+	}
+	c.checkMu.Unlock()
+	if err != nil {
+		out.Err = err
+		out.Schedule = res.Schedule
+	}
+	return out
+}
+
+// ShapeHash folds a schedule's (proc, crash) sequence into a 64-bit
+// signature — the coverage unit for "distinct schedule shapes".
+func ShapeHash(schedule []sched.Choice) uint64 {
+	h := memory.NewStateHash()
+	for _, c := range schedule {
+		w := uint64(c.Proc) << 1
+		if c.Crash {
+			w |= 1
+		}
+		h.Add(w)
+	}
+	return h.Sum()
+}

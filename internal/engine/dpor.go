@@ -1,0 +1,456 @@
+package engine
+
+// Source-DPOR: race-driven backtracking in the stateless work-queue walk.
+//
+// Where the legacy sleep-set mode eagerly enqueues every awake sibling of
+// every decision point (a persistent set of "everything enabled", with
+// sleep sets pruning re-orderings after the fact), source-DPOR inverts the
+// burden of proof: each decision point launches a single branch, and an
+// alternative branch is enqueued only when some completed execution
+// exhibits a *reversible race* — two dependent events of different
+// processes with no happens-before chain through intermediate events —
+// whose reversal is not already covered by a scheduled branch or by the
+// sleep set. This is the Explore/race/initials scheme of Abdulla, Aronis,
+// Jonsson and Sagonas ("Optimal dynamic partial order reduction", POPL
+// 2014), restricted to its source-set half, mapped onto this engine's
+// prefix-replay architecture:
+//
+//   - Every branching decision point (two or more parked processes) that an
+//     execution passes materializes a dnode, holding the immutable prefix
+//     that reaches it, the parked candidates with their pending accesses,
+//     the sleep set on arrival, and the mutable set of branches launched
+//     from it so far. Work items carry the chain of dnodes along their
+//     prefix, so a race discovered deep in one execution can add a
+//     backtrack point at any shallower decision node of the same path.
+//   - After each execution (including sleep-set-aborted ones: their
+//     executed prefix is real), the engine computes happens-before vector
+//     bitsets over the trace and, for every newly appended event, scans
+//     earlier conflicting events for reversible races. For a race (e, f) it
+//     computes v = (the events between them not happens-after e) followed
+//     by f, takes the initials of v — processes whose first event in v has
+//     no happens-before predecessor within v — and, unless an initial is
+//     already scheduled from (or asleep at) the node before e, enqueues one
+//     (preferring proc(f)) as a new work item whose sleep set accumulates
+//     the branches launched earlier from that node, exactly as the legacy
+//     mode computes sibling sleep sets.
+//   - Crash transitions perform no access, so they race with nothing; with
+//     Config.Crashes they are enqueued eagerly at every decision point (as
+//     in the legacy mode) and collapsed by sleep sets.
+//
+// At Workers = 1 the LIFO queue makes this the sequential depth-first
+// source-DPOR, and every report field is deterministic. With more workers
+// the order in which races are discovered — and therefore the sleep sets of
+// late additions, the attempt/pruned/backtrack counts, and which
+// representative path of a failing behaviour completes first — is
+// timing-dependent, but the reduction stays sound and the deterministic
+// report fields stay exact: every completed walk still finishes exactly one
+// interleaving per trace class (the per-node launch order, whatever it was,
+// is a valid sleep-set order), so the verdict, the execution count and the
+// terminal-state coverage are unchanged for any worker count (the reduction
+// property tests pin this). Backtracking state lives in pointers, not
+// serializable data, which is why source-DPOR walks report no Checkpoint
+// and reject Resume.
+
+import (
+	"sync"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// dporScratch holds one worker's reusable race-analysis buffers. Only the
+// buffers no dnode retains may live here: node prefixes alias the per-run
+// transition slice, which therefore stays freshly allocated per run.
+type dporScratch struct {
+	hb       []uint64
+	v        []int
+	lastProc []int
+	objs     map[uint64]*objDep
+	objPool  []*objDep
+	objUsed  int
+	accs     []memory.Access
+	nodes    []*dnode
+}
+
+// objDep tracks one object's immediate dependence frontier while building
+// happens-before: the last write and the reads since it.
+type objDep struct {
+	lastWrite int
+	reads     []int
+}
+
+// depFor returns the (cleared) tracker for an object, pooled across runs.
+func (s *dporScratch) depFor(obj uint64) *objDep {
+	if od, ok := s.objs[obj]; ok {
+		return od
+	}
+	if s.objUsed == len(s.objPool) {
+		s.objPool = append(s.objPool, &objDep{})
+	}
+	od := s.objPool[s.objUsed]
+	s.objUsed++
+	od.lastWrite = -1
+	od.reads = od.reads[:0]
+	s.objs[obj] = od
+	return od
+}
+
+// dnode is one branching decision point of a source-DPOR walk: the
+// potential target of race-driven backtrack additions. prefix, chain,
+// sleepAt and enabled are immutable after creation; explored and intrack
+// are guarded by mu.
+type dnode struct {
+	mu      sync.Mutex
+	depth   int
+	prefix  []Transition // schedule root→this node (capacity-clamped view)
+	chain   []*dnode     // branching nodes root→this node, inclusive
+	sleepAt []Transition // sleep set on arrival (SDPOR's Sleep(E'))
+	enabled []candidate  // parked transitions + pending accesses here
+
+	explored []candidate  // branches launched from here, in order
+	intrack  []Transition // branches launched or scheduled (tiny: linear scan)
+}
+
+// tracked reports whether t is already launched or scheduled from n.
+// Callers must hold n.mu (or be the creating run, pre-publication).
+func (n *dnode) tracked(t Transition) bool {
+	for _, x := range n.intrack {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// candOf resolves a transition to a candidate using this node's recorded
+// pending accesses (crash transitions need no access: they commute with
+// every other process's transitions regardless).
+func (n *dnode) candOf(t Transition) candidate {
+	if !t.Crash {
+		for _, en := range n.enabled {
+			if en.t.Proc == t.Proc && !en.t.Crash {
+				return candidate{t: t, acc: en.acc}
+			}
+		}
+	}
+	return candidate{t: t}
+}
+
+// chooseDPOR is the enumeration-zone decision of the source-DPOR mode:
+// take the first awake branch, materialize a decision node when the point
+// is branching, eagerly enqueue awake crash siblings, and leave step
+// siblings to the race analysis of completed traces.
+func (c *itemChooser) chooseDPOR(step int, parked []sched.ProcState, cands, awake []candidate, chosen candidate) sched.Choice {
+	e := c.e
+	if e.cfg.MaxDepth > 0 && step >= e.cfg.MaxDepth {
+		// Below the depth bound nothing backtracks: no node, no siblings.
+		if len(awake) > 1 {
+			e.noteTruncated()
+		}
+		c.advanceSleep(parked, chosen)
+		c.take(cands, chosen)
+		c.noteDPOR(chosen.t, chosen.acc, nil)
+		return sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
+	}
+
+	var node *dnode
+	if len(parked) >= 2 {
+		node = &dnode{
+			depth:   step,
+			prefix:  c.trans[:len(c.trans):len(c.trans)],
+			sleepAt: append([]Transition(nil), c.sleep...),
+			enabled: append([]candidate(nil), cands...),
+			intrack: []Transition{chosen.t},
+		}
+		node.explored = []candidate{chosen}
+		node.chain = append(c.chain[:len(c.chain):len(c.chain)], node)
+		c.chain = node.chain
+	}
+
+	if e.cfg.Crashes {
+		// Crash branches race with nothing, so the analysis would never
+		// add them; enqueue them eagerly, with the same accumulated sleep
+		// sets as the legacy mode (reversed for the canonical LIFO pop).
+		explored := []candidate{chosen}
+		var items []WorkItem
+		for _, sib := range awake {
+			if !sib.t.Crash || sib.t == chosen.t {
+				continue
+			}
+			sl := sleepFor(c.sleep, func(t Transition) candidate { return c.withAccess(t, parked) }, explored, sib)
+			explored = append(explored, sib)
+			prefix := append(c.trans[:len(c.trans):len(c.trans)], sib.t)
+			items = append(items, WorkItem{Prefix: prefix, Sleep: sl, chain: c.chain})
+			if node != nil {
+				node.explored = append(node.explored, sib)
+				node.intrack = append(node.intrack, sib.t)
+			}
+		}
+		for i := len(items) - 1; i >= 0; i-- {
+			e.enqueue(items[i])
+		}
+	}
+
+	c.advanceSleep(parked, chosen)
+	c.take(cands, chosen)
+	c.noteDPOR(chosen.t, chosen.acc, node)
+	return sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
+}
+
+// advanceSleep keeps only the sleeping transitions independent of the
+// chosen one (dependent sleepers wake up).
+func (c *itemChooser) advanceSleep(parked []sched.ProcState, chosen candidate) {
+	var next []Transition
+	for _, s := range c.sleep {
+		if independent(c.withAccess(s, parked), chosen) {
+			next = append(next, s)
+		}
+	}
+	c.sleep = next
+}
+
+// analyzeRaces performs the source-DPOR race analysis over one executed
+// trace: for every event this run was first to take — the spawn transition
+// at the end of its item prefix (appended by no enumeration: the item was
+// constructed with it) plus everything appended beyond the replayed prefix
+// — find reversible races with earlier events and schedule uncovered
+// reversals at the decision node before the earlier event. Earlier
+// replay-zone pairs were analyzed by the ancestor run that first took the
+// later event, so each pair along any path is analyzed exactly once.
+func (e *engine) analyzeRaces(c *itemChooser) {
+	m := len(c.trans)
+	start := len(c.item.Prefix) - 1
+	if start < 0 {
+		start = 0
+	}
+	if start >= m {
+		return
+	}
+
+	// Happens-before as per-event bitsets: hb(j) ∋ k iff event k strictly
+	// happens-before event j (the transitive closure of dependence along
+	// the trace order). Closure only needs each event's *immediate*
+	// dependence frontier — its program-order predecessor, the last write
+	// of its object, and (for writes) the reads since that write; every
+	// earlier dependent event is already in those rows. Buffers are
+	// per-worker scratch.
+	s := c.scratch
+	words := (m + 63) >> 6
+	if need := m * words; cap(s.hb) < need {
+		s.hb = make([]uint64, need)
+	} else {
+		clear(s.hb[:m*words])
+	}
+	hb := s.hb[:m*words]
+	row := func(j int) []uint64 { return hb[j*words : (j+1)*words] }
+	bit := func(r []uint64, k int) bool { return r[k>>6]&(1<<(uint(k)&63)) != 0 }
+	n := c.env.N()
+	if cap(s.lastProc) < n {
+		s.lastProc = make([]int, n)
+	}
+	lastProc := s.lastProc[:n]
+	for i := range lastProc {
+		lastProc[i] = -1
+	}
+	if s.objs == nil {
+		s.objs = make(map[uint64]*objDep)
+	} else {
+		clear(s.objs)
+	}
+	s.objUsed = 0
+	join := func(rj []uint64, k int) {
+		rk := row(k)
+		for w := range rj {
+			rj[w] |= rk[w]
+		}
+		rj[k>>6] |= 1 << (uint(k) & 63)
+	}
+	for j := 0; j < m; j++ {
+		rj := row(j)
+		if k := lastProc[c.trans[j].Proc]; k >= 0 {
+			join(rj, k)
+		}
+		lastProc[c.trans[j].Proc] = j
+		if c.trans[j].Crash {
+			continue // a crash performs no access
+		}
+		od := s.depFor(c.accs[j].Obj)
+		if c.accs[j].Kind == memory.OpRead {
+			if od.lastWrite >= 0 {
+				join(rj, od.lastWrite)
+			}
+			od.reads = append(od.reads, j)
+		} else {
+			if od.lastWrite >= 0 {
+				join(rj, od.lastWrite)
+			}
+			for _, r := range od.reads {
+				join(rj, r)
+			}
+			od.lastWrite = j
+			od.reads = od.reads[:0]
+		}
+	}
+
+	for j := start; j < m; j++ {
+		if c.trans[j].Crash {
+			continue // crash events access nothing: no races
+		}
+		rj := row(j)
+		for i := j - 1; i >= 0; i-- {
+			if c.trans[i].Crash || c.trans[i].Proc == c.trans[j].Proc {
+				continue
+			}
+			if !c.accs[i].Conflicts(c.accs[j]) {
+				continue
+			}
+			// Reversible iff no intermediate event g with i <hb g <hb j:
+			// then e[i] and e[j] are adjacent in some equivalent trace and
+			// their order could genuinely be flipped.
+			reversible := true
+			for g := i + 1; g < j; g++ {
+				if bit(rj, g) && bit(row(g), i) {
+					reversible = false
+					break
+				}
+			}
+			if !reversible {
+				continue
+			}
+			node := c.nodes[i]
+			if node == nil {
+				continue // defensive: a racing partner implies >= 2 parked
+			}
+			e.raceBacktrack(c, node, i, j, row, bit)
+		}
+	}
+}
+
+// raceBacktrack handles one reversible race (e[i], e[j]): compute the
+// initials of the suffix that must be reordered and, unless one is already
+// covered at the node before e[i], schedule one as a new branch there.
+func (e *engine) raceBacktrack(c *itemChooser, node *dnode, i, j int, row func(int) []uint64, bit func([]uint64, int) bool) {
+	// v = the events between the racing pair that do not happen-after
+	// e[i], then e[j] itself: the subsequence that can run before e[i] in
+	// the reversed order.
+	v := c.scratch.v[:0]
+	for k := i + 1; k < j; k++ {
+		if !bit(row(k), i) {
+			v = append(v, k)
+		}
+	}
+	v = append(v, j)
+	c.scratch.v = v
+
+	// Initials of v: processes whose first event in v has no
+	// happens-before predecessor within v — each could be the first
+	// transition of the reordered suffix. (Restriction of global
+	// happens-before to v is exact: any hb-path between v-members routes
+	// only through events not happening-after e[i], which are in v.)
+	var initials []Transition
+	var seen uint64 // by process id; Env process counts are word-small
+	for idx, k := range v {
+		p := c.trans[k].Proc
+		if seen&(1<<uint(p)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(p)
+		rk := row(k)
+		free := true
+		for _, w := range v[:idx] {
+			if bit(rk, w) {
+				free = false
+				break
+			}
+		}
+		if free {
+			initials = append(initials, c.trans[k])
+		}
+	}
+	node.addBacktrack(e, initials, c.trans[j])
+}
+
+// addBacktrack schedules one of the race's initials as a new branch from
+// this node, unless an initial is already scheduled from it or asleep at it
+// (either way the reversal is covered). The new branch's sleep set
+// accumulates the branches launched from this node before it, filtered by
+// independence — the same discipline the legacy mode applies to eagerly
+// enqueued siblings, just applied at discovery time.
+func (n *dnode) addBacktrack(e *engine, initials []Transition, pref Transition) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, t := range initials {
+		if n.tracked(t) {
+			return
+		}
+		for _, s := range n.sleepAt {
+			if s == t {
+				return
+			}
+		}
+	}
+	if len(initials) == 0 {
+		return
+	}
+	t := initials[0]
+	for _, cand := range initials {
+		if cand == pref {
+			t = pref
+			break
+		}
+	}
+	cand := n.candOf(t)
+	sl := sleepFor(n.sleepAt, n.candOf, n.explored, cand)
+	n.intrack = append(n.intrack, t)
+	n.explored = append(n.explored, cand)
+	prefix := append(n.prefix[:len(n.prefix):len(n.prefix)], t)
+	e.backtracks.Add(1)
+	e.enqueue(WorkItem{Prefix: prefix, Sleep: sl, chain: n.chain})
+}
+
+// cacheKey identifies a decision-point state: both fingerprint lanes plus
+// the hash of (per-process progress, crashed set, sleep set).
+type cacheKey [3]uint64
+
+// cacheShards is the shard count of the cross-worker state cache. 64
+// shards keep claim contention negligible at any realistic worker count.
+const cacheShards = 64
+
+// stateCache is the sharded set of claimed decision-point state keys,
+// shared by every worker of a Run (see Config.CacheStates).
+type stateCache struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[cacheKey]struct{}
+	}
+}
+
+func newStateCache() *stateCache {
+	c := &stateCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]struct{})
+	}
+	return c
+}
+
+// claim records a decision-point state key, reporting whether this call was
+// the first to claim it. The first claimant's item (and the sibling items
+// it spawns) explore the subtree; later visitors abandon.
+func (c *stateCache) claim(k cacheKey) bool {
+	s := &c.shards[k[0]&(cacheShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.m[k]; seen {
+		return false
+	}
+	s.m[k] = struct{}{}
+	return true
+}
+
+// fingerprintLess orders fingerprints for the sorted coverage witness.
+func fingerprintLess(a, b memory.Fingerprint) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

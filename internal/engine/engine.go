@@ -1,0 +1,628 @@
+// Package engine is the shared execution-driving core under both
+// exploration frontends: internal/explore (exhaustive frontier walks) and
+// internal/randexp (seeded batch sampling) are thin strategy layers over
+// the machinery this package owns — the worker pool, pooled-executor
+// acquisition and reset (with the non-pooled reconstruct fallback), the
+// step/time/execution budgets, the checkpoint frontier, deterministic
+// merging (lex-least canonical failures for walks, seed-order batch merges
+// for sampling), the cross-worker sharded state cache, and the single
+// CheckError type every checking path reports failures through.
+//
+// # Exhaustive walks
+//
+// Because an execution under a sched gate is fully determined by the
+// sequence of scheduler choices, the space of executions is a tree: each
+// node is a decision point with one branch per parked process (plus,
+// optionally, one crash branch per parked process). Run performs a
+// stateless walk of that tree by re-running the system from scratch with
+// successive choice prefixes, organized as a work queue of frontier
+// prefixes executed by a pool of workers. Each worker owns a reusable
+// execution core: a harness that registers its shared objects and returns a
+// reset path is constructed once per worker and re-run over the same
+// memory.Env through a pooled sched.Executor, with Env.Reset plus the
+// harness reset between executions; harnesses without a reset path fall
+// back to per-execution reconstruction.
+//
+// # Pruning
+//
+// Config.Prune selects the partial-order reduction:
+//
+//   - PruneNone visits every interleaving — the seed engine's semantics,
+//     kept as the compatibility anchor (9662 executions for A1 n=2).
+//   - PruneSleep is the legacy PR1 mode: Godefroid-style sleep sets over
+//     the independence relation induced by the access metadata the memory
+//     layer reports through the gate. Every sibling branch of every
+//     decision point is still enqueued, minus the sleeping ones.
+//   - PruneSourceDPOR is source-DPOR-style conflict-driven backtracking
+//     (Abdulla, Aronis, Jonsson, Sagonas): each decision point initially
+//     explores a single branch, and alternative branches are enqueued only
+//     when a completed execution exhibits a reversible race whose reversal
+//     is not already covered — detected by a vector-clock happens-before
+//     analysis of the executed trace — with sleep sets layered on top
+//     exactly as in the legacy mode. Crash branches carry no accesses (they
+//     race with nothing), so with Config.Crashes they are enqueued eagerly
+//     as in the legacy mode and collapsed by sleep sets.
+//
+// Both pruned modes preserve the set of reachable terminal states and any
+// property invariant under swapping adjacent independent steps; properties
+// sensitive to the real-time order of concurrent high-level events may lose
+// individual witnesses (never gain false ones). Checks that need every
+// interleaving verbatim should run PruneNone.
+//
+// # Determinism contract
+//
+// A Report's fields divide into two classes, documented per field:
+//
+//   - Deterministic fields — the verdict (whether any check failed), the
+//     execution count of a completed walk, the terminal-state coverage
+//     set, and MaxDepth — are identical for every Config.Workers value on
+//     any completed (non-Partial) run, including shared-cache
+//     (CacheStates) runs and source-DPOR runs (sole exception: Executions
+//     under CacheStates with Workers > 1).
+//   - Advisory fields — Attempts, Pruned, CacheHits and Backtracks — may
+//     vary with worker scheduling under CacheStates or PruneSourceDPOR:
+//     which of two equal-state nodes is claimed first, or which of two
+//     runs discovers a race first, is timing-dependent. At Workers = 1
+//     every field is deterministic.
+//
+// Check failures are merged deterministically: the walk finishes and
+// returns the lexicographically least failing schedule in canonical branch
+// order — exactly the schedule a sequential depth-first engine would have
+// failed on first (under source-DPOR with Workers > 1, the reported
+// representative of a failing behaviour may vary; its existence may not).
+// Set FailFast to trade that for an early exit.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Harness builds one instance of the system under test: a new environment,
+// one body per process, a predicate checked on the resulting execution, and
+// an optional reset path.
+//
+// When reset is non-nil the engine treats the instance as reusable: it
+// constructs one instance per worker, runs its bodies through a pooled
+// sched.Executor, and between executions calls env.Reset() followed by
+// reset(). The harness must then (a) register every shared object the
+// bodies touch with env.Register — env.Reset only restores registered
+// objects — and (b) restore all harness-local state (recorders, outcome
+// slices) in reset, so that each execution starts from the construction
+// state. Under Run, a harness that misses state is detected by the
+// engine's nondeterminism check (a recorded transition fails to replay)
+// rather than silently corrupting the walk; the sampling path replays
+// nothing and has no such net, so its pooled mode relies on the reset being
+// complete. reset must touch only instance-local state; the engine calls it
+// under the same lock as check.
+//
+// When reset is nil the engine falls back to reconstructing the harness for
+// every executed run (the pre-pooling behaviour), so all shared state must
+// be created inside the closure.
+//
+// With Workers > 1, process bodies from different executions run
+// concurrently, but harness construction and check calls are serialized by
+// the engine, so a harness may safely accumulate into shared state captured
+// outside the closure (outcome histograms and the like) from its
+// constructor and its check function.
+type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error, reset func())
+
+// PruneMode selects the partial-order reduction of an exhaustive walk.
+type PruneMode uint8
+
+// The available reductions (see the package comment).
+const (
+	// PruneNone explores every interleaving (the seed-count anchor).
+	PruneNone PruneMode = iota
+	// PruneSleep is the legacy sleep-set reduction: kept so every count
+	// pinned under it (9662 / 1956 / 1092→273 / 421) stays reproducible.
+	PruneSleep
+	// PruneSourceDPOR is race-driven backtracking plus sleep sets — the
+	// default reduction of every frontend.
+	PruneSourceDPOR
+)
+
+// String renders the mode the way the tascheck -prune flag spells it.
+func (m PruneMode) String() string {
+	switch m {
+	case PruneNone:
+		return "none"
+	case PruneSleep:
+		return "sleep"
+	case PruneSourceDPOR:
+		return "dpor"
+	}
+	return fmt.Sprintf("PruneMode(%d)", uint8(m))
+}
+
+// ParsePruneMode parses a -prune flag value. The historical boolean
+// spellings stay meaningful: "true" is the reduction the flag used to
+// enable (sleep sets), "false" disables pruning.
+func ParsePruneMode(s string) (PruneMode, error) {
+	switch s {
+	case "none", "off", "false":
+		return PruneNone, nil
+	case "sleep", "legacy", "true":
+		return PruneSleep, nil
+	case "dpor", "source-dpor":
+		return PruneSourceDPOR, nil
+	}
+	return PruneNone, fmt.Errorf("engine: unknown prune mode %q (none | sleep | dpor)", s)
+}
+
+// Config bounds an exhaustive walk.
+type Config struct {
+	// MaxExecutions aborts the walk after this many execution attempts
+	// (0 = no bound). Without pruning, attempts and completed executions
+	// coincide, matching the seed engine's semantics; with pruning,
+	// attempts abandoned as redundant count against the budget but not in
+	// Report.Executions. When hit, Run returns Partial=true rather than an
+	// error, and (outside source-DPOR mode) the Report carries a Checkpoint
+	// of the unexplored frontier.
+	MaxExecutions int
+	// MaxDepth, when nonzero, stops branching below this decision depth:
+	// executions still run to completion, but alternative choices deeper
+	// than MaxDepth are not explored (a context-bound-style truncation of
+	// the tree, not resumable). Hitting it marks the report Partial.
+	MaxDepth int
+	// TimeBudget, when nonzero, stops dequeuing new work after this much
+	// wall-clock time and checkpoints the remaining frontier. Which items
+	// completed by then is timing-dependent, so a time-cut exploration is
+	// not deterministic; a later Run with Resume can finish it.
+	TimeBudget time.Duration
+	// Crashes adds one crash branch per parked process at every decision
+	// point. This grows the tree roughly 2^depth-fold; use with tight
+	// process counts or with pruning (crashes commute with other
+	// processes' steps, so both pruned modes collapse most of that growth).
+	Crashes bool
+	// Workers is the number of executions run concurrently (0 or 1 =
+	// sequential). Workers never changes the deterministic report fields of
+	// a completed walk; see the package comment for which fields are
+	// advisory.
+	Workers int
+	// Prune selects the partial-order reduction (default PruneNone: an
+	// unpruned 1-worker run visits exactly the executions the seed engine
+	// visited).
+	Prune PruneMode
+	// FailFast stops the walk at the first check failure instead of
+	// finishing the tree to find the canonically least one. Faster on
+	// failing harnesses, but which failure is reported becomes
+	// timing-dependent when Workers > 1.
+	FailFast bool
+	// CacheStates enables state-fingerprint caching: at every branching
+	// decision point the engine keys the state as (Env.Fingerprint(),
+	// per-process granted-step counts, crashed set, sleep set) in one
+	// sharded cache shared across all workers and abandons the run —
+	// subtree included — when the key was already claimed by an earlier
+	// visit, composing with (and pruning beyond) sleep sets. It requires
+	// the harness to register every shared object (otherwise Fingerprint
+	// reports not-ok and the cache is silently inert) and is subject to the
+	// soundness caveats recorded in DESIGN.md: hash collisions (now a
+	// 128-bit bound), and process-local state not determined by (step
+	// count, shared memory). Incompatible with PruneSourceDPOR, whose
+	// exploration obligations are not captured by the cache key.
+	CacheStates bool
+	// Resume seeds the work queue from a previous run's checkpoint instead
+	// of the tree root. The harness and the rest of the config must match
+	// the run that produced it. Counters restart from zero. Incompatible
+	// with PruneSourceDPOR (its backtracking state is not serializable).
+	Resume *Checkpoint
+}
+
+// Report summarizes an exhaustive walk. Fields marked advisory may vary
+// with Config.Workers under CacheStates or PruneSourceDPOR; all other
+// fields are identical for every worker count on a completed walk.
+type Report struct {
+	// Executions is the number of distinct interleavings run to completion
+	// and checked. On completed walks this is deterministic for every
+	// worker count in every prune mode: both pruned modes complete
+	// exactly one interleaving per Mazurkiewicz trace class (sleep sets
+	// never complete two equivalent traces — Godefroid — and both cover
+	// every class), an argument independent of exploration order. So on
+	// fully explorable harnesses the two pruned modes report *equal*
+	// Executions, and source-DPOR's reduction shows up in Attempts — the
+	// redundant prefixes never started. Advisory only under CacheStates
+	// with Workers > 1 (which duplicate subtree is abandoned is
+	// timing-dependent) and on Partial walks.
+	Executions int
+	// Attempts is the number of work items run: completed executions plus
+	// prefix replays abandoned as redundant (sleep-blocked or state-
+	// cached). It is the unit MaxExecutions bounds and the engine's raw
+	// work measure — wall-clock tracks it — and it is where source-DPOR's
+	// strict reduction over the legacy sleep sets lands. Deterministic
+	// under the same conditions as Executions.
+	Attempts int
+	// Pruned counts work skipped as redundant by sleep sets: branches
+	// never explored plus in-flight executions abandoned once every
+	// remaining branch was known to be covered elsewhere. Advisory.
+	Pruned int
+	// Backtracks counts the race-driven backtrack points source-DPOR
+	// added; zero in other modes. Advisory.
+	Backtracks int
+	// CacheHits counts executions abandoned by state-fingerprint caching:
+	// runs that reached a decision point whose state key was already
+	// claimed by another part of the walk. Zero unless Config.CacheStates
+	// is set and the harness registers its shared objects. Advisory.
+	CacheHits int
+	// Partial reports whether the walk was cut off by MaxExecutions,
+	// MaxDepth or TimeBudget. Deterministic on completed walks (false).
+	Partial bool
+	// MaxDepth is the largest number of scheduler decisions seen in a
+	// completed execution. Deterministic.
+	MaxDepth int
+	// DistinctStates is the number of distinct terminal-state fingerprints
+	// over all executed interleavings (0 when the harness does not register
+	// fingerprintable objects; FingerprintOK reports which). Deterministic:
+	// pruning, caching and worker scheduling never change which terminal
+	// states are reachable, only which representative path reaches them.
+	DistinctStates int
+	// FingerprintOK reports whether terminal states could be fingerprinted.
+	FingerprintOK bool
+	// TerminalStates is the sorted set of distinct terminal-state
+	// fingerprints (nil when FingerprintOK is false). Deterministic; it is
+	// the witness the reduction property tests compare across prune modes
+	// and worker counts.
+	TerminalStates []memory.Fingerprint
+	// Checkpoint holds the unexplored frontier when the walk was cut off
+	// by MaxExecutions or TimeBudget (nil otherwise, and always nil in
+	// source-DPOR mode); pass it as Config.Resume to continue later.
+	Checkpoint *Checkpoint
+}
+
+// Transition identifies one scheduler branch for checkpointing: granting a
+// step to a process, or crashing it.
+type Transition struct {
+	Proc  int  `json:"proc"`
+	Crash bool `json:"crash,omitempty"`
+}
+
+// WorkItem is one unexplored frontier node: the choice prefix that reaches
+// it and the sleep set (transitions whose subtrees are covered by siblings)
+// in effect there. Prefixes are stored as transitions, so a checkpoint is
+// plain serializable data, valid across program runs: object identities in
+// the access metadata are execution-local and are re-derived on replay.
+type WorkItem struct {
+	Prefix []Transition `json:"prefix"`
+	Sleep  []Transition `json:"sleep,omitempty"`
+
+	// chain is the in-memory spine of source-DPOR items: the branching
+	// decision nodes along the prefix, deepest last. Never serialized —
+	// which is why source-DPOR walks are not checkpointable.
+	chain []*dnode
+}
+
+// Checkpoint is a resumable frontier: the set of work items an interrupted
+// exploration had discovered but not yet executed.
+type Checkpoint struct {
+	Items []WorkItem `json:"items"`
+}
+
+// CheckError is the single failure type of both exploration frontends: a
+// check failure wrapped with the schedule that produced it, so a failing
+// interleaving can be replayed with sched.NewReplay. Failures found by the
+// sampling frontend additionally carry the seed of the failing run
+// (Sampled distinguishes them, since 0 is a legitimate seed), so they can
+// be reproduced by seed without re-running the batch.
+type CheckError struct {
+	Schedule []sched.Choice
+	Seed     int64
+	Sampled  bool
+	Err      error
+}
+
+func (e *CheckError) Error() string {
+	if e.Sampled {
+		return fmt.Sprintf("engine: check failed on seed %d (schedule %v): %v", e.Seed, e.Schedule, e.Err)
+	}
+	return fmt.Sprintf("engine: check failed on schedule %v: %v", e.Schedule, e.Err)
+}
+
+func (e *CheckError) Unwrap() error { return e.Err }
+
+// failure is a candidate CheckError tagged with the canonical branch-index
+// path of its leaf, the engine's tie-breaking order.
+type failure struct {
+	path     []int
+	schedule []sched.Choice
+	err      error
+}
+
+// lexLess orders branch-index paths. Two distinct leaf paths always differ
+// at some shared position (a leaf cannot be a proper prefix of another:
+// equal paths reach equal states, which are either both terminal or not).
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// engine is the shared state of one Run call.
+type engine struct {
+	core *Core
+	cfg  Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []WorkItem // LIFO: deepest discovered first = canonical order
+	leftover []WorkItem // frontier preserved when stopping early
+	inflight int
+	started  int // items dequeued, bounded by MaxExecutions
+	stopping bool
+	deadline time.Time
+
+	backtracks atomic.Int64 // race-driven additions (source-DPOR)
+
+	// The result fields below are guarded by core.checkMu, which also
+	// serializes harness construction, check and reset calls.
+	executions  int
+	pruned      int
+	cacheHits   int
+	truncated   bool
+	maxDepth    int
+	fpOK        bool
+	terminal    map[memory.Fingerprint]struct{}
+	best        *failure
+	internalErr error
+
+	// cache is the sharded set of state keys claimed by decision points of
+	// the walk, shared across all workers (see Config.CacheStates).
+	cache *stateCache
+}
+
+// Run walks the interleaving tree of h under cfg. It returns a CheckError
+// carrying the canonically least failing schedule if any check failed, an
+// internal error if the harness turned out nondeterministic, and otherwise
+// the report of the completed (or budget-cut) walk.
+func Run(h Harness, cfg Config) (Report, error) {
+	if cfg.Prune == PruneSourceDPOR {
+		if cfg.CacheStates {
+			return Report{}, fmt.Errorf("engine: CacheStates is incompatible with source-DPOR (the cache key does not capture backtracking obligations); use Prune: PruneSleep")
+		}
+		if cfg.Resume != nil {
+			return Report{}, fmt.Errorf("engine: Resume is incompatible with source-DPOR (backtracking state is not serializable); use Prune: PruneSleep or PruneNone")
+		}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{core: NewCore(h, workers), cfg: cfg, terminal: map[memory.Fingerprint]struct{}{}}
+	defer e.core.Close()
+	e.cond = sync.NewCond(&e.mu)
+	if cfg.TimeBudget > 0 {
+		e.deadline = time.Now().Add(cfg.TimeBudget)
+	}
+	if cfg.CacheStates {
+		e.cache = newStateCache()
+	}
+	if cfg.Resume != nil {
+		e.queue = append(e.queue, cfg.Resume.Items...)
+	} else {
+		e.queue = []WorkItem{{}}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := &dporScratch{}
+			for {
+				item, ok := e.next()
+				if !ok {
+					return
+				}
+				e.runItem(e.core.instanceFor(w), item, scratch)
+				e.done()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := Report{
+		Executions: e.executions,
+		Attempts:   e.started,
+		Pruned:     e.pruned,
+		Backtracks: int(e.backtracks.Load()),
+		CacheHits:  e.cacheHits,
+		MaxDepth:   e.maxDepth,
+		Partial:    len(e.leftover) > 0 || e.truncated,
+	}
+	if e.fpOK {
+		rep.FingerprintOK = true
+		rep.DistinctStates = len(e.terminal)
+		rep.TerminalStates = make([]memory.Fingerprint, 0, len(e.terminal))
+		for fp := range e.terminal {
+			rep.TerminalStates = append(rep.TerminalStates, fp)
+		}
+		sort.Slice(rep.TerminalStates, func(i, j int) bool {
+			return fingerprintLess(rep.TerminalStates[i], rep.TerminalStates[j])
+		})
+	}
+	if len(e.leftover) > 0 && cfg.Prune != PruneSourceDPOR {
+		// Also set alongside a CheckError: a budget-cut walk that found a
+		// failure can still be resumed for further coverage.
+		rep.Checkpoint = &Checkpoint{Items: e.leftover}
+	}
+	if e.internalErr != nil {
+		return rep, e.internalErr
+	}
+	if e.best != nil {
+		return rep, &CheckError{Schedule: e.best.schedule, Err: e.best.err}
+	}
+	return rep, nil
+}
+
+// next blocks until a work item is available or the exploration is over.
+func (e *engine) next() (WorkItem, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopping {
+			return WorkItem{}, false
+		}
+		if len(e.queue) > 0 {
+			if e.cfg.MaxExecutions > 0 && e.started >= e.cfg.MaxExecutions {
+				e.stopLocked()
+				return WorkItem{}, false
+			}
+			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+				e.stopLocked()
+				return WorkItem{}, false
+			}
+			item := e.queue[len(e.queue)-1]
+			e.queue = e.queue[:len(e.queue)-1]
+			e.started++
+			e.inflight++
+			return item, true
+		}
+		if e.inflight == 0 {
+			return WorkItem{}, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// stopLocked halts dequeuing and preserves the remaining queue as the
+// resumable frontier. Callers must hold e.mu.
+func (e *engine) stopLocked() {
+	e.stopping = true
+	e.leftover = append(e.leftover, e.queue...)
+	e.queue = nil
+	e.cond.Broadcast()
+}
+
+func (e *engine) done() {
+	e.mu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) enqueue(item WorkItem) {
+	e.mu.Lock()
+	if e.stopping {
+		e.leftover = append(e.leftover, item)
+	} else {
+		e.queue = append(e.queue, item)
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// runItem executes one frontier prefix to a leaf, enqueuing the sibling
+// branches it passes on the way down (in source-DPOR mode: only crash
+// siblings eagerly; step siblings on demand from the race analysis of the
+// completed trace). With a pooled instance the bodies re-enter the
+// persistent executor and the instance is reset afterwards; otherwise the
+// freshly constructed instance runs through the per-execution spawn path.
+func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
+	ch := &itemChooser{e: e, item: item, env: inst.env, chain: item.chain, scratch: scratch, steps: make([]int, inst.env.N())}
+	if e.cfg.Prune == PruneSourceDPOR {
+		// The transition record is retained by the decision nodes it
+		// spawns (their prefixes alias it), so it is allocated per run;
+		// the access and node records are analysis-local scratch.
+		ch.trans = make([]Transition, 0, len(item.Prefix)+32)
+		ch.accs = scratch.accs[:0]
+		ch.nodes = scratch.nodes[:0]
+	}
+	var res *sched.Result
+	if inst.exec != nil {
+		res = inst.exec.Run(ch)
+	} else {
+		res = sched.RunChooser(inst.env, ch, inst.bodies)
+	}
+
+	if ch.bad == nil && e.cfg.Prune == PruneSourceDPOR {
+		// Race analysis mutates only per-node state (under node locks) and
+		// the work queue, so it runs outside the check lock.
+		e.analyzeRaces(ch)
+		scratch.accs = ch.accs[:0]
+		scratch.nodes = ch.nodes[:0]
+	}
+
+	e.core.checkMu.Lock()
+	defer e.core.checkMu.Unlock()
+	if inst.exec != nil {
+		defer func() {
+			inst.env.Reset()
+			inst.reset()
+		}()
+	}
+	if ch.bad != nil {
+		if e.internalErr == nil {
+			e.internalErr = ch.bad
+		}
+		e.mu.Lock()
+		e.stopLocked()
+		e.mu.Unlock()
+		return
+	}
+	e.pruned += ch.pruned
+	if ch.aborted {
+		if ch.cacheHit {
+			// The decision point's state key was already claimed: the leaf
+			// this item would have reached (and its whole subtree) repeats
+			// an equal-state node explored elsewhere.
+			e.cacheHits++
+		} else {
+			// Every continuation from some point on was asleep: the leaf
+			// this item would have reached is a reordering of leaves
+			// reached through sibling branches. The run was abandoned, not
+			// checked.
+			e.pruned++
+		}
+		return
+	}
+	e.executions++
+	if d := len(res.Schedule); d > e.maxDepth {
+		e.maxDepth = d
+	}
+	if fp, ok := inst.env.Fingerprint(); ok {
+		e.fpOK = true
+		e.terminal[fp] = struct{}{}
+	}
+	if err := inst.check(res); err != nil {
+		f := &failure{path: ch.path, schedule: res.Schedule, err: err}
+		if e.best == nil || lexLess(f.path, e.best.path) {
+			e.best = f
+		}
+		if e.cfg.FailFast {
+			e.mu.Lock()
+			e.stopLocked()
+			e.mu.Unlock()
+		}
+	}
+}
+
+func (e *engine) noteTruncated() {
+	e.core.checkMu.Lock()
+	e.truncated = true
+	e.core.checkMu.Unlock()
+}
+
+// NoReset strips a harness's reset path, forcing the engine onto the
+// per-execution reconstruct-and-spawn path for every interleaving. It
+// exists for benchmarking the pooled executor against that baseline, and
+// as an escape hatch for a harness whose reset turns out to be
+// incomplete.
+func NoReset(h Harness) Harness {
+	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env, bodies, check, _ := h()
+		return env, bodies, check, nil
+	}
+}

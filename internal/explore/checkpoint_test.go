@@ -17,7 +17,7 @@ import (
 // be byte-identical — resuming must not mutate the checkpoint, and the
 // encoding must be stable under decode/encode.
 func TestCheckpointJSONRoundTrip(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		rep, err := Run(mixedHarness(nil), Config{Prune: prune, MaxExecutions: 3, Crashes: true})
 		if err != nil {
 			t.Fatal(err)

@@ -68,9 +68,12 @@ func plantedBugHarness() Harness {
 // TestDeterministicAcrossWorkers is the engine's core reproducibility
 // guarantee: same harness + same config ⇒ identical execution counts, and
 // on a failing harness the identical canonical CheckError.Schedule, no
-// matter how many workers run the queue.
+// matter how many workers run the queue. (Source-DPOR promises this only
+// at one worker — its race-discovery order is timing-dependent beyond — so
+// its cross-worker guarantee is the deterministic-fields contract, pinned
+// by TestSourceDPORDeterministicFieldsAcrossWorkers.)
 func TestDeterministicAcrossWorkers(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		var wantExecs int
 		var wantSchedule []sched.Choice
 		for _, workers := range []int{1, 4, 8} {
@@ -92,12 +95,69 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 			}
 		}
 	}
+	// Source-DPOR at one worker is the sequential depth-first algorithm:
+	// repeated runs must agree exactly.
+	var first Report
+	var firstCE *CheckError
+	for i := 0; i < 3; i++ {
+		rep, err := Run(plantedBugHarness(), Config{Workers: 1, Prune: PruneSourceDPOR})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("dpor run %d: want CheckError, got %v", i, err)
+		}
+		if i == 0 {
+			first, firstCE = rep, ce
+			continue
+		}
+		if rep.Executions != first.Executions || rep.Backtracks != first.Backtracks {
+			t.Fatalf("dpor run %d diverged: %+v vs %+v", i, rep, first)
+		}
+		if !reflect.DeepEqual(ce.Schedule, firstCE.Schedule) {
+			t.Fatalf("dpor run %d: schedule %v, want %v", i, ce.Schedule, firstCE.Schedule)
+		}
+	}
+}
+
+// TestSourceDPORDeterministicFieldsAcrossWorkers pins the deterministic
+// half of the source-DPOR report contract: the verdict, the execution
+// count of the completed walk (one interleaving per trace class under any
+// launch order), and the terminal-state coverage (and MaxDepth) are
+// identical for every worker count — only the attempt/pruned/backtrack
+// bookkeeping is advisory beyond one worker.
+func TestSourceDPORDeterministicFieldsAcrossWorkers(t *testing.T) {
+	base, baseErr := Run(mixedHarness(nil), Config{Workers: 1, Prune: PruneSourceDPOR, Crashes: true})
+	if baseErr != nil {
+		t.Fatal(baseErr)
+	}
+	if !base.FingerprintOK || base.DistinctStates == 0 {
+		t.Fatalf("mixed harness must fingerprint: %+v", base)
+	}
+	for _, workers := range []int{4, 8} {
+		rep, err := Run(mixedHarness(nil), Config{Workers: workers, Prune: PruneSourceDPOR, Crashes: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Executions != base.Executions {
+			t.Fatalf("workers=%d: completed %d interleavings, want the 1-worker walk's %d", workers, rep.Executions, base.Executions)
+		}
+		if !reflect.DeepEqual(rep.TerminalStates, base.TerminalStates) || rep.MaxDepth != base.MaxDepth {
+			t.Fatalf("workers=%d: deterministic fields diverged:\n%+v\nvs\n%+v", workers, rep, base)
+		}
+	}
+	// And the verdict on a failing harness: found at every worker count.
+	for _, workers := range []int{1, 4} {
+		_, err := Run(plantedBugHarness(), Config{Workers: workers, Prune: PruneSourceDPOR})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: want CheckError, got %v", workers, err)
+		}
+	}
 }
 
 // TestDeterministicCountsCrashes extends the worker-count determinism to
 // crash branches on a passing harness.
 func TestDeterministicCountsCrashes(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		var want Report
 		for _, workers := range []int{1, 8} {
 			rep, err := Run(mixedHarness(nil), Config{Crashes: true, Workers: workers, Prune: prune})
@@ -134,62 +194,68 @@ func TestSequentialUnprunedMatchesSeedCount(t *testing.T) {
 // final states of the pruned walk equals the unpruned one, while executing
 // strictly fewer interleavings.
 func TestPruningPreservesDistinctOutcomes(t *testing.T) {
-	for _, crashes := range []bool{false, true} {
-		full := map[string]int{}
-		frep, err := Run(mixedHarness(full), Config{Crashes: crashes})
-		if err != nil {
-			t.Fatal(err)
-		}
-		pruned := map[string]int{}
-		prep, err := Run(mixedHarness(pruned), Config{Crashes: crashes, Prune: true, Workers: 4})
-		if err != nil {
-			t.Fatal(err)
-		}
-		distinct := func(m map[string]int) []string {
-			var out []string
-			for k := range m {
-				out = append(out, k)
+	for _, prune := range []PruneMode{PruneSleep, PruneSourceDPOR} {
+		for _, crashes := range []bool{false, true} {
+			full := map[string]int{}
+			frep, err := Run(mixedHarness(full), Config{Crashes: crashes})
+			if err != nil {
+				t.Fatal(err)
 			}
-			return out
-		}
-		f, p := distinct(full), distinct(pruned)
-		if len(f) != len(p) {
-			t.Fatalf("crashes=%v: pruned walk found %d distinct outcomes, full %d", crashes, len(p), len(f))
-		}
-		for k := range full {
-			if pruned[k] == 0 {
-				t.Fatalf("crashes=%v: pruned walk lost outcome %q", crashes, k)
+			pruned := map[string]int{}
+			prep, err := Run(mixedHarness(pruned), Config{Crashes: crashes, Prune: prune, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
 			}
+			distinct := func(m map[string]int) []string {
+				var out []string
+				for k := range m {
+					out = append(out, k)
+				}
+				return out
+			}
+			f, p := distinct(full), distinct(pruned)
+			if len(f) != len(p) {
+				t.Fatalf("prune=%v crashes=%v: pruned walk found %d distinct outcomes, full %d", prune, crashes, len(p), len(f))
+			}
+			for k := range full {
+				if pruned[k] == 0 {
+					t.Fatalf("prune=%v crashes=%v: pruned walk lost outcome %q", prune, crashes, k)
+				}
+			}
+			if prep.Executions >= frep.Executions {
+				t.Fatalf("prune=%v crashes=%v: pruning did not reduce executions: %d vs %d", prune, crashes, prep.Executions, frep.Executions)
+			}
+			// The pruned and unpruned walks must also agree on the terminal-
+			// state coverage witness (the deterministic Report field).
+			if !reflect.DeepEqual(prep.TerminalStates, frep.TerminalStates) {
+				t.Fatalf("prune=%v crashes=%v: terminal-state sets diverged", prune, crashes)
+			}
+			t.Logf("prune=%v crashes=%v: %d -> %d executions (%d pruned, %d backtracks), %d distinct outcomes",
+				prune, crashes, frep.Executions, prep.Executions, prep.Pruned, prep.Backtracks, len(f))
 		}
-		if prep.Executions >= frep.Executions {
-			t.Fatalf("crashes=%v: pruning did not reduce executions: %d vs %d", crashes, prep.Executions, frep.Executions)
-		}
-		if prep.Pruned == 0 {
-			t.Fatalf("crashes=%v: report claims nothing pruned", crashes)
-		}
-		t.Logf("crashes=%v: %d -> %d executions (%d pruned), %d distinct outcomes",
-			crashes, frep.Executions, prep.Executions, prep.Pruned, len(f))
 	}
 }
 
 // TestPruningFindsPlantedBug: reduction must never prune away a buggy
 // outcome, only re-orderings of it.
 func TestPruningFindsPlantedBug(t *testing.T) {
-	_, err := Run(plantedBugHarness(), Config{Prune: true, Workers: 4})
-	var ce *CheckError
-	if !errors.As(err, &ce) {
-		t.Fatalf("want CheckError, got %v", err)
-	}
-	// The reported canonical schedule must reproduce the failure.
-	env := memory.NewEnv(2)
-	r := memory.NewIntReg(0)
-	inc := func(p *memory.Proc) {
-		v := r.Read(p)
-		r.Write(p, v+1)
-	}
-	sched.Run(env, sched.NewReplay(ce.Schedule), []func(p *memory.Proc){inc, inc})
-	if got := r.Read(env.Proc(0)); got == 2 {
-		t.Fatal("replayed schedule did not reproduce the lost update")
+	for _, prune := range []PruneMode{PruneSleep, PruneSourceDPOR} {
+		_, err := Run(plantedBugHarness(), Config{Prune: prune, Workers: 4})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("prune=%v: want CheckError, got %v", prune, err)
+		}
+		// The reported canonical schedule must reproduce the failure.
+		env := memory.NewEnv(2)
+		r := memory.NewIntReg(0)
+		inc := func(p *memory.Proc) {
+			v := r.Read(p)
+			r.Write(p, v+1)
+		}
+		sched.Run(env, sched.NewReplay(ce.Schedule), []func(p *memory.Proc){inc, inc})
+		if got := r.Read(env.Proc(0)); got == 2 {
+			t.Fatalf("prune=%v: replayed schedule did not reproduce the lost update", prune)
+		}
 	}
 }
 
@@ -197,7 +263,7 @@ func TestPruningFindsPlantedBug(t *testing.T) {
 // it from the reported frontier until done; the stitched-together walk must
 // cover exactly the outcomes and count of an uninterrupted one.
 func TestCheckpointResume(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		full := map[string]int{}
 		frep, err := Run(mixedHarness(full), Config{Prune: prune})
 		if err != nil {
@@ -297,7 +363,7 @@ func TestFailFastStops(t *testing.T) {
 // performance change — execution counts, pruning and the canonical failing
 // schedule all match the reconstruction path exactly.
 func TestPooledMatchesSpawnPath(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep, PruneSourceDPOR} {
 		outsPooled := map[string]int{}
 		outsSpawn := map[string]int{}
 		pooled, errP := Run(mixedHarness(outsPooled), Config{Prune: prune, Crashes: true})
@@ -312,9 +378,15 @@ func TestPooledMatchesSpawnPath(t *testing.T) {
 			t.Fatalf("prune=%v: outcome multisets diverge: %v vs %v", prune, outsPooled, outsSpawn)
 		}
 
+		// Failing-harness comparison: count equality needs count-
+		// deterministic configs, so source-DPOR runs sequentially here.
+		workers := 4
+		if prune == PruneSourceDPOR {
+			workers = 1
+		}
 		var cePooled, ceSpawn *CheckError
-		repP, errP := Run(plantedBugHarness(), Config{Prune: prune, Workers: 4})
-		repS, errS := Run(NoReset(plantedBugHarness()), Config{Prune: prune, Workers: 4})
+		repP, errP := Run(plantedBugHarness(), Config{Prune: prune, Workers: workers})
+		repS, errS := Run(NoReset(plantedBugHarness()), Config{Prune: prune, Workers: workers})
 		if !errors.As(errP, &cePooled) || !errors.As(errS, &ceSpawn) {
 			t.Fatalf("prune=%v: want CheckErrors, got %v / %v", prune, errP, errS)
 		}
@@ -361,7 +433,7 @@ func convergingHarness(outcomes map[int64]int) Harness {
 // independence-based pruning cannot collapse the conflicting writes — while
 // preserving the set of distinct final states, and must report its hits.
 func TestCacheStatesPrunesBeyondSleepSets(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		base := map[int64]int{}
 		baseRep, err := Run(convergingHarness(base), Config{Prune: prune, Workers: 1})
 		if err != nil {
@@ -462,7 +534,7 @@ func uniqueFailureHarness() Harness {
 // cut), must report the same total execution count and surface the same
 // canonically least failure as an uncut run.
 func TestResumeDeterminism(t *testing.T) {
-	for _, prune := range []bool{false, true} {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
 		uncut, uncutErr := Run(uniqueFailureHarness(), Config{Prune: prune, Workers: 1})
 		var uncutCE *CheckError
 		if !errors.As(uncutErr, &uncutCE) {
@@ -518,6 +590,52 @@ func TestResumeDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(failures[0].Schedule, uncutCE.Schedule) {
 			t.Fatalf("prune=%v: resumed failure %v, uncut %v", prune, failures[0].Schedule, uncutCE.Schedule)
+		}
+	}
+}
+
+// TestSourceDPORRejectsIncompatibleConfigs: caching and checkpoints are
+// sleep/none features; the engine must refuse the combination loudly
+// rather than run an unsound or unresumable walk.
+func TestSourceDPORRejectsIncompatibleConfigs(t *testing.T) {
+	if _, err := Run(mixedHarness(nil), Config{Prune: PruneSourceDPOR, CacheStates: true}); err == nil {
+		t.Fatal("source-DPOR with CacheStates must error")
+	}
+	if _, err := Run(mixedHarness(nil), Config{Prune: PruneSourceDPOR, Resume: &Checkpoint{}}); err == nil {
+		t.Fatal("source-DPOR with Resume must error")
+	}
+	// And a budget-cut source-DPOR walk must not hand out a bogus frontier.
+	rep, err := Run(mixedHarness(nil), Config{Prune: PruneSourceDPOR, MaxExecutions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.Checkpoint != nil {
+		t.Fatalf("budget-cut dpor walk: %+v, want Partial with nil Checkpoint", rep)
+	}
+}
+
+// TestSharedCacheDeterministicFieldsAcrossWorkers pins the report contract
+// of the cross-worker sharded cache: executions, pruned and cache hits are
+// advisory with more than one worker, but the verdict, the terminal-state
+// coverage and MaxDepth must match the 1-worker run exactly.
+func TestSharedCacheDeterministicFieldsAcrossWorkers(t *testing.T) {
+	for _, prune := range []PruneMode{PruneNone, PruneSleep} {
+		base, err := Run(convergingHarness(nil), Config{Prune: prune, Workers: 1, CacheStates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.CacheHits == 0 || !base.FingerprintOK {
+			t.Fatalf("prune=%v: cache inert on the converging harness: %+v", prune, base)
+		}
+		for _, workers := range []int{4, 8} {
+			rep, err := Run(convergingHarness(nil), Config{Prune: prune, Workers: workers, CacheStates: true})
+			if err != nil {
+				t.Fatalf("prune=%v workers=%d: %v", prune, workers, err)
+			}
+			if !reflect.DeepEqual(rep.TerminalStates, base.TerminalStates) ||
+				rep.DistinctStates != base.DistinctStates || rep.MaxDepth != base.MaxDepth {
+				t.Fatalf("prune=%v workers=%d: deterministic fields diverged:\n%+v\nvs\n%+v", prune, workers, rep, base)
+			}
 		}
 	}
 }

@@ -1,11 +1,6 @@
-// Package explore enumerates interleavings of a controlled execution
-// exhaustively (small-scope model checking). Because an execution under
-// sched.Run is fully determined by the sequence of scheduler choices, the
-// space of executions is a tree: each node is a decision point with one
-// branch per parked process (plus, optionally, one crash branch per parked
-// process). The engine performs a stateless walk of that tree by re-running
-// the system from scratch with successive choice prefixes, optionally
-// across a pool of workers and with independence-based pruning.
+// Package explore is the exhaustive-exploration frontend over the shared
+// engine core (internal/engine): small-scope model checking by enumerating
+// every interleaving of a controlled execution.
 //
 // The paper's correctness arguments (invariants 1–5 of Lemma 4, Lemma 6,
 // linearizability of the composed TAS) are universally quantified over
@@ -13,782 +8,76 @@
 // process counts, and the tests fall back to seeded random sampling beyond
 // that.
 //
-// # Architecture
-//
-// Exploration is organized as a work queue of frontier prefixes. A work
-// item is a choice prefix (plus pruning bookkeeping); executing it replays
-// the prefix and then extends it with the first permitted branch at every
-// deeper decision point, enqueuing every sibling branch it passes as a new
-// item. Each leaf of the tree is reached by exactly one item, so the
-// execution count equals the seed engine's one-execution-per-leaf count,
-// and items are independent, so they can run on any number of workers.
-//
-// Each worker runs items through a reusable execution core: a harness
-// that registers its shared objects and returns a reset path is
-// constructed once per worker and re-run over the same memory.Env through
-// a pooled sched.Executor, with Env.Reset plus the harness reset between
-// executions; harnesses without a reset path fall back to per-execution
-// reconstruction. Optional state-fingerprint caching (Config.CacheStates)
-// additionally skips subtrees rooted at decision points whose
-// (fingerprint, progress, sleep set) key was already explored — see
-// DESIGN.md for the soundness argument and its caveats.
-//
-// # Pruning
-//
-// With Config.Prune set, the engine runs Godefroid-style sleep sets over
-// the independence relation induced by the access metadata the memory
-// layer reports through the gate: two transitions of different processes
-// commute when either is a crash (a crash performs no access) or when
-// their pending accesses touch different objects or are both reads. Of
-// every class of executions that differ only by swapping adjacent
-// independent steps, only one representative is executed. Final states and
-// any property invariant under such swaps are fully preserved; properties
-// sensitive to the real-time order of concurrent high-level events may
-// lose individual witnesses (never gain false ones — every executed
-// schedule is a real execution). Checks that need every interleaving
-// verbatim should leave Prune off.
-//
-// # Determinism
-//
-// The shape of the (pruned) tree depends only on the harness and the
-// config, never on worker scheduling. A completed exploration therefore
-// reports the same execution count for any worker count, and check
-// failures are reported deterministically: the engine finishes the walk
-// and returns the lexicographically least failing schedule (in canonical
-// branch order), which is exactly the schedule the seed's depth-first
-// engine would have failed on first. Set FailFast to trade that
-// determinism for an early exit.
+// All execution-driving machinery — the worker pool, pooled-executor
+// lifecycle, budgets, checkpoint frontier, partial-order reductions
+// (legacy sleep sets and source-DPOR), the cross-worker sharded state
+// cache, and deterministic lex-least failure merging — lives in
+// internal/engine; this package re-exports the engine's types so existing
+// harnesses and configs keep compiling, and keeps the exploration-flavored
+// conveniences (NoReset, the Sample shim over internal/randexp). See the
+// engine package comment for the architecture, the pruning guarantees, and
+// the deterministic-versus-advisory report contract.
 package explore
 
 import (
 	"errors"
-	"fmt"
-	"sort"
-	"sync"
-	"time"
 
-	"repro/internal/memory"
+	"repro/internal/engine"
 	"repro/internal/randexp"
-	"repro/internal/sched"
 )
 
-// Harness builds one instance of the system under test: a new environment,
-// one body per process, a predicate checked on the resulting execution, and
-// an optional reset path.
-//
-// When reset is non-nil the engine treats the instance as reusable: it
-// constructs one instance per worker, runs its bodies through a pooled
-// sched.Executor, and between executions calls env.Reset() followed by
-// reset(). The harness must then (a) register every shared object the
-// bodies touch with env.Register — env.Reset only restores registered
-// objects — and (b) restore all harness-local state (recorders, outcome
-// slices) in reset, so that each execution starts from the construction
-// state. Under Run, a harness that misses state is detected by the
-// engine's nondeterminism check (a recorded transition fails to replay)
-// rather than silently corrupting the walk; Sample replays nothing and has
-// no such net, so its pooled mode relies on the reset being complete.
-// reset must touch only instance-local state; the engine calls it under
-// the same lock as check.
-//
-// When reset is nil the engine falls back to reconstructing the harness for
-// every explored interleaving (the pre-pooling behaviour), so all shared
-// state must be created inside the closure.
-//
-// With Workers > 1, process bodies from different executions run
-// concurrently, but harness construction and check calls are serialized by
-// the engine, so a harness may safely accumulate into shared state captured
-// outside the closure (outcome histograms and the like) from its
-// constructor and its check function.
-type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error, reset func())
+// Harness builds one instance of the system under test; see engine.Harness
+// for the reset/registration contract.
+type Harness = engine.Harness
 
-// Config bounds an exploration.
-type Config struct {
-	// MaxExecutions aborts the walk after this many execution attempts
-	// (0 = no bound). Without pruning, attempts and completed executions
-	// coincide, matching the seed engine's semantics; with pruning,
-	// attempts abandoned as redundant count against the budget but not in
-	// Report.Executions. When hit, Run returns Partial=true rather than an
-	// error, and the Report carries a Checkpoint of the unexplored
-	// frontier.
-	MaxExecutions int
-	// MaxDepth, when nonzero, stops branching below this decision depth:
-	// executions still run to completion, but alternative choices deeper
-	// than MaxDepth are not explored (a context-bound-style truncation of
-	// the tree, not resumable). Hitting it marks the report Partial.
-	MaxDepth int
-	// TimeBudget, when nonzero, stops dequeuing new work after this much
-	// wall-clock time and checkpoints the remaining frontier. Which items
-	// completed by then is timing-dependent, so a time-cut exploration is
-	// not deterministic; a later Run with Resume can finish it.
-	TimeBudget time.Duration
-	// Crashes adds one crash branch per parked process at every decision
-	// point. This grows the tree roughly 2^depth-fold; use with tight
-	// process counts or with Prune (crashes commute with other processes'
-	// steps, so pruning collapses most of that growth).
-	Crashes bool
-	// Workers is the number of executions run concurrently (0 or 1 =
-	// sequential). Workers only changes wall-clock time, never the result
-	// of a completed exploration.
-	Workers int
-	// Prune enables sleep-set partial-order reduction (see the package
-	// comment for the guarantee). Off by default: an unpruned 1-worker run
-	// visits exactly the executions the seed engine visited.
-	Prune bool
-	// FailFast stops the walk at the first check failure instead of
-	// finishing the tree to find the canonically least one. Faster on
-	// failing harnesses, but which failure is reported becomes
-	// timing-dependent when Workers > 1.
-	FailFast bool
-	// CacheStates enables state-fingerprint caching: at every branching
-	// decision point the engine keys the state as (Env.Fingerprint(),
-	// per-process granted-step counts, crashed set, sleep set) and abandons
-	// the run — subtree included — when the key was already claimed by an
-	// earlier visit, composing with (and pruning beyond) sleep sets. It
-	// requires the harness to register every shared object (otherwise
-	// Fingerprint reports not-ok and the cache is silently inert) and is
-	// subject to the soundness caveats recorded in DESIGN.md: hash
-	// collisions, and process-local state not determined by (step count,
-	// shared memory). Executions counts under caching are deterministic at
-	// Workers = 1; with more workers, which of two equal-state tree nodes
-	// is claimed first is timing-dependent.
-	CacheStates bool
-	// Resume seeds the work queue from a previous run's checkpoint instead
-	// of the tree root. The harness and the rest of the config must match
-	// the run that produced it. Counters restart from zero.
-	Resume *Checkpoint
-}
+// Config bounds an exploration; see engine.Config.
+type Config = engine.Config
 
-// Report summarizes an exploration.
-type Report struct {
-	// Executions is the number of distinct interleavings run to completion
-	// and checked.
-	Executions int
-	// Pruned counts the work skipped as redundant by sleep-set pruning:
-	// branches never explored plus in-flight executions abandoned once
-	// every remaining branch was known to be covered elsewhere.
-	Pruned int
-	// CacheHits counts executions abandoned by state-fingerprint caching:
-	// runs that reached a decision point whose state key was already
-	// claimed by another part of the walk. Zero unless Config.CacheStates
-	// is set and the harness registers its shared objects.
-	CacheHits int
-	// Partial reports whether the walk was cut off by MaxExecutions,
-	// MaxDepth or TimeBudget.
-	Partial bool
-	// MaxDepth is the largest number of scheduler decisions seen.
-	MaxDepth int
-	// Checkpoint holds the unexplored frontier when the walk was cut off
-	// by MaxExecutions or TimeBudget (nil otherwise); pass it as
-	// Config.Resume to continue the exploration later.
-	Checkpoint *Checkpoint
-}
+// PruneMode selects the partial-order reduction; see engine.PruneMode.
+type PruneMode = engine.PruneMode
 
-// Transition identifies one scheduler branch for checkpointing: granting a
-// step to a process, or crashing it.
-type Transition struct {
-	Proc  int  `json:"proc"`
-	Crash bool `json:"crash,omitempty"`
-}
+// The available reductions, re-exported for callers of this frontend.
+const (
+	PruneNone       = engine.PruneNone
+	PruneSleep      = engine.PruneSleep
+	PruneSourceDPOR = engine.PruneSourceDPOR
+)
 
-// WorkItem is one unexplored frontier node: the choice prefix that reaches
-// it and the sleep set (transitions whose subtrees are covered by siblings)
-// in effect there. Prefixes are stored as transitions, so a checkpoint is
-// plain serializable data, valid across program runs: object identities in
-// the access metadata are execution-local and are re-derived on replay.
-type WorkItem struct {
-	Prefix []Transition `json:"prefix"`
-	Sleep  []Transition `json:"sleep,omitempty"`
-}
+// ParsePruneMode parses a -prune flag value ("none" | "sleep" | "dpor",
+// with the historical boolean spellings accepted).
+func ParsePruneMode(s string) (PruneMode, error) { return engine.ParsePruneMode(s) }
 
-// Checkpoint is a resumable frontier: the set of work items an interrupted
-// exploration had discovered but not yet executed.
-type Checkpoint struct {
-	Items []WorkItem `json:"items"`
-}
+// Report summarizes an exploration; see engine.Report for which fields are
+// deterministic and which advisory.
+type Report = engine.Report
 
-// CheckError wraps a check failure with the schedule that produced it, so a
-// failing interleaving can be replayed with sched.NewReplay. Failures found
-// by Sample additionally carry the seed of the failing run (Sampled
-// distinguishes them, since 0 is a legitimate seed), so they can be
-// reproduced by seed without re-running the batch.
-type CheckError struct {
-	Schedule []sched.Choice
-	Seed     int64
-	Sampled  bool
-	Err      error
-}
+// Transition identifies one scheduler branch for checkpointing.
+type Transition = engine.Transition
 
-func (e *CheckError) Error() string {
-	if e.Sampled {
-		return fmt.Sprintf("explore: check failed on seed %d (schedule %v): %v", e.Seed, e.Schedule, e.Err)
-	}
-	return fmt.Sprintf("explore: check failed on schedule %v: %v", e.Schedule, e.Err)
-}
+// WorkItem is one unexplored frontier node.
+type WorkItem = engine.WorkItem
 
-func (e *CheckError) Unwrap() error { return e.Err }
+// Checkpoint is a resumable frontier.
+type Checkpoint = engine.Checkpoint
 
-// failure is a candidate CheckError tagged with the canonical branch-index
-// path of its leaf, the engine's tie-breaking order.
-type failure struct {
-	path     []int
-	schedule []sched.Choice
-	err      error
-}
+// CheckError is the unified failure type of both exploration frontends
+// (engine.CheckError): a check failure carrying the schedule that produced
+// it, plus the failing seed when found by sampling.
+type CheckError = engine.CheckError
 
-// lexLess orders branch-index paths. Two distinct leaf paths always differ
-// at some shared position (a leaf cannot be a proper prefix of another:
-// equal paths reach equal states, which are either both terminal or not).
-func lexLess(a, b []int) bool {
-	for i := range a {
-		if i >= len(b) {
-			return false
-		}
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
-}
-
-// engine is the shared state of one Run call.
-type engine struct {
-	h   Harness
-	cfg Config
-
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []WorkItem // LIFO: deepest discovered first = canonical order
-	leftover []WorkItem // frontier preserved when stopping early
-	inflight int
-	started  int // items dequeued, bounded by MaxExecutions
-	stopping bool
-	deadline time.Time
-
-	// checkMu serializes harness construction, check and reset calls (so
-	// harness closures may share state across executions) and guards the
-	// result fields below.
-	checkMu     sync.Mutex
-	executions  int
-	pruned      int
-	cacheHits   int
-	truncated   bool
-	maxDepth    int
-	best        *failure
-	internalErr error
-
-	// cacheMu guards cache, the set of state keys claimed by decision
-	// points of the walk (see Config.CacheStates).
-	cacheMu sync.Mutex
-	cache   map[[2]uint64]struct{}
-}
-
-// instance is one worker's constructed harness. With a reset path the
-// worker keeps it for its whole lifetime and reuses it through the pooled
-// executor; without one, a fresh instance is built per work item and exec
-// is nil.
-type instance struct {
-	env    *memory.Env
-	bodies []func(p *memory.Proc)
-	check  func(res *sched.Result) error
-	reset  func()
-	exec   *sched.Executor
-}
-
-// newInstance constructs a harness instance (serialized with checks, so
-// harness closures may share state) and, if the harness provides a reset
-// path, its pooled executor.
-func (e *engine) newInstance() *instance {
-	e.checkMu.Lock()
-	env, bodies, check, reset := e.h()
-	e.checkMu.Unlock()
-	inst := &instance{env: env, bodies: bodies, check: check, reset: reset}
-	if reset != nil {
-		inst.exec = sched.NewExecutor(env, bodies)
-	}
-	return inst
-}
-
-// close releases the instance's pooled executor, if any.
-func (inst *instance) close() {
-	if inst != nil && inst.exec != nil {
-		inst.exec.Close()
-	}
-}
-
-// Run walks the interleaving tree of h under cfg. It returns a CheckError
-// carrying the canonically least failing schedule if any check failed, an
-// internal error if the harness turned out nondeterministic, and otherwise
-// the report of the completed (or budget-cut) walk.
+// Run walks the interleaving tree of h under cfg on the shared engine
+// core. It returns a CheckError carrying the canonically least failing
+// schedule if any check failed, an internal error if the harness turned
+// out nondeterministic, and otherwise the report of the completed (or
+// budget-cut) walk.
 func Run(h Harness, cfg Config) (Report, error) {
-	e := &engine{h: h, cfg: cfg}
-	e.cond = sync.NewCond(&e.mu)
-	if cfg.TimeBudget > 0 {
-		e.deadline = time.Now().Add(cfg.TimeBudget)
-	}
-	if cfg.CacheStates {
-		e.cache = make(map[[2]uint64]struct{})
-	}
-	if cfg.Resume != nil {
-		e.queue = append(e.queue, cfg.Resume.Items...)
-	} else {
-		e.queue = []WorkItem{{}}
-	}
-
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var inst *instance
-			defer func() { inst.close() }()
-			for {
-				item, ok := e.next()
-				if !ok {
-					return
-				}
-				if inst == nil || inst.exec == nil {
-					// Pooled instances persist for the worker's lifetime;
-					// reconstruction-mode harnesses get a fresh instance
-					// per item (the pre-pooling semantics).
-					inst = e.newInstance()
-				}
-				e.runItem(inst, item)
-				e.done()
-			}
-		}()
-	}
-	wg.Wait()
-
-	rep := Report{
-		Executions: e.executions,
-		Pruned:     e.pruned,
-		CacheHits:  e.cacheHits,
-		MaxDepth:   e.maxDepth,
-		Partial:    len(e.leftover) > 0 || e.truncated,
-	}
-	if len(e.leftover) > 0 {
-		// Also set alongside a CheckError: a budget-cut walk that found a
-		// failure can still be resumed for further coverage.
-		rep.Checkpoint = &Checkpoint{Items: e.leftover}
-	}
-	if e.internalErr != nil {
-		return rep, e.internalErr
-	}
-	if e.best != nil {
-		return rep, &CheckError{Schedule: e.best.schedule, Err: e.best.err}
-	}
-	return rep, nil
-}
-
-// next blocks until a work item is available or the exploration is over.
-func (e *engine) next() (WorkItem, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if e.stopping {
-			return WorkItem{}, false
-		}
-		if len(e.queue) > 0 {
-			if e.cfg.MaxExecutions > 0 && e.started >= e.cfg.MaxExecutions {
-				e.stopLocked()
-				return WorkItem{}, false
-			}
-			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
-				e.stopLocked()
-				return WorkItem{}, false
-			}
-			item := e.queue[len(e.queue)-1]
-			e.queue = e.queue[:len(e.queue)-1]
-			e.started++
-			e.inflight++
-			return item, true
-		}
-		if e.inflight == 0 {
-			return WorkItem{}, false
-		}
-		e.cond.Wait()
-	}
-}
-
-// stopLocked halts dequeuing and preserves the remaining queue as the
-// resumable frontier. Callers must hold e.mu.
-func (e *engine) stopLocked() {
-	e.stopping = true
-	e.leftover = append(e.leftover, e.queue...)
-	e.queue = nil
-	e.cond.Broadcast()
-}
-
-func (e *engine) done() {
-	e.mu.Lock()
-	e.inflight--
-	if e.inflight == 0 {
-		e.cond.Broadcast()
-	}
-	e.mu.Unlock()
-}
-
-func (e *engine) enqueue(item WorkItem) {
-	e.mu.Lock()
-	if e.stopping {
-		e.leftover = append(e.leftover, item)
-	} else {
-		e.queue = append(e.queue, item)
-		e.cond.Signal()
-	}
-	e.mu.Unlock()
-}
-
-// runItem executes one frontier prefix to a leaf, enqueuing the sibling
-// branches it passes on the way down. With a pooled instance the bodies
-// re-enter the persistent executor and the instance is reset afterwards;
-// otherwise the freshly constructed instance runs through the
-// per-execution spawn path.
-func (e *engine) runItem(inst *instance, item WorkItem) {
-	ch := &itemChooser{e: e, item: item, env: inst.env, steps: make([]int, inst.env.N())}
-	var res *sched.Result
-	if inst.exec != nil {
-		res = inst.exec.Run(ch)
-	} else {
-		res = sched.RunChooser(inst.env, ch, inst.bodies)
-	}
-
-	e.checkMu.Lock()
-	defer e.checkMu.Unlock()
-	if inst.exec != nil {
-		defer func() {
-			inst.env.Reset()
-			inst.reset()
-		}()
-	}
-	if ch.bad != nil {
-		if e.internalErr == nil {
-			e.internalErr = ch.bad
-		}
-		e.mu.Lock()
-		e.stopLocked()
-		e.mu.Unlock()
-		return
-	}
-	e.pruned += ch.pruned
-	if ch.aborted {
-		if ch.cacheHit {
-			// The decision point's state key was already claimed: the leaf
-			// this item would have reached (and its whole subtree) repeats
-			// an equal-state node explored elsewhere.
-			e.cacheHits++
-		} else {
-			// Every continuation from some point on was asleep: the leaf
-			// this item would have reached is a reordering of leaves
-			// reached through sibling branches. The run was abandoned, not
-			// checked.
-			e.pruned++
-		}
-		return
-	}
-	e.executions++
-	if d := len(res.Schedule); d > e.maxDepth {
-		e.maxDepth = d
-	}
-	if err := inst.check(res); err != nil {
-		f := &failure{path: ch.path, schedule: res.Schedule, err: err}
-		if e.best == nil || lexLess(f.path, e.best.path) {
-			e.best = f
-		}
-		if e.cfg.FailFast {
-			e.mu.Lock()
-			e.stopLocked()
-			e.mu.Unlock()
-		}
-	}
-}
-
-// claimState records a decision-point state key, reporting whether this
-// call was the first to claim it. The first claimant's item (and the
-// sibling items it spawns) explore the subtree; later visitors abandon.
-func (e *engine) claimState(key [2]uint64) bool {
-	e.cacheMu.Lock()
-	defer e.cacheMu.Unlock()
-	if _, seen := e.cache[key]; seen {
-		return false
-	}
-	e.cache[key] = struct{}{}
-	return true
-}
-
-// candidate is one branch at a decision point: the transition plus the
-// pending access backing it (meaningless for crash transitions).
-type candidate struct {
-	t   Transition
-	acc memory.Access
-}
-
-// independent reports whether transitions a and b commute from the current
-// state: transitions of the same process never do; a crash commutes with
-// any other process's transition (it performs no access); two steps commute
-// unless their accesses conflict.
-func independent(a, b candidate) bool {
-	if a.t.Proc == b.t.Proc {
-		return false
-	}
-	if a.t.Crash || b.t.Crash {
-		return true
-	}
-	return !a.acc.Conflicts(b.acc)
-}
-
-// itemChooser drives one execution of a work item: it replays the prefix,
-// then at every deeper decision point takes the first branch not covered by
-// the sleep set and enqueues the remaining ones as new work items.
-type itemChooser struct {
-	e    *engine
-	item WorkItem
-	env  *memory.Env
-
-	sleep    []Transition   // sleep set at the current decision point
-	path     []int          // canonical branch index taken at every step
-	schedule []sched.Choice // choices taken so far (prefix for siblings)
-	steps    []int          // per-process granted-step counts so far
-	crashed  uint64         // bitmask of processes crashed so far
-	pruned   int
-	bad      error
-	aborted  bool // all branches asleep or state cached: drain the run
-	cacheHit bool // aborted because the state key was already claimed
-
-	cands []candidate // per-decision scratch, reused across steps
-	woken []candidate // per-decision scratch for the sleep-filtered set
-}
-
-// note records a taken choice in the per-process progress counters that,
-// together with the memory fingerprint, identify the reached state.
-func (c *itemChooser) note(t Transition) {
-	if t.Crash {
-		c.crashed |= 1 << uint(t.Proc)
-	} else {
-		c.steps[t.Proc]++
-	}
-}
-
-// stateKey combines the memory fingerprint with the per-process progress
-// counters, the crashed set, and the (order-normalized) sleep set. Two
-// decision points with equal keys have — up to the caveats in DESIGN.md —
-// identical futures and identical exploration obligations.
-func (c *itemChooser) stateKey(fp uint64) [2]uint64 {
-	h := memory.NewStateHash()
-	for _, s := range c.steps {
-		h.Add(uint64(s))
-	}
-	h.Add(c.crashed)
-	if len(c.sleep) > 0 {
-		sl := append([]Transition(nil), c.sleep...)
-		sort.Slice(sl, func(i, j int) bool {
-			if sl[i].Proc != sl[j].Proc {
-				return sl[i].Proc < sl[j].Proc
-			}
-			return !sl[i].Crash && sl[j].Crash
-		})
-		for _, t := range sl {
-			w := uint64(t.Proc) << 1
-			if t.Crash {
-				w |= 1
-			}
-			h.Add(w + 1) // +1 keeps the empty set distinct from {proc 0}
-		}
-	}
-	return [2]uint64{fp, h.Sum()}
-}
-
-func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
-	if c.aborted {
-		// Unwind the remaining processes; this run is abandoned.
-		return sched.Choice{Proc: parked[0].ID, Crash: true}
-	}
-
-	if step < len(c.item.Prefix) {
-		// Replay zone: ancestors already expanded these decision points, so
-		// the canonical branch index is computed directly from the sorted
-		// parked set (steps by process id, then crashes by process id)
-		// without materializing the candidate list.
-		want := c.item.Prefix[step]
-		idx := -1
-		for i, ps := range parked {
-			if ps.ID == want.Proc {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 || (want.Crash && !c.e.cfg.Crashes) {
-			// The tree is deterministic, so a recorded transition is always
-			// re-enabled on replay. Seeing otherwise means the harness is
-			// nondeterministic (e.g. shared state escaping the closure).
-			c.bad = fmt.Errorf("explore: nondeterministic harness: step %d cannot replay %+v", step, want)
-			c.aborted = true
-			return sched.Choice{Proc: parked[0].ID, Crash: true}
-		}
-		if want.Crash {
-			idx += len(parked)
-		}
-		c.path = append(c.path, idx)
-		c.note(want)
-		choice := sched.Choice{Proc: want.Proc, Crash: want.Crash}
-		c.schedule = append(c.schedule, choice)
-		if step == len(c.item.Prefix)-1 {
-			c.sleep = c.item.Sleep
-		}
-		return choice
-	}
-
-	// Enumeration zone: candidate branches in canonical order — steps by
-	// process id, then (with Crashes) crashes by process id — built into a
-	// buffer reused across decisions.
-	cands := c.cands[:0]
-	for _, ps := range parked {
-		cands = append(cands, candidate{t: Transition{Proc: ps.ID}, acc: ps.Next})
-	}
-	if c.e.cfg.Crashes {
-		for _, ps := range parked {
-			cands = append(cands, candidate{t: Transition{Proc: ps.ID, Crash: true}, acc: ps.Next})
-		}
-	}
-	c.cands = cands
-
-	awake := cands
-	if c.e.cfg.Prune && len(c.sleep) > 0 {
-		awake = c.woken[:0]
-		for _, cand := range cands {
-			asleep := false
-			for _, s := range c.sleep {
-				if s == cand.t {
-					asleep = true
-					break
-				}
-			}
-			if !asleep {
-				awake = append(awake, cand)
-			}
-		}
-		c.woken = awake
-		c.pruned += len(cands) - len(awake)
-		if len(awake) == 0 {
-			c.aborted = true
-			return sched.Choice{Proc: parked[0].ID, Crash: true}
-		}
-	}
-
-	if c.e.cfg.CacheStates && len(awake) > 1 {
-		// State caching claims branching decision points by their state
-		// key; a later arrival at an equal-state node abandons its run
-		// (and thereby the whole duplicate subtree: the siblings it would
-		// have enqueued are exactly the claimant's). Non-branching points
-		// are skipped — their chains are claimed at the next branch.
-		if fp, ok := c.env.Fingerprint(); ok {
-			if !c.e.claimState(c.stateKey(fp)) {
-				c.cacheHit = true
-				c.aborted = true
-				return sched.Choice{Proc: parked[0].ID, Crash: true}
-			}
-		}
-	}
-
-	chosen := awake[0]
-	if len(awake) > 1 {
-		if c.e.cfg.MaxDepth > 0 && step >= c.e.cfg.MaxDepth {
-			c.e.noteTruncated()
-		} else {
-			// Sibling i's sleep set accumulates every earlier branch (in
-			// canonical order) it commutes with. Sleep sets are built in
-			// canonical order but the items are enqueued in reverse, so
-			// that the LIFO pop yields this node's siblings canonical-
-			// first; deeper nodes' siblings are enqueued later and pop
-			// earlier, which is also canonical (lex-least first). A
-			// sequential budget-cut walk therefore covers exactly the
-			// prefix the seed depth-first engine would have covered.
-			explored := []candidate{chosen}
-			items := make([]WorkItem, 0, len(awake)-1)
-			for _, sib := range awake[1:] {
-				var sl []Transition
-				if c.e.cfg.Prune {
-					for _, s := range c.sleep {
-						// Sleep entries are transitions of parked processes;
-						// their pending access is this decision point's.
-						if independent(c.withAccess(s, parked), sib) {
-							sl = append(sl, s)
-						}
-					}
-					for _, ex := range explored {
-						if independent(ex, sib) {
-							sl = append(sl, ex.t)
-						}
-					}
-					explored = append(explored, sib)
-				}
-				prefix := make([]Transition, len(c.schedule), len(c.schedule)+1)
-				for i, pc := range c.schedule {
-					prefix[i] = Transition{Proc: pc.Proc, Crash: pc.Crash}
-				}
-				prefix = append(prefix, sib.t)
-				items = append(items, WorkItem{Prefix: prefix, Sleep: sl})
-			}
-			for i := len(items) - 1; i >= 0; i-- {
-				c.e.enqueue(items[i])
-			}
-		}
-	}
-
-	// Advance: transitions dependent on the chosen one wake up.
-	if c.e.cfg.Prune {
-		var next []Transition
-		for _, s := range c.sleep {
-			if independent(c.withAccess(s, parked), chosen) {
-				next = append(next, s)
-			}
-		}
-		c.sleep = next
-	}
-	for i, cand := range cands {
-		if cand.t == chosen.t {
-			c.path = append(c.path, i)
-			break
-		}
-	}
-	c.note(chosen.t)
-	choice := sched.Choice{Proc: chosen.t.Proc, Crash: chosen.t.Crash}
-	c.schedule = append(c.schedule, choice)
-	return choice
-}
-
-// withAccess resolves a sleep-set transition to a candidate by looking up
-// its process's pending access at the current decision point. A sleeping
-// process is by construction still parked at the access it slept on.
-func (c *itemChooser) withAccess(t Transition, parked []sched.ProcState) candidate {
-	for _, ps := range parked {
-		if ps.ID == t.Proc {
-			return candidate{t: t, acc: ps.Next}
-		}
-	}
-	return candidate{t: t}
-}
-
-func (e *engine) noteTruncated() {
-	e.checkMu.Lock()
-	e.truncated = true
-	e.checkMu.Unlock()
+	return engine.Run(h, cfg)
 }
 
 // NoReset strips a harness's reset path, forcing the engine onto the
-// per-execution reconstruct-and-spawn path for every interleaving. It
-// exists for benchmarking the pooled executor against that baseline, and
-// as an escape hatch for a harness whose reset turns out to be
-// incomplete.
+// per-execution reconstruct-and-spawn path for every interleaving.
 func NoReset(h Harness) Harness {
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
-		env, bodies, check, _ := h()
-		return env, bodies, check, nil
-	}
+	return engine.NoReset(h)
 }
 
 // SampleCrashProb is the per-decision crash probability used by Sample's
@@ -801,18 +90,18 @@ const SampleCrashProb = 0.25
 // Sample runs k uniformly seeded-random interleavings of h (seeds
 // seed..seed+k-1) and reports the canonically least failing seed, if any.
 // It is the fallback for process counts where exhaustive exploration is
-// infeasible, and is now a thin shim over the randexp subsystem's
-// single-worker uniform sampler: harnesses providing a reset path run
-// pooled, harnesses without one are explicitly reconstructed for every run
-// (the documented fallback — all shared state must live inside the
-// closure), and a failure carries both the schedule and the failing seed
-// in the CheckError, so it reproduces without re-running the batch. With
-// crashes set the schedules include seeded crash injection (parity with
-// Run's Crashes branches; see SampleCrashProb for the sampling bias).
-// Sampling stops at the end of the first randexp batch containing a
-// failure, so on a failing harness Executions may exceed the failing run's
-// index; structured samplers, parallel sampling, and coverage reporting
-// are available by calling randexp.Run directly.
+// infeasible, and is a thin shim over the randexp frontend's single-worker
+// uniform sampler: harnesses providing a reset path run pooled, harnesses
+// without one are explicitly reconstructed for every run (the documented
+// fallback — all shared state must live inside the closure), and a failure
+// carries both the schedule and the failing seed in the CheckError, so it
+// reproduces without re-running the batch. With crashes set the schedules
+// include seeded crash injection (parity with Run's Crashes branches; see
+// SampleCrashProb for the sampling bias). Sampling stops at the end of the
+// first randexp batch containing a failure, so on a failing harness
+// Executions may exceed the failing run's index; structured samplers,
+// parallel sampling, and coverage reporting are available by calling
+// randexp.Run directly.
 func Sample(h Harness, k int, seed int64, crashes bool) (Report, error) {
 	p := 0.0
 	if crashes {
@@ -826,9 +115,9 @@ func Sample(h Harness, k int, seed int64, crashes bool) (Report, error) {
 		CrashProb: p,
 	})
 	rep := Report{Executions: srep.Executions, MaxDepth: srep.MaxDepth}
-	var ce *randexp.CheckError
+	var ce *CheckError
 	if errors.As(err, &ce) {
-		return rep, &CheckError{Schedule: ce.Schedule, Seed: ce.Seed, Sampled: true, Err: ce.Err}
+		return rep, ce
 	}
 	return rep, err
 }

@@ -114,7 +114,7 @@ func TestCrossValidateGenericCheckerQueue(t *testing.T) {
 			resps := []int64{spec.EmptyQueue, 10, 11, 12, 13}
 			return spec.OpDeq, 0, resps[rng.Intn(len(resps))]
 		})
-		got := Check(spec.QueueType{}, ops).Ok
+		got := mustCheck(t, spec.QueueType{}, ops).Ok
 		want := bruteForce(spec.QueueType{}, ops)
 		if got != want {
 			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)
@@ -140,7 +140,7 @@ func TestCrossValidateGenericCheckerStack(t *testing.T) {
 			resps := []int64{spec.EmptyStack, 10, 11, 12, 13}
 			return spec.OpPop, 0, resps[rng.Intn(len(resps))]
 		})
-		got := Check(spec.StackType{}, ops).Ok
+		got := mustCheck(t, spec.StackType{}, ops).Ok
 		want := bruteForce(spec.StackType{}, ops)
 		if got != want {
 			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)
@@ -157,7 +157,7 @@ func TestCrossValidateGenericCheckerMaxRegister(t *testing.T) {
 			}
 			return spec.OpReadMax, 0, int64(rng.Intn(4))
 		})
-		got := Check(spec.MaxRegisterType{}, ops).Ok
+		got := mustCheck(t, spec.MaxRegisterType{}, ops).Ok
 		want := bruteForce(spec.MaxRegisterType{}, ops)
 		if got != want {
 			t.Fatalf("checker disagreement on %+v: Check=%v brute=%v", ops, got, want)

@@ -12,6 +12,7 @@
 package linearize
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/spec"
@@ -36,17 +37,19 @@ type Result struct {
 // out by the caller (per Theorem 3 the projection is onto invoke and
 // commit events).
 //
-// Check runs a memoized depth-first search over linearization prefixes; it
-// panics if given more than 64 operations (use CheckTAS for large TAS
-// histories).
-func Check(t spec.Type, ops []trace.Op) Result {
+// Check runs a memoized depth-first search over linearization prefixes. It
+// returns an error — not a verdict — on inputs outside its contract: more
+// than 64 operations (use CheckTAS for large TAS histories), or an aborted
+// operation the caller failed to project out. Errors mean the harness or
+// oracle is miswired, never that the history failed to linearize.
+func Check(t spec.Type, ops []trace.Op) (Result, error) {
 	for _, o := range ops {
 		if o.Aborted {
-			panic("linearize: Check requires aborted operations to be projected out")
+			return Result{}, fmt.Errorf("linearize: aborted operation (id %d) must be projected out before Check", o.Req.ID)
 		}
 	}
 	if len(ops) > 64 {
-		panic("linearize: Check limited to 64 operations")
+		return Result{}, fmt.Errorf("linearize: Check limited to 64 operations, got %d (use CheckTAS for large TAS histories)", len(ops))
 	}
 	ops = append([]trace.Op(nil), ops...)
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
@@ -122,9 +125,9 @@ func Check(t spec.Type, ops []trace.Op) Result {
 	}
 
 	if dfs(0, t.Init()) {
-		return Result{Ok: true, Witness: witness}
+		return Result{Ok: true, Witness: witness}, nil
 	}
-	return Result{Ok: false, Reason: "no linearization matches observed responses"}
+	return Result{Ok: false, Reason: "no linearization matches observed responses"}, nil
 }
 
 // CheckTAS decides linearizability of a (possibly large) one-shot

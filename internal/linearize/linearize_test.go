@@ -23,7 +23,7 @@ func TestCheckSequentialTAS(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Winner, 1, 2),
 		op(2, spec.OpTAS, 0, spec.Loser, 3, 4),
 	}
-	res := Check(spec.TASType{}, ops)
+	res := mustCheck(t, spec.TASType{}, ops)
 	if !res.Ok {
 		t.Fatalf("sequential TAS must linearize: %s", res.Reason)
 	}
@@ -37,7 +37,7 @@ func TestCheckRejectsTwoWinners(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Winner, 1, 2),
 		op(2, spec.OpTAS, 0, spec.Winner, 3, 4),
 	}
-	if Check(spec.TASType{}, ops).Ok {
+	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("two winners accepted")
 	}
 	if CheckTAS(ops).Ok {
@@ -52,7 +52,7 @@ func TestCheckRejectsRealTimeViolation(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Loser, 1, 2),
 		op(2, spec.OpTAS, 0, spec.Winner, 3, 4),
 	}
-	if Check(spec.TASType{}, ops).Ok {
+	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("generic checker accepted real-time violation")
 	}
 	if CheckTAS(ops).Ok {
@@ -65,7 +65,7 @@ func TestCheckOverlappingWinnerLoser(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Loser, 1, 4),
 		op(2, spec.OpTAS, 0, spec.Winner, 2, 3),
 	}
-	if !Check(spec.TASType{}, ops).Ok {
+	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("overlapping winner/loser should linearize")
 	}
 	if !CheckTAS(ops).Ok {
@@ -80,7 +80,7 @@ func TestCheckPendingTakesEffect(t *testing.T) {
 		pend(1, spec.OpTAS, 0, 1),
 		op(2, spec.OpTAS, 0, spec.Loser, 2, 3),
 	}
-	if !Check(spec.TASType{}, ops).Ok {
+	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("pending winner should explain the loser")
 	}
 	if !CheckTAS(ops).Ok {
@@ -93,7 +93,7 @@ func TestCheckPendingCannotExplainIfInvokedLater(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Loser, 1, 2),
 		pend(2, spec.OpTAS, 0, 3),
 	}
-	if Check(spec.TASType{}, ops).Ok {
+	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("a pending op invoked after the loser returned cannot have won")
 	}
 	if CheckTAS(ops).Ok {
@@ -107,7 +107,7 @@ func TestCheckPendingDropped(t *testing.T) {
 		op(1, spec.OpTAS, 0, spec.Winner, 1, 2),
 		pend(2, spec.OpTAS, 0, 3),
 	}
-	if !Check(spec.TASType{}, ops).Ok {
+	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("pending op should simply be dropped")
 	}
 	if !CheckTAS(ops).Ok {
@@ -123,7 +123,7 @@ func TestCheckQueueFIFO(t *testing.T) {
 		op(3, spec.OpDeq, 0, 10, 5, 6),
 		op(4, spec.OpDeq, 0, 20, 7, 8),
 	}
-	if !Check(ty, ok).Ok {
+	if !mustCheck(t, ty, ok).Ok {
 		t.Fatal("FIFO history should linearize")
 	}
 	bad := []trace.Op{
@@ -132,7 +132,7 @@ func TestCheckQueueFIFO(t *testing.T) {
 		op(3, spec.OpDeq, 0, 20, 5, 6), // wrong order
 		op(4, spec.OpDeq, 0, 10, 7, 8),
 	}
-	if Check(ty, bad).Ok {
+	if mustCheck(t, ty, bad).Ok {
 		t.Fatal("LIFO-order dequeues accepted for sequential enqueues")
 	}
 	// But if the enqueues overlap, either dequeue order is fine.
@@ -142,7 +142,7 @@ func TestCheckQueueFIFO(t *testing.T) {
 		op(3, spec.OpDeq, 0, 20, 5, 6),
 		op(4, spec.OpDeq, 0, 10, 7, 8),
 	}
-	if !Check(ty, overlapped).Ok {
+	if !mustCheck(t, ty, overlapped).Ok {
 		t.Fatal("overlapping enqueues permit either order")
 	}
 }
@@ -155,7 +155,7 @@ func TestCheckRegister(t *testing.T) {
 			op(1, spec.OpWrite, 7, 0, 1, 4),
 			op(2, spec.OpRead, 0, readVal, 2, 3),
 		}
-		if !Check(ty, ops).Ok {
+		if !mustCheck(t, ty, ops).Ok {
 			t.Fatalf("read=%d should linearize against overlapping write", readVal)
 		}
 	}
@@ -164,13 +164,13 @@ func TestCheckRegister(t *testing.T) {
 		op(1, spec.OpWrite, 7, 0, 1, 2),
 		op(2, spec.OpRead, 0, 0, 3, 4),
 	}
-	if Check(ty, ops).Ok {
+	if mustCheck(t, ty, ops).Ok {
 		t.Fatal("stale read after completed write accepted")
 	}
 }
 
 func TestCheckEmpty(t *testing.T) {
-	if !Check(spec.TASType{}, nil).Ok {
+	if !mustCheck(t, spec.TASType{}, nil).Ok {
 		t.Fatal("empty history must linearize")
 	}
 	if !CheckTAS(nil).Ok {
@@ -180,26 +180,46 @@ func TestCheckEmpty(t *testing.T) {
 
 func TestCheckTASAllPending(t *testing.T) {
 	ops := []trace.Op{pend(1, spec.OpTAS, 0, 1), pend(2, spec.OpTAS, 0, 2)}
-	if !CheckTAS(ops).Ok || !Check(spec.TASType{}, ops).Ok {
+	if !CheckTAS(ops).Ok || !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("all-pending history must linearize")
 	}
 }
 
-func TestCheckPanicsOnAborted(t *testing.T) {
+func TestCheckRejectsContractViolations(t *testing.T) {
+	// An unprojected aborted operation is a miswired caller, reported as
+	// an error rather than a panic (or, worse, a verdict).
 	aborted := trace.Op{Req: spec.Request{ID: 1, Op: spec.OpTAS}, Aborted: true}
-	for _, f := range []func(){
-		func() { Check(spec.TASType{}, []trace.Op{aborted}) },
-		func() { CheckTAS([]trace.Op{aborted}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic on aborted op")
-				}
-			}()
-			f()
-		}()
+	if _, err := Check(spec.TASType{}, []trace.Op{aborted}); err == nil {
+		t.Fatal("expected an error on an unprojected aborted op")
 	}
+	// So is a history beyond the 64-operation search bound.
+	big := make([]trace.Op, 65)
+	for i := range big {
+		big[i] = op(int64(i+1), spec.OpTAS, 0, spec.Loser, int64(2*i+1), int64(2*i+2))
+	}
+	if _, err := Check(spec.TASType{}, big); err == nil {
+		t.Fatal("expected an error on a >64-operation history")
+	}
+	// CheckTAS, the large-history path, retains its panic guard.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected CheckTAS to panic on aborted op")
+			}
+		}()
+		CheckTAS([]trace.Op{aborted})
+	}()
+}
+
+// mustCheck runs Check and fails the test on a contract error, so verdict
+// tests can keep reading .Ok directly.
+func mustCheck(t *testing.T, ty spec.Type, ops []trace.Op) Result {
+	t.Helper()
+	res, err := Check(ty, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 // Property: the generic checker and the specialized TAS checker agree on
@@ -234,7 +254,7 @@ func TestCrossValidateTASChecker(t *testing.T) {
 				ops = append(ops, pend(id, spec.OpTAS, 0, ivs[i].inv))
 			}
 		}
-		g := Check(spec.TASType{}, ops)
+		g := mustCheck(t, spec.TASType{}, ops)
 		s := CheckTAS(ops)
 		if g.Ok != s.Ok {
 			t.Fatalf("checkers disagree on %+v: generic=%v specialized=%v (%s / %s)",
@@ -258,7 +278,7 @@ func TestCheckWitnessIsValidLinearization(t *testing.T) {
 		op(2, spec.OpEnq, 20, 0, 2, 4),
 		op(3, spec.OpDeq, 0, 20, 6, 7),
 	}
-	res := Check(ty, ops)
+	res := mustCheck(t, ty, ops)
 	if !res.Ok {
 		t.Fatal("history should linearize (enq20 before enq10)")
 	}

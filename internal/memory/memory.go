@@ -131,31 +131,56 @@ type Fingerprinter interface {
 	HashState(h *StateHash) bool
 }
 
-// StateHash accumulates an order-sensitive FNV-1a hash over 64-bit state
-// words. Registered objects are folded in registration order, which is
-// deterministic (harness construction is single-threaded straight-line
-// code), so equal states of equally constructed environments hash equally.
-type StateHash struct{ sum uint64 }
+// Fingerprint is a 128-bit state digest: two independently accumulated
+// 64-bit hash lanes. One 64-bit lane makes accidental collisions plausible
+// once a cross-worker cache holds millions of states (the birthday bound is
+// ~2^32); two decorrelated lanes push the bound to ~2^64, which is what the
+// "no collisions in practice" assumption in DESIGN.md actually needs.
+// Fingerprints are comparable and usable as map keys.
+type Fingerprint [2]uint64
+
+// StateHash accumulates an order-sensitive hash over 64-bit state words in
+// two independent FNV-1a lanes: lane a folds each word's bytes LSB-first
+// from the standard FNV-1a offset basis, lane b folds them MSB-first from a
+// distinct offset basis, so the lanes diffuse the same input through
+// different intermediate states. Registered objects are folded in
+// registration order, which is deterministic (harness construction is
+// single-threaded straight-line code), so equal states of equally
+// constructed environments hash equally.
+type StateHash struct{ a, b uint64 }
 
 const (
 	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
+	// fnvOffset64b seeds the second lane: an arbitrary odd constant (the
+	// golden-ratio mixing constant) distinct from the FNV basis.
+	fnvOffset64b = 0x9e3779b97f4a7c15
+	fnvPrime64   = 1099511628211
 )
 
 // NewStateHash returns an empty accumulator.
-func NewStateHash() *StateHash { return &StateHash{sum: fnvOffset64} }
+func NewStateHash() *StateHash { return &StateHash{a: fnvOffset64, b: fnvOffset64b} }
 
-// Add folds one state word into the hash.
+// Add folds one state word into both hash lanes.
 func (h *StateHash) Add(w uint64) {
+	v := w
 	for i := 0; i < 8; i++ {
-		h.sum ^= w & 0xff
-		h.sum *= fnvPrime64
-		w >>= 8
+		h.a ^= v & 0xff
+		h.a *= fnvPrime64
+		v >>= 8
+	}
+	for i := 0; i < 8; i++ {
+		h.b ^= w >> 56
+		h.b *= fnvPrime64
+		w <<= 8
 	}
 }
 
-// Sum returns the current hash value.
-func (h *StateHash) Sum() uint64 { return h.sum }
+// Sum returns the first lane, for callers that need only a 64-bit signature
+// (schedule-shape hashes and the like).
+func (h *StateHash) Sum() uint64 { return h.a }
+
+// Sum128 returns the full two-lane digest.
+func (h *StateHash) Sum128() Fingerprint { return Fingerprint{h.a, h.b} }
 
 // Env models the shared-memory system: a fixed set of n processes,
 // aggregate step accounting, and a registry of the shared objects the
@@ -259,22 +284,22 @@ func (e *Env) Reset() {
 }
 
 // Fingerprint hashes the current values of all registered objects in
-// registration order. It reports ok = false — meaning "do not use this for
-// pruning" — when nothing is registered (every state would alias) or when
-// any registered object cannot capture its state exactly. It must only be
-// called while no process is mid-access (e.g. at a scheduler decision
-// point, when every process is parked).
-func (e *Env) Fingerprint() (uint64, bool) {
+// registration order into a 128-bit digest. It reports ok = false — meaning
+// "do not use this for pruning" — when nothing is registered (every state
+// would alias) or when any registered object cannot capture its state
+// exactly. It must only be called while no process is mid-access (e.g. at a
+// scheduler decision point, when every process is parked).
+func (e *Env) Fingerprint() (Fingerprint, bool) {
 	if e.unhashable || len(e.objs) == 0 {
-		return 0, false
+		return Fingerprint{}, false
 	}
 	h := NewStateHash()
 	for _, o := range e.objs {
 		if !o.(Fingerprinter).HashState(h) {
-			return 0, false
+			return Fingerprint{}, false
 		}
 	}
-	return h.Sum(), true
+	return h.Sum128(), true
 }
 
 // Proc is the per-process handle threaded through every shared-memory

@@ -1,9 +1,9 @@
-// Package randexp is the randomized-exploration subsystem: where
-// internal/explore discharges the paper's universally-quantified claims by
-// enumerating every interleaving for small process counts, randexp opens
-// the large-n regime by sampling interleavings from structured scheduler
-// distributions, in parallel, with a coverage signal and deterministic
-// failure reporting.
+// Package randexp is the randomized-exploration frontend over the shared
+// engine core (internal/engine): where the explore frontend discharges the
+// paper's universally-quantified claims by enumerating every interleaving
+// for small process counts, randexp opens the large-n regime by sampling
+// interleavings from structured scheduler distributions, in parallel, with
+// a coverage signal and deterministic failure reporting.
 //
 // # Samplers
 //
@@ -27,14 +27,19 @@
 // # Determinism
 //
 // Sampling proceeds in fixed-size batches of consecutive seeds
-// (Config.BatchSize, independent of Workers). Within a batch, runs execute
-// on a worker pool — each worker owning one pooled executor instance, as in
-// explore's pooled mode — but results are merged in seed order, batch by
-// batch. Coverage counters, the saturation decision, and the canonical
-// failure (the lex-least failing seed, always in the first batch that
-// contains any failure) are therefore identical for every worker count;
-// only wall-clock changes. A reported failure replays with
-// sched.NewReplay(CheckError.Schedule), or by re-running its seed.
+// (Config.BatchSize, independent of Workers), executed and merged by the
+// engine core's batched sampling loop: within a batch, runs execute on a
+// worker pool — each worker owning one pooled executor instance — but
+// results are merged in seed order, batch by batch. Coverage counters, the
+// saturation decision, and the canonical failure (the lex-least failing
+// seed, always in the first batch that contains any failure) are therefore
+// identical for every worker count; only wall-clock changes. A reported
+// failure replays with sched.NewReplay(CheckError.Schedule), or by
+// re-running its seed.
+//
+// This package owns only the strategy construction and the coverage fold;
+// the worker pool, pooled-executor lifecycle, batch merge and the unified
+// CheckError all live in internal/engine.
 //
 // # Coverage and saturation
 //
@@ -48,26 +53,24 @@
 package randexp
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
-// Harness builds one instance of the system under test; it is structurally
-// identical to explore.Harness (convert with randexp.Harness(h)) and obeys
-// the same contract: when reset is non-nil the instance must register its
-// shared objects and restore all harness-local state in reset, and it is
-// then run through a pooled sched.Executor; when reset is nil the harness
-// is reconstructed for every sampled run. Construction, check and reset
-// calls are serialized across workers, so harness closures may accumulate
-// into shared state.
-type Harness func() (env *memory.Env, bodies []func(p *memory.Proc), check func(res *sched.Result) error, reset func())
+// Harness builds one instance of the system under test; it is the shared
+// engine.Harness type (explore.Harness converts freely) and obeys its
+// contract: when reset is non-nil the instance must register its shared
+// objects and restore all harness-local state in reset, and it is then run
+// through a pooled sched.Executor; when reset is nil the harness is
+// reconstructed for every sampled run. Construction, check and reset calls
+// are serialized across workers, so harness closures may accumulate into
+// shared state.
+type Harness = engine.Harness
 
 // Sampler names a scheduling distribution.
 type Sampler string
@@ -176,110 +179,22 @@ type Report struct {
 	TreeSizeEstimate float64
 }
 
-// CheckError wraps a check failure with the seed and schedule that
-// produced it: re-running the seed or replaying the schedule with
-// sched.NewReplay reproduces the failure without re-sampling the batch.
-type CheckError struct {
-	Seed     int64
-	Schedule []sched.Choice
-	Err      error
-}
+// CheckError is the unified engine failure type: a check failure carrying
+// the seed and schedule that produced it (Sampled set), so re-running the
+// seed or replaying the schedule with sched.NewReplay reproduces the
+// failure without re-sampling the batch.
+type CheckError = engine.CheckError
 
-func (e *CheckError) Error() string {
-	return fmt.Sprintf("randexp: check failed on seed %d (schedule %v): %v", e.Seed, e.Schedule, e.Err)
-}
-
-func (e *CheckError) Unwrap() error { return e.Err }
-
-// instance is one worker's constructed harness, pooled when the harness
-// provides a reset path (same shape as the explore engine's).
-type instance struct {
-	env    *memory.Env
-	bodies []func(p *memory.Proc)
-	check  func(res *sched.Result) error
-	reset  func()
-	exec   *sched.Executor
-}
-
-func (inst *instance) close() {
-	if inst != nil && inst.exec != nil {
-		inst.exec.Close()
-	}
-}
-
-// outcome is the per-run record merged, in seed order, into the Report.
-type outcome struct {
-	seed     int64
-	depth    int
-	fp       uint64
-	fpOK     bool
-	shape    uint64
-	weight   float64 // exp(log importance weight); walk sampler only
-	err      error
-	schedule []sched.Choice
-}
-
-// runner is the shared state of one Run call.
+// runner holds the per-Run sampler parameters the strategy factory needs.
 type runner struct {
-	h        Harness
 	cfg      Config
 	pctSteps int
-	insts    []*instance
-	// checkMu serializes harness construction, check and reset calls, so
-	// harness closures may share state across instances (the explore
-	// contract).
-	checkMu sync.Mutex
 }
 
-func (r *runner) newInstance() *instance {
-	r.checkMu.Lock()
-	env, bodies, check, reset := r.h()
-	r.checkMu.Unlock()
-	inst := &instance{env: env, bodies: bodies, check: check, reset: reset}
-	if reset != nil {
-		inst.exec = sched.NewExecutor(env, bodies)
-	}
-	return inst
-}
-
-// instanceFor returns worker w's instance: persistent when pooled, fresh
-// per call when the harness has no reset path (the documented fallback —
-// all shared state must then live inside the closure, and the construction
-// cost is paid per run, exactly as in the explore engine's
-// reconstruction mode).
-func (r *runner) instanceFor(w int) *instance {
-	if inst := r.insts[w]; inst != nil && inst.exec != nil {
-		return inst
-	}
-	inst := r.newInstance()
-	r.insts[w] = inst
-	return inst
-}
-
-// probeDepth measures the harness's schedule length under one round-robin
-// execution — a deterministic stand-in for the PCT bound k.
-func (r *runner) probeDepth() int {
-	inst := r.instanceFor(0)
-	var res *sched.Result
-	if inst.exec != nil {
-		res = inst.exec.RunStrategy(sched.NewRoundRobin())
-		r.checkMu.Lock()
-		inst.env.Reset()
-		inst.reset()
-		r.checkMu.Unlock()
-	} else {
-		res = sched.Run(inst.env, sched.NewRoundRobin(), inst.bodies)
-	}
-	if d := len(res.Schedule); d > 0 {
-		return d
-	}
-	return 1
-}
-
-// strategyFor builds the seeded strategy for one run. The returned *Walk
-// is non-nil only for the walk sampler, whose weight is read after the
-// run.
-func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, *sched.Walk) {
+// strategyFor builds the seeded strategy for one run (an
+// engine.SeedStrategy). The finish hook is non-nil only for the walk
+// sampler, whose importance weight is read off the strategy after the run.
+func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, func(out *engine.SeedOutcome)) {
 	// Crash draws come from a distinct stream so they cannot perturb the
 	// structured samplers' decision state.
 	crashSeed := seed ^ 0x5DEECE66D
@@ -299,11 +214,11 @@ func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, *sched.Walk) {
 		if r.cfg.CrashProb > 0 {
 			// Crash injection truncates paths and shrinks later parked
 			// sets, so the walk's weight no longer inverts any fixed
-			// tree's path probability; the handle is dropped and no
+			// tree's path probability; the weight is not read and no
 			// estimate is reported rather than reporting a wrong one.
 			return sched.WithCrashes(w, crashSeed, r.cfg.CrashProb), nil
 		}
-		return w, w
+		return w, func(out *engine.SeedOutcome) { out.Weight = math.Exp(w.LogWeight()) }
 	case SamplerRates:
 		var s sched.Strategy = sched.NewRates(seed, r.cfg.Rates)
 		if r.cfg.CrashProb > 0 {
@@ -321,53 +236,11 @@ func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, *sched.Walk) {
 	}
 }
 
-// shapeHash folds a schedule's (proc, crash) sequence into a 64-bit
-// signature.
-func shapeHash(schedule []sched.Choice) uint64 {
-	h := memory.NewStateHash()
-	for _, c := range schedule {
-		w := uint64(c.Proc) << 1
-		if c.Crash {
-			w |= 1
-		}
-		h.Add(w)
-	}
-	return h.Sum()
-}
-
-// runOne performs one seeded run on the given instance and records its
-// outcome. The terminal fingerprint is taken before the instance is reset.
-func (r *runner) runOne(inst *instance, seed int64) outcome {
-	strat, walk := r.strategyFor(seed, inst.env.N())
-	var res *sched.Result
-	if inst.exec != nil {
-		res = inst.exec.RunStrategy(strat)
-	} else {
-		res = sched.Run(inst.env, strat, inst.bodies)
-	}
-	out := outcome{seed: seed, depth: len(res.Schedule), shape: shapeHash(res.Schedule)}
-	out.fp, out.fpOK = inst.env.Fingerprint()
-	if walk != nil {
-		out.weight = math.Exp(walk.LogWeight())
-	}
-	r.checkMu.Lock()
-	err := inst.check(res)
-	if inst.exec != nil {
-		inst.env.Reset()
-		inst.reset()
-	}
-	r.checkMu.Unlock()
-	if err != nil {
-		out.err = err
-		out.schedule = res.Schedule
-	}
-	return out
-}
-
-// Run samples cfg.Samples seeded executions of h and returns the merged
-// report. A check failure is returned as a *CheckError carrying the
-// lex-least failing seed; by the batch discipline that seed (and every
-// other Report field) is identical for every Config.Workers value.
+// Run samples cfg.Samples seeded executions of h on the engine core's
+// batched sampling loop and returns the merged report. A check failure is
+// returned as a *CheckError carrying the lex-least failing seed; by the
+// batch discipline that seed (and every other Report field) is identical
+// for every Config.Workers value.
 func Run(h Harness, cfg Config) (Report, error) {
 	rep := Report{DepthHist: stats.NewHist(8)}
 	if cfg.Samples <= 0 {
@@ -379,88 +252,57 @@ func Run(h Harness, cfg Config) (Report, error) {
 	if _, err := ParseSampler(string(cfg.Sampler)); err != nil {
 		return rep, err
 	}
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	batch := cfg.BatchSize
 	if batch < 1 {
 		batch = DefaultBatchSize
 	}
 
-	r := &runner{h: h, cfg: cfg, insts: make([]*instance, workers)}
-	defer func() {
-		for _, inst := range r.insts {
-			inst.close()
-		}
-	}()
+	core := engine.NewCore(h, cfg.Workers)
+	defer core.Close()
+	r := &runner{cfg: cfg}
 	if cfg.Sampler == SamplerPCT {
 		r.pctSteps = cfg.PCTSteps
 		if r.pctSteps < 1 {
-			r.pctSteps = r.probeDepth()
+			// One deterministic round-robin probe measures the harness's
+			// schedule length, the PCT bound k.
+			r.pctSteps = core.Probe(sched.NewRoundRobin())
 		}
 		rep.PCTSteps = r.pctSteps
 	}
 
-	states := make(map[uint64]struct{})
+	states := make(map[memory.Fingerprint]struct{})
 	shapes := make(map[uint64]struct{})
-	var firstFail *outcome
+	var firstFail *engine.SeedOutcome
 	weightSum, weightRuns := 0.0, 0
 	staleBatches := 0
 
-	next := cfg.Seed
-	for remaining := cfg.Samples; remaining > 0; {
-		m := batch
-		if remaining < m {
-			m = remaining
-		}
-		outs := make([]outcome, m)
-		var idx atomic.Int64
-		var wg sync.WaitGroup
-		active := workers
-		if m < active {
-			active = m
-		}
-		for w := 0; w < active; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(idx.Add(1)) - 1
-					if i >= m {
-						return
-					}
-					outs[i] = r.runOne(r.instanceFor(w), next+int64(i))
-				}
-			}(w)
-		}
-		wg.Wait()
-
+	scfg := engine.SampleConfig{Samples: cfg.Samples, Seed: cfg.Seed, BatchSize: batch}
+	core.SampleBatches(scfg, r.strategyFor, func(outs []engine.SeedOutcome) bool {
 		// Merge in seed order: coverage, depth accounting, failures.
 		newCov := 0
 		for i := range outs {
 			o := &outs[i]
 			rep.Executions++
-			rep.DepthHist.Add(o.depth)
-			if o.depth > rep.MaxDepth {
-				rep.MaxDepth = o.depth
+			rep.DepthHist.Add(o.Depth)
+			if o.Depth > rep.MaxDepth {
+				rep.MaxDepth = o.Depth
 			}
-			if o.fpOK {
+			if o.FingerprintOK {
 				rep.FingerprintOK = true
-				if _, seen := states[o.fp]; !seen {
-					states[o.fp] = struct{}{}
+				if _, seen := states[o.Fingerprint]; !seen {
+					states[o.Fingerprint] = struct{}{}
 					newCov++
 				}
 			}
-			if _, seen := shapes[o.shape]; !seen {
-				shapes[o.shape] = struct{}{}
+			if _, seen := shapes[o.Shape]; !seen {
+				shapes[o.Shape] = struct{}{}
 				newCov++
 			}
-			if o.weight > 0 {
-				weightSum += o.weight
+			if o.Weight > 0 {
+				weightSum += o.Weight
 				weightRuns++
 			}
-			if o.err != nil {
+			if o.Err != nil {
 				rep.Failures++
 				if firstFail == nil {
 					firstFail = o
@@ -468,11 +310,9 @@ func Run(h Harness, cfg Config) (Report, error) {
 			}
 		}
 		rep.CoverageCurve = append(rep.CoverageCurve, newCov)
-		next += int64(m)
-		remaining -= m
 
 		if firstFail != nil && !cfg.KeepGoing {
-			break
+			return false
 		}
 		if cfg.SatBatches > 0 {
 			if newCov == 0 {
@@ -482,10 +322,11 @@ func Run(h Harness, cfg Config) (Report, error) {
 			}
 			if staleBatches >= cfg.SatBatches {
 				rep.Saturated = true
-				break
+				return false
 			}
 		}
-	}
+		return true
+	})
 
 	rep.DistinctStates = len(states)
 	rep.DistinctShapes = len(shapes)
@@ -493,71 +334,8 @@ func Run(h Harness, cfg Config) (Report, error) {
 		rep.TreeSizeEstimate = weightSum / float64(weightRuns)
 	}
 	if firstFail != nil {
-		rep.FailSeed = firstFail.seed
-		return rep, &CheckError{Seed: firstFail.seed, Schedule: firstFail.schedule, Err: firstFail.err}
+		rep.FailSeed = firstFail.Seed
+		return rep, &CheckError{Seed: firstFail.Seed, Schedule: firstFail.Schedule, Sampled: true, Err: firstFail.Err}
 	}
 	return rep, nil
-}
-
-// HandoffBug returns a reference harness with a seeded rare-interleaving
-// bug of depth 2, used to compare samplers' bug-finding power (bench E12
-// and the subsystem's own tests). Process 0 performs warmup private reads,
-// publishes a flag, performs gap more private reads, then reads an ack;
-// process 1 reads the flag as its very first step and acknowledges only if
-// it saw it set; processes 2..n-1 are warmup-read noise. The check fails
-// exactly when the full handoff happened, which requires (a) process 0's
-// flag write — its step warmup+1 — to precede process 1's first step, and
-// (b) process 1's ack to land inside process 0's gap window. Under uniform
-// sampling constraint (a) alone has probability about 2^-(warmup+1); under
-// PCT with depth 2 the bug needs only process 0 outranking process 1 plus
-// one change point in the gap window, and a skewed rates sampler (fast
-// process 0, slow process 1) finds it at constant rate.
-func HandoffBug(n, warmup, gap int) Harness {
-	if n < 2 {
-		panic("randexp: HandoffBug requires n >= 2")
-	}
-	return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
-		env := memory.NewEnv(n)
-		flag := memory.NewIntReg(0)
-		ack := memory.NewIntReg(0)
-		env.Register(flag, ack)
-		scratch := make([]*memory.IntReg, n)
-		for i := range scratch {
-			scratch[i] = memory.NewIntReg(0)
-			env.Register(scratch[i])
-		}
-		got := new(int64)
-		bodies := make([]func(p *memory.Proc), n)
-		bodies[0] = func(p *memory.Proc) {
-			for s := 0; s < warmup; s++ {
-				scratch[0].Read(p)
-			}
-			flag.Write(p, 1)
-			for s := 0; s < gap; s++ {
-				scratch[0].Read(p)
-			}
-			*got = ack.Read(p)
-		}
-		bodies[1] = func(p *memory.Proc) {
-			if flag.Read(p) == 1 {
-				ack.Write(p, 1)
-			}
-		}
-		for i := 2; i < n; i++ {
-			i := i
-			bodies[i] = func(p *memory.Proc) {
-				for s := 0; s < warmup; s++ {
-					scratch[i].Read(p)
-				}
-			}
-		}
-		check := func(res *sched.Result) error {
-			if *got == 1 {
-				return errors.New("handoff bug: process 0 observed the acknowledged flag")
-			}
-			return nil
-		}
-		reset := func() { *got = 0 }
-		return env, bodies, check, reset
-	}
 }

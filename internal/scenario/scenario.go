@@ -103,7 +103,14 @@ func (o Oracle) Check(ops []trace.Op) error {
 	if _, isTAS := o.Type.(spec.TASType); isTAS {
 		lr = linearize.CheckTAS(proj)
 	} else {
-		lr = linearize.Check(o.Type, proj)
+		var err error
+		lr, err = linearize.Check(o.Type, proj)
+		if err != nil {
+			// A contract error (unprojected aborts, >64 ops) means the
+			// scenario is miswired, not that the execution is wrong;
+			// surface it as its own failure cause.
+			return fmt.Errorf("scenario: oracle %s cannot check this trace: %w", o, err)
+		}
 	}
 	if !lr.Ok {
 		return fmt.Errorf("not linearizable (%s): %s", o.Type.Name(), lr.Reason)

@@ -109,7 +109,7 @@ func TestConformance(t *testing.T) {
 				t.Fatalf("Fingerprint ok=%v, Params.Fingerprints=%v", ok, sc.Params.Fingerprints)
 			}
 
-			cfg := explore.Config{Prune: true, Workers: 1, MaxExecutions: budget}
+			cfg := explore.Config{Prune: explore.PruneSourceDPOR, Workers: 1, MaxExecutions: budget}
 			pooled, errPooled := explore.Run(h, cfg)
 			fallback, errFallback := explore.Run(explore.NoReset(h), cfg)
 			checkErrs(t, sc, errPooled, errFallback)
@@ -169,7 +169,7 @@ func TestConformanceRepeatable(t *testing.T) {
 			continue
 		}
 		h, _ := sc.Build(sc.Procs(2), Options{})
-		cfg := explore.Config{Prune: true, Workers: 1, MaxExecutions: 200}
+		cfg := explore.Config{Prune: explore.PruneSourceDPOR, Workers: 1, MaxExecutions: 200}
 		first, err := explore.Run(h, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", sc.Name, err)

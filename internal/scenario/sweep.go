@@ -2,11 +2,12 @@ package scenario
 
 // The parallel sweep: run a set of scenarios — exhaustively below the
 // exhaustive-n threshold, sampled above it — and emit one deterministic
-// report row per scenario. Parallelism is across scenarios: each scenario
-// runs on a single engine worker (the only mode in which a *budget-cut*
-// exploration is deterministic), while up to Workers scenarios run
-// concurrently. Rows are merged in input order, so the rendered report is
-// byte-identical for every worker count.
+// report row per scenario. Exhaustive rows run the default source-DPOR
+// reduction. Parallelism is across scenarios: each scenario runs on a
+// single engine worker (the only mode in which a *budget-cut* or
+// source-DPOR exploration reports every count deterministically), while
+// up to Workers scenarios run concurrently. Rows are merged in input
+// order, so the rendered report is byte-identical for every worker count.
 
 import (
 	"errors"
@@ -77,7 +78,7 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 			MaxExecutions: cfg.MaxExecutions,
 			Crashes:       opts.Crashes,
 			Workers:       1,
-			Prune:         true,
+			Prune:         explore.PruneSourceDPOR,
 		})
 		row.Mode = "exhaustive"
 		if rep.Partial {
@@ -123,18 +124,13 @@ func outcomeText(err error, expectFail, exhaustive bool) string {
 		}
 		return "ok"
 	}
-	var (
-		ee *explore.CheckError
-		re *randexp.CheckError
-	)
-	var cause string
-	switch {
-	case errors.As(err, &re):
-		cause = fmt.Sprintf("seed %d: %v", re.Seed, re.Err)
-	case errors.As(err, &ee):
-		cause = ee.Err.Error()
-	default:
+	var ce *explore.CheckError
+	if !errors.As(err, &ce) {
 		return "error: " + err.Error()
+	}
+	cause := ce.Err.Error()
+	if ce.Sampled {
+		cause = fmt.Sprintf("seed %d: %v", ce.Seed, ce.Err)
 	}
 	if expectFail {
 		return "FAIL(expected): " + cause

@@ -126,7 +126,7 @@ func TestThreeWayAtMostOneStop(t *testing.T) {
 		}
 		return env, bodies, check, reset
 	}
-	rep, err := explore.Run(h, explore.Config{Prune: true, Workers: 8})
+	rep, err := explore.Run(h, explore.Config{Prune: explore.PruneSourceDPOR, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
