@@ -15,7 +15,10 @@
 // state-fingerprint caching in a cache shared across all workers (sleep or
 // none only; see DESIGN.md for its soundness caveats), and -crashes adds
 // crash branches at every decision point (seeded crash injection on the
-// sampled path). Long explorations survive interruption: -timebudget cuts
+// sampled path). -snapshots selects branch restoration from memory
+// snapshots (auto restores wherever the scenario's registered objects all
+// support it; off forces prefix re-execution; the two paths explore
+// identical trees, so only the advisory replay counters move). Long explorations survive interruption: -timebudget cuts
 // the walk after a wall-clock budget, -checkpoint-out saves the unexplored
 // frontier, and -checkpoint-in resumes from it (sleep or none only:
 // source-DPOR backtracking state is not serializable).
@@ -83,6 +86,7 @@ func main() {
 	prune := flag.String("prune", "dpor", "partial-order reduction: dpor (source-DPOR) | sleep (legacy sleep sets) | none")
 	cache := flag.Bool("cache", false, "state-fingerprint caching, shared across workers (requires -prune sleep or none; see DESIGN.md caveats)")
 	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
+	snapshots := flag.String("snapshots", "auto", "snapshot-based branch restoration: auto (when supported) | on | off")
 	failFast := flag.Bool("failfast", false, "stop at the first failing schedule instead of the canonical one")
 	exhaustiveN := flag.Int("exhaustive-n", 3, "largest n explored exhaustively rather than sampled")
 	timeBudget := flag.Duration("timebudget", 0, "stop the exhaustive walk after this wall-clock budget (0 = none)")
@@ -101,6 +105,11 @@ func main() {
 	}
 
 	pruneMode, err := explore.ParsePruneMode(*prune)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
+	}
+	snapMode, err := explore.ParseSnapshotMode(*snapshots)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
 		os.Exit(2)
@@ -137,7 +146,7 @@ func main() {
 			"-checkpoint-in":  *ckptIn != "",
 			"-json":           *jsonOut,
 		})
-		runSweep(*n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes)
+		runSweep(*n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes, snapMode)
 		return
 	}
 
@@ -163,6 +172,7 @@ func main() {
 			"-checkpoint-in":  *ckptIn != "",
 			"-cache":          *cache,
 			"-prune":          pruneMode != explore.PruneSourceDPOR,
+			"-snapshots":      snapMode != explore.SnapshotAuto,
 		})
 		runSampled(h, sc, procs, oracle, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation, *jsonOut)
 		return
@@ -192,6 +202,7 @@ func main() {
 		Prune:         pruneMode,
 		CacheStates:   *cache,
 		FailFast:      *failFast,
+		Snapshots:     snapMode,
 	}
 	if *ckptIn != "" {
 		cfg.Resume, err = loadCheckpoint(*ckptIn)
@@ -217,7 +228,7 @@ func main() {
 		how = "exhaustive-partial"
 	}
 	if *jsonOut {
-		printJSON(scenario.ExhaustiveResult(sc.Name, procs, oracle, pruneMode, how, rep, err))
+		printJSON(scenario.ExhaustiveResult(sc.Name, procs, oracle, pruneMode, snapMode, how, rep, err))
 		if err != nil {
 			os.Exit(1)
 		}
@@ -233,8 +244,8 @@ func main() {
 	if rep.Partial {
 		how = "partial (hit -max or -timebudget)"
 	}
-	fmt.Printf("tascheck %s (n=%d, oracle %s, prune %s): OK — %d interleavings (%s), %d pruned as redundant, %d backtracks, %d state-cache hits, max depth %d\n",
-		sc.Name, procs, oracle, pruneMode, rep.Executions, how, rep.Pruned, rep.Backtracks, rep.CacheHits, rep.MaxDepth)
+	fmt.Printf("tascheck %s (n=%d, oracle %s, prune %s): OK — %d interleavings (%s), %d pruned as redundant, %d backtracks, %d state-cache hits, %d prefix replays, %d snapshot restores, max depth %d\n",
+		sc.Name, procs, oracle, pruneMode, rep.Executions, how, rep.Pruned, rep.Backtracks, rep.CacheHits, rep.Replays, rep.SnapshotRestores, rep.MaxDepth)
 }
 
 // printJSON emits one indented JSON object on stdout.
@@ -268,7 +279,7 @@ func exitWithListing(format string, args ...any) {
 
 // runSweep drives the registry-wide parallel sweep and prints its
 // deterministic report.
-func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, crashes bool) {
+func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, crashes bool, snaps explore.SnapshotMode) {
 	cfg := scenario.SweepConfig{
 		N:             n,
 		ExhaustiveN:   exhaustiveN,
@@ -277,6 +288,7 @@ func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, cr
 		Seed:          seed,
 		Workers:       workers,
 		Crashes:       crashes,
+		Snapshots:     snaps,
 	}
 	rows, err := scenario.Sweep(scenario.Registered(), cfg)
 	fmt.Print(scenario.Render(rows))

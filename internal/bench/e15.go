@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// mbCell renders a cumulative byte count as megabytes with one decimal.
+func mbCell(b int64) string {
+	if b == 0 {
+		return "0"
+	}
+	if b < 1<<20 {
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+}
+
+// RunE15 is the incremental-replay ledger: snapshot-restored branch
+// re-entry versus prefix reconstruction on the E14 reference harnesses,
+// one worker so every count is exact. The deterministic columns
+// (executions) must be identical between the off and on rows of a pair —
+// restoration is an execution-strategy change, not a semantics change —
+// while the replays/restores columns show where each run's branch
+// re-entries came from and the wall-clock what that trade bought.
+// TestSnapshotEquivalenceRegistry pins the equivalence across the whole
+// scenario registry and TestSnapshotRestoreSpeedup the >=2x bound on the
+// restore mechanism itself.
+func RunE15() []*Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "Incremental replay: snapshot restore vs prefix reconstruction (1 worker)",
+		Claim: "Restoring a frontier branch from a memory snapshot and fast-forwarding its " +
+			"recorded decision log replaces O(depth) gated re-execution with O(state) copy-in; " +
+			"the executions column is untouched while the replays column drains into restores. " +
+			"The wall-clock win tracks how much of a run was prefix replay: large under sleep " +
+			"sets (every sibling re-enters deep), and near parity under source-DPOR, whose " +
+			"race-driven backtracking already made prefixes short and rare.",
+		Columns: []string{"harness", "prune", "snapshots", "executions", "replays", "restores", "snapshot bytes", "wall-clock"},
+	}
+	const budget = 200000
+	for _, cfg := range []struct {
+		def string
+		n   int
+	}{
+		{"a1", 2}, {"a1", 3}, {"composed", 2}, {"composed", 3},
+	} {
+		h, label := harnessFor(cfg.def, cfg.n)
+		for _, prune := range []explore.PruneMode{explore.PruneSleep, explore.PruneSourceDPOR} {
+			for _, snaps := range []explore.SnapshotMode{explore.SnapshotOff, explore.SnapshotOn} {
+				start := time.Now()
+				rep, err := explore.Run(h, explore.Config{
+					Prune: prune, Workers: 1, MaxExecutions: budget, Snapshots: snaps,
+				})
+				wall := time.Since(start)
+				if err != nil {
+					t.AddRow(label, prune.String(), snaps.String(), "FAILED", err, "", "", "")
+					continue
+				}
+				t.AddRow(label, prune.String(), snaps.String(), intCell(rep.Executions, rep.Partial),
+					rep.Replays, rep.SnapshotRestores, mbCell(rep.SnapshotBytes),
+					wall.Round(100*time.Microsecond))
+			}
+		}
+	}
+	t.Notes = "Shape check: within each harness/prune pair the two executions cells are equal " +
+		"and the off row restored nothing; EXPERIMENTS.md records the reference counts and the " +
+		"composed n=4 re-run (408728 executions under either snapshot mode)."
+	return []*Table{t}
+}

@@ -62,8 +62,115 @@ type itemChooser struct {
 	chainIdx int
 	scratch  *dporScratch // per-worker race-analysis buffers
 
+	// Snapshot capture state (see engine.snapEnabled): when snapOn, the
+	// run logs values for replay and capture() can snapshot decision
+	// points for the sibling items they spawn.
+	snapOn bool
+	inst   *instance
+	exec   *sched.Executor
+	// lastSnap is the most recent decision-point snapshot along this run
+	// (seeded from the item's restored snapshot, if any): sibling sets
+	// within snapStride of its depth attach to it instead of capturing,
+	// and their restores gated-replay the few remaining prefix steps.
+	lastSnap *engineSnap
+
 	cands []candidate // per-decision scratch, reused across steps
 	woken []candidate // per-decision scratch for the sleep-filtered set
+}
+
+// capture snapshots the current decision point for branch restoration:
+// the memory state, the prefix bookkeeping (as capacity-clipped views of
+// the run's append-only buffers), and every process's value log. refs is
+// the number of take() calls expected (engine.pinnedRefs for source-DPOR
+// nodes). It must be called from inside a Choose decision, before the
+// chosen branch is recorded, so all captured views end exactly at this
+// decision's depth. Returns nil — and sticky-disables snapshots for the
+// walk — if the environment declines.
+func (c *itemChooser) capture(refs int32) *engineSnap {
+	if !c.snapOn {
+		return nil
+	}
+	mem, ok := c.env.Snapshot()
+	if !ok {
+		c.e.snapDisabled.Store(true)
+		c.snapOn = false
+		return nil
+	}
+	schedView, accView := c.exec.PrefixView()
+	// Pack copies of every process's value log into one backing array (the
+	// processes recycle their log buffers across runs, so views must not be
+	// retained), and precompute the per-process fast-forward positions the
+	// executor would otherwise rederive on every restore.
+	n := c.env.N()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += c.env.Proc(i).LogLen()
+	}
+	buf := make([]memory.ReplayRec, 0, total)
+	logs := make([][]memory.ReplayRec, n)
+	for i := 0; i < n; i++ {
+		start := len(buf)
+		buf = c.env.Proc(i).LogAppend(buf)
+		logs[i] = buf[start:len(buf):len(buf)]
+	}
+	posBuf := make([]int32, 0, len(schedView))
+	posAfter := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		start := len(posBuf)
+		for j, ch := range schedView {
+			if !ch.Crash && ch.Proc == i {
+				posBuf = append(posBuf, int32(j+1))
+			}
+		}
+		posAfter[i] = posBuf[start:len(posBuf):len(posBuf)]
+	}
+	s := &engineSnap{
+		depth:    len(schedView),
+		inst:     c.inst,
+		mem:      mem,
+		path:     c.path[:len(c.path):len(c.path)],
+		sched:    schedView,
+		resAccs:  accView,
+		logs:     logs,
+		posAfter: posAfter,
+		refs:     refs,
+	}
+	s.bytes = mem.Size() + snapOverhead(s)
+	c.e.snaps.admit(s)
+	c.e.snapBytes.Add(s.bytes)
+	return s
+}
+
+// snapWanted reports whether a new source-DPOR decision node at the given
+// depth should capture a snapshot: only when no ancestor node within
+// snapStride depths holds a live one (see snapStride). The walk is over the
+// tail of the shared chain, so spacing is consistent across the runs that
+// re-visit it.
+func (c *itemChooser) snapWanted(depth int) bool {
+	if !c.snapOn {
+		return false
+	}
+	for i := len(c.chain) - 1; i >= 0; i-- {
+		nd := c.chain[i]
+		if nd.depth <= depth-snapStride {
+			break
+		}
+		if nd.snap.live() {
+			return false
+		}
+	}
+	return true
+}
+
+// nearestChainSnap returns the deepest live snapshot along the walked
+// chain — the restoration point closest to the current decision.
+func (c *itemChooser) nearestChainSnap() *engineSnap {
+	for i := len(c.chain) - 1; i >= 0; i-- {
+		if s := c.chain[i].snap; s.live() {
+			return s
+		}
+	}
+	return nil
 }
 
 // note records a taken choice in the per-process progress counters that,
@@ -253,6 +360,23 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 				}
 				prefix = append(prefix, sib.t)
 				items = append(items, WorkItem{Prefix: prefix, Sleep: sl})
+			}
+			if len(items) > 0 {
+				// All siblings restore from the same snapshot; each differs
+				// only in its replayed suffix, which the replay zone still
+				// chooses live. A live snapshot within snapStride of this
+				// depth is reused (restores gated-replay the gap) so dense
+				// branching does not capture at every decision.
+				s := c.lastSnap
+				if !s.live() || s.depth <= step-snapStride || !c.e.snaps.addRefs(s, int32(len(items))) {
+					s = c.capture(int32(len(items)))
+					c.lastSnap = s
+				}
+				if s != nil {
+					for i := range items {
+						items[i].snap = s
+					}
+				}
 			}
 			for i := len(items) - 1; i >= 0; i-- {
 				c.e.enqueue(items[i])

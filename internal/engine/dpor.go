@@ -109,6 +109,11 @@ type dnode struct {
 
 	explored []candidate  // branches launched from here, in order
 	intrack  []Transition // branches launched or scheduled (tiny: linear scan)
+
+	// snap is the branch-restoration snapshot of this decision point,
+	// pinned in the ledger (backtrack additions arrive at any later time).
+	// Nil when snapshots are off or the capture declined; may be evicted.
+	snap *engineSnap
 }
 
 // tracked reports whether t is already launched or scheduled from n.
@@ -165,6 +170,9 @@ func (c *itemChooser) chooseDPOR(step int, parked []sched.ProcState, cands, awak
 		node.explored = []candidate{chosen}
 		node.chain = append(c.chain[:len(c.chain):len(c.chain)], node)
 		c.chain = node.chain
+		if c.snapWanted(step) {
+			node.snap = c.capture(pinnedRefs)
+		}
 	}
 
 	if e.cfg.Crashes {
@@ -184,6 +192,16 @@ func (c *itemChooser) chooseDPOR(step int, parked []sched.ProcState, cands, awak
 			if node != nil {
 				node.explored = append(node.explored, sib)
 				node.intrack = append(node.intrack, sib.t)
+			}
+		}
+		if len(items) > 0 {
+			// Crash siblings restore from the nearest live ancestor
+			// snapshot (possibly this node's own) and gated-replay the
+			// rest; all source-DPOR snapshots are pinned, so sharing one
+			// across items needs no refcounting.
+			snap := c.nearestChainSnap()
+			for i := range items {
+				items[i].snap = snap
 			}
 		}
 		for i := len(items) - 1; i >= 0; i-- {
@@ -405,7 +423,20 @@ func (n *dnode) addBacktrack(e *engine, initials []Transition, pref Transition) 
 	n.explored = append(n.explored, cand)
 	prefix := append(n.prefix[:len(n.prefix):len(n.prefix)], t)
 	e.backtracks.Add(1)
-	e.enqueue(WorkItem{Prefix: prefix, Sleep: sl, chain: n.chain})
+	// Restore from the deepest live snapshot along this node's chain (its
+	// own if the stride captured here); the replay zone re-executes the at
+	// most snapStride decisions between it and the branch.
+	snap := n.snap
+	if !snap.live() {
+		snap = nil
+		for i := len(n.chain) - 1; i >= 0; i-- {
+			if s := n.chain[i].snap; s.live() {
+				snap = s
+				break
+			}
+		}
+	}
+	e.enqueue(WorkItem{Prefix: prefix, Sleep: sl, chain: n.chain, snap: snap})
 }
 
 // cacheKey identifies a decision-point state: both fingerprint lanes plus

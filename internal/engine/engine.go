@@ -213,6 +213,22 @@ type Config struct {
 	// the run that produced it. Counters restart from zero. Incompatible
 	// with PruneSourceDPOR (its backtracking state is not serializable).
 	Resume *Checkpoint
+	// Snapshots selects branch restoration from memory snapshots (see
+	// SnapshotMode; the zero value is SnapshotAuto). When active, the
+	// engine captures the registered shared state at branching decision
+	// points and restores it — fast-forwarding the process bodies over
+	// recorded value logs — instead of re-executing the choice prefix from
+	// scratch. Requires a pooled harness whose every registered object
+	// implements memory.Snapshotter; anything else degrades, per item, to
+	// the reconstruct path. Deterministic Report fields are identical
+	// either way (the equivalence property tests pin this); only the
+	// advisory Replays/SnapshotRestores/SnapshotBytes counters and
+	// wall-clock change.
+	Snapshots SnapshotMode
+	// SnapshotBudget bounds the total estimated bytes of live snapshots
+	// (0 = 64 MiB). Over budget, the shallowest held snapshot is dropped
+	// first; dropped snapshots fall back to the reconstruct path.
+	SnapshotBudget int64
 }
 
 // Report summarizes an exhaustive walk. Fields marked advisory may vary
@@ -250,6 +266,17 @@ type Report struct {
 	// claimed by another part of the walk. Zero unless Config.CacheStates
 	// is set and the harness registers its shared objects. Advisory.
 	CacheHits int
+	// Replays counts executions that re-entered the tree by re-executing a
+	// nonempty choice prefix from the initial state (the reconstruct
+	// path). Advisory.
+	Replays int
+	// SnapshotRestores counts executions that re-entered the tree by
+	// restoring a memory snapshot and fast-forwarding the recorded prefix
+	// (see Config.Snapshots). Advisory.
+	SnapshotRestores int
+	// SnapshotBytes is the cumulative estimated size of the snapshots
+	// captured during the walk. Advisory.
+	SnapshotBytes int64
 	// Partial reports whether the walk was cut off by MaxExecutions,
 	// MaxDepth or TimeBudget. Deterministic on completed walks (false).
 	Partial bool
@@ -295,6 +322,12 @@ type WorkItem struct {
 	// decision nodes along the prefix, deepest last. Never serialized —
 	// which is why source-DPOR walks are not checkpointable.
 	chain []*dnode
+
+	// snap is the branch-restoration snapshot captured at the decision
+	// point that spawned this item, when snapshots are active. In-memory
+	// only (never serialized); a checkpoint resumed in another program run
+	// reconstructs its prefixes as always.
+	snap *engineSnap
 }
 
 // Checkpoint is a resumable frontier: the set of work items an interrupted
@@ -364,11 +397,20 @@ type engine struct {
 
 	backtracks atomic.Int64 // race-driven additions (source-DPOR)
 
+	// Snapshot-restoration state: the bounded ledger of captured
+	// snapshots, the cumulative captured bytes, and the sticky kill switch
+	// flipped when the environment declines a capture at runtime.
+	snaps        *snapLedger
+	snapBytes    atomic.Int64
+	snapDisabled atomic.Bool
+
 	// The result fields below are guarded by core.checkMu, which also
 	// serializes harness construction, check and reset calls.
 	executions  int
 	pruned      int
 	cacheHits   int
+	replays     int
+	snapRests   int
 	truncated   bool
 	maxDepth    int
 	fpOK        bool
@@ -407,6 +449,15 @@ func Run(h Harness, cfg Config) (Report, error) {
 	if cfg.CacheStates {
 		e.cache = newStateCache()
 	}
+	// Auto engages snapshots only where they are profitable: under none and
+	// sleep every sibling re-enters through a deep redundant prefix, while
+	// source-DPOR's short, rare prefixes make capture cost parity at best
+	// (see DESIGN.md "Incremental replay" and the E15 ledger). On forces
+	// capture regardless, for the equivalence tests and for measurement.
+	if cfg.Snapshots == SnapshotOn ||
+		(cfg.Snapshots == SnapshotAuto && cfg.Prune != PruneSourceDPOR) {
+		e.snaps = newSnapLedger(cfg.SnapshotBudget)
+	}
 	if cfg.Resume != nil {
 		e.queue = append(e.queue, cfg.Resume.Items...)
 	} else {
@@ -432,13 +483,16 @@ func Run(h Harness, cfg Config) (Report, error) {
 	wg.Wait()
 
 	rep := Report{
-		Executions: e.executions,
-		Attempts:   e.started,
-		Pruned:     e.pruned,
-		Backtracks: int(e.backtracks.Load()),
-		CacheHits:  e.cacheHits,
-		MaxDepth:   e.maxDepth,
-		Partial:    len(e.leftover) > 0 || e.truncated,
+		Executions:       e.executions,
+		Attempts:         e.started,
+		Pruned:           e.pruned,
+		Backtracks:       int(e.backtracks.Load()),
+		CacheHits:        e.cacheHits,
+		Replays:          e.replays,
+		SnapshotRestores: e.snapRests,
+		SnapshotBytes:    e.snapBytes.Load(),
+		MaxDepth:         e.maxDepth,
+		Partial:          len(e.leftover) > 0 || e.truncated,
 	}
 	if e.fpOK {
 		rep.FingerprintOK = true
@@ -524,27 +578,106 @@ func (e *engine) enqueue(item WorkItem) {
 	e.mu.Unlock()
 }
 
+// snapEnabled reports whether this run should capture and restore
+// snapshots on the given instance: the ledger exists (on, or auto under a
+// profitable prune mode), the instance is pooled, the environment's
+// registry is exactly snapshottable, and no earlier capture declined at
+// runtime (a sticky, walk-wide disable — a registry that declines once
+// will decline again).
+func (e *engine) snapEnabled(inst *instance) bool {
+	return e.snaps != nil &&
+		inst.exec != nil &&
+		!e.snapDisabled.Load() &&
+		inst.env.Snapshottable()
+}
+
 // runItem executes one frontier prefix to a leaf, enqueuing the sibling
 // branches it passes on the way down (in source-DPOR mode: only crash
 // siblings eagerly; step siblings on demand from the race analysis of the
 // completed trace). With a pooled instance the bodies re-enter the
 // persistent executor and the instance is reset afterwards; otherwise the
 // freshly constructed instance runs through the per-execution spawn path.
+//
+// When the item carries a live snapshot of its spawning decision point
+// (and snapshots are enabled for this instance), the memory state is
+// restored and the executor fast-forwards the prefix instead of
+// re-executing it; the chooser is pre-seeded with the captured path so the
+// run is indistinguishable — in every deterministic respect — from a
+// reconstructed one.
 func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
+	snapOn := e.snapEnabled(inst)
 	ch := &itemChooser{e: e, item: item, env: inst.env, chain: item.chain, scratch: scratch, steps: make([]int, inst.env.N())}
+	if snapOn {
+		ch.snapOn = true
+		ch.inst = inst
+		ch.exec = inst.exec
+	}
 	if e.cfg.Prune == PruneSourceDPOR {
 		// The transition record is retained by the decision nodes it
 		// spawns (their prefixes alias it), so it is allocated per run;
-		// the access and node records are analysis-local scratch.
+		// the access and node records are analysis-local scratch (nothing
+		// retains them — snapshots deliberately capture no trace record).
 		ch.trans = make([]Transition, 0, len(item.Prefix)+32)
 		ch.accs = scratch.accs[:0]
 		ch.nodes = scratch.nodes[:0]
 	}
 	var res *sched.Result
-	if inst.exec != nil {
-		res = inst.exec.Run(ch)
-	} else {
-		res = sched.RunChooser(inst.env, ch, inst.bodies)
+	restored := false
+	if snapOn && item.snap != nil {
+		if s, ok := e.snaps.take(item.snap, inst); ok {
+			// Seed the chooser with the captured prefix bookkeeping: the
+			// run resumes at decision s.depth (possibly an ancestor of the
+			// item's spawning decision: the stride captures sparsely), and
+			// the replay zone re-executes the remaining prefix steps.
+			d := s.depth
+			ch.path = s.path
+			ch.schedule = s.sched
+			for _, t := range item.Prefix[:d] {
+				ch.note(t)
+			}
+			for _, nd := range item.chain {
+				if nd.depth < d {
+					ch.chainIdx++
+				}
+			}
+			if e.cfg.Prune == PruneSourceDPOR {
+				// Rebuild the trace record the captured prefix would have
+				// produced: transitions are the prefix itself, accesses are
+				// the granted ones (zeroed for crash events, which access
+				// nothing), nodes are the chain's by depth.
+				ch.trans = append(ch.trans, item.Prefix[:d]...)
+				for i, t := range item.Prefix[:d] {
+					acc := memory.Access{}
+					if !t.Crash {
+						acc = s.resAccs[i]
+					}
+					ch.accs = append(ch.accs, acc)
+					ch.nodes = append(ch.nodes, nil)
+				}
+				for _, nd := range item.chain {
+					if nd.depth < d {
+						ch.nodes[nd.depth] = nd
+					}
+				}
+			}
+			// The restored snapshot also serves as the run's most recent
+			// capture point: sibling sets within snapStride of its depth
+			// attach to it rather than capturing anew.
+			ch.lastSnap = item.snap
+			inst.env.Restore(s.mem)
+			res = inst.exec.RunReplay(ch, &sched.Prefix{Schedule: s.sched, Accesses: s.resAccs, Logs: s.logs, PosAfter: s.posAfter})
+			restored = true
+		}
+	}
+	if !restored {
+		switch {
+		case inst.exec == nil:
+			res = sched.RunChooser(inst.env, ch, inst.bodies)
+		case snapOn:
+			res = inst.exec.RunCapture(ch)
+		default:
+			res = inst.exec.Run(ch)
+		}
 	}
 
 	if ch.bad == nil && e.cfg.Prune == PruneSourceDPOR {
@@ -573,6 +706,11 @@ func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
 		return
 	}
 	e.pruned += ch.pruned
+	if restored {
+		e.snapRests++
+	} else if len(item.Prefix) > 0 {
+		e.replays++
+	}
 	if ch.aborted {
 		if ch.cacheHit {
 			// The decision point's state key was already claimed: the leaf

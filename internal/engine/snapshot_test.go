@@ -1,0 +1,245 @@
+package engine_test
+
+// Snapshot-replay equivalence: restoring a branch from a memory snapshot
+// and fast-forwarding the recorded prefix must be observationally identical
+// to reconstructing it by re-execution — same verdict, same canonical
+// failing schedule, same deterministic Report fields — for every scenario,
+// every prune mode and every worker count. The reconstruct path is the
+// semantics anchor; these tests hold the restored path to it across the
+// real registry (like reduction_test.go, an external test package so it
+// can import the scenario registry without a cycle).
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/tas"
+)
+
+// snapshotBudget bounds each walk: scenario/mode pairs whose trees exceed
+// it are skipped (a budget-cut multi-worker walk is not deterministic, so
+// there is nothing exact to compare).
+const snapshotBudget = 30000
+
+func runSnapArm(t *testing.T, sc scenario.Scenario, n int, mode engine.PruneMode, workers int, snaps engine.SnapshotMode, crashes bool) (engine.Report, error) {
+	t.Helper()
+	budget := snapshotBudget
+	if crashes {
+		// The crash-branch tree is denser; a1 n=2 completes at 80514.
+		budget = 100000
+	}
+	h, _ := sc.Build(n, scenario.Options{Crashes: crashes})
+	rep, err := engine.Run(h, engine.Config{
+		Prune:         mode,
+		Workers:       workers,
+		MaxExecutions: budget,
+		Crashes:       crashes,
+		Snapshots:     snaps,
+	})
+	var ce *engine.CheckError
+	if err != nil && !errors.As(err, &ce) {
+		t.Fatalf("%s n=%d %v workers=%d snaps=%v: engine error: %v", sc.Name, n, mode, workers, snaps, err)
+	}
+	return rep, err
+}
+
+// assertSnapEquivalent pins the restored arm to the reconstruct baseline:
+// identical deterministic Report fields and an identical canonical
+// lex-least failure.
+func assertSnapEquivalent(t *testing.T, label string, base engine.Report, baseErr error, got engine.Report, gotErr error) {
+	t.Helper()
+	if (baseErr != nil) != (gotErr != nil) {
+		t.Fatalf("%s: verdicts diverged: reconstruct=%v snapshot=%v", label, baseErr, gotErr)
+	}
+	if baseErr != nil {
+		var bce, gce *engine.CheckError
+		errors.As(baseErr, &bce)
+		errors.As(gotErr, &gce)
+		if bce.Err.Error() != gce.Err.Error() || !reflect.DeepEqual(bce.Schedule, gce.Schedule) {
+			t.Fatalf("%s: canonical failure diverged:\n%v %v\nvs\n%v %v", label, bce.Schedule, bce.Err, gce.Schedule, gce.Err)
+		}
+	}
+	if base.Executions != got.Executions || base.MaxDepth != got.MaxDepth ||
+		base.FingerprintOK != got.FingerprintOK || base.DistinctStates != got.DistinctStates {
+		t.Fatalf("%s: deterministic fields diverged:\nreconstruct %+v\nsnapshot    %+v", label, base, got)
+	}
+	if !reflect.DeepEqual(base.TerminalStates, got.TerminalStates) {
+		t.Fatalf("%s: terminal-state sets diverged (%d vs %d states)", label, base.DistinctStates, got.DistinctStates)
+	}
+}
+
+// compareSnapshots runs one scenario/count/mode with snapshots off (the
+// baseline) and on at 1, 4 and 8 workers, asserting equivalence. It
+// reports (participated, restores) — restores summed over the on arms so
+// callers can assert the snapshot path actually engaged somewhere.
+func compareSnapshots(t *testing.T, sc scenario.Scenario, n int, mode engine.PruneMode) (bool, int) {
+	t.Helper()
+	base, baseErr := runSnapArm(t, sc, n, mode, 1, engine.SnapshotOff, false)
+	if base.Partial {
+		t.Logf("%s n=%d %v: tree exceeds %d attempts — skipped", sc.Name, n, mode, snapshotBudget)
+		return false, 0
+	}
+	restores := 0
+	for _, workers := range []int{1, 4, 8} {
+		got, gotErr := runSnapArm(t, sc, n, mode, workers, engine.SnapshotOn, false)
+		label := sc.Name + " n=" + itoa(n) + " " + mode.String() + " workers=" + itoa(workers)
+		assertSnapEquivalent(t, label, base, baseErr, got, gotErr)
+		restores += got.SnapshotRestores
+	}
+	return true, restores
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSnapshotEquivalenceRegistry drives every registered scenario at two
+// processes — plus the reference a1 at three — through all three prune
+// modes, comparing the snapshot-restored walk against the reconstructed
+// one. Non-snapshottable and non-pooled scenarios participate too: for
+// them SnapshotOn degrades to reconstruction, and the comparison pins that
+// the degradation is invisible.
+func TestSnapshotEquivalenceRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: walks the whole registry six ways")
+	}
+	modes := []engine.PruneMode{engine.PruneNone, engine.PruneSleep, engine.PruneSourceDPOR}
+	scs := scenario.Registered()
+	compared, restores := 0, 0
+	for _, sc := range scs {
+		for _, mode := range modes {
+			ok, r := compareSnapshots(t, sc, sc.Procs(2), mode)
+			if ok {
+				compared++
+			}
+			restores += r
+		}
+	}
+	a1, err := scenario.Lookup("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unpruned a1 n=3 tree exceeds any sane budget; the pruned modes
+	// are the deep reference points and must participate.
+	for _, mode := range modes[1:] {
+		ok, r := compareSnapshots(t, a1, 3, mode)
+		if !ok {
+			t.Fatalf("a1 n=3 %v must fit the snapshot-equivalence budget", mode)
+		}
+		restores += r
+	}
+	if compared < len(scs)*2 {
+		t.Fatalf("only %d of %d scenario/mode pairs fit the budget — raise it", compared, len(scs)*3)
+	}
+	if restores == 0 {
+		t.Fatal("no arm restored a single snapshot — the equivalence above compared nothing")
+	}
+}
+
+// TestSnapshotCrashEquivalence is the crash-path regression: a restored
+// branch whose prefix crashed a process must reach the oracle with exactly
+// the state and history the reconstructed run reaches — same verdict from
+// the linearize.Check call sites, same counts. a1 n=2 with crash branches
+// is the anchor (80514 interleavings under PruneNone), so it exercises
+// crash unwinding through ReplayCrash in bulk.
+func TestSnapshotCrashEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: exhaustive crash walk")
+	}
+	a1, err := scenario.Lookup("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []engine.PruneMode{engine.PruneNone, engine.PruneSourceDPOR} {
+		base, baseErr := runSnapArm(t, a1, 2, mode, 1, engine.SnapshotOff, true)
+		if base.Partial {
+			t.Fatalf("a1 n=2 crashes %v must fit the budget", mode)
+		}
+		for _, workers := range []int{1, 8} {
+			got, gotErr := runSnapArm(t, a1, 2, mode, workers, engine.SnapshotOn, true)
+			label := "a1 n=2 crashes " + mode.String() + " workers=" + itoa(workers)
+			assertSnapEquivalent(t, label, base, baseErr, got, gotErr)
+			if got.SnapshotRestores == 0 {
+				t.Fatalf("%s: no branch was snapshot-restored", label)
+			}
+		}
+	}
+}
+
+// resetOnly registers an object's reset path while hiding every other
+// capability — in particular Snapshotter. One such object must make the
+// environment refuse to snapshot, and the engine fall back to
+// reconstruction for the whole walk.
+type resetOnly struct{ inner memory.Resettable }
+
+func (r resetOnly) ResetState() { r.inner.ResetState() }
+
+// TestSnapshotFallbackConformance pins the degradation contract: a
+// harness whose registered object is Resettable but not a Snapshotter
+// forces the reconstruct path cleanly — zero restores, zero captured
+// bytes, no error — under SnapshotOn as much as SnapshotAuto, with the
+// deterministic results of a snapshottable twin.
+func TestSnapshotFallbackConformance(t *testing.T) {
+	build := func(hide bool) engine.Harness {
+		return func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+			env := memory.NewEnv(2)
+			a1 := tas.NewA1()
+			if hide {
+				env.Register(resetOnly{a1})
+			} else {
+				env.Register(a1)
+			}
+			bodies := make([]func(p *memory.Proc), 2)
+			for i := 0; i < 2; i++ {
+				i := i
+				bodies[i] = func(p *memory.Proc) {
+					a1.Invoke(p, spec.Request{ID: int64(i + 1), Proc: i, Op: spec.OpTAS}, nil)
+				}
+			}
+			return env, bodies, func(res *sched.Result) error { return nil }, func() {}
+		}
+	}
+	var full engine.Report
+	for _, snaps := range []engine.SnapshotMode{engine.SnapshotAuto, engine.SnapshotOn, engine.SnapshotOff} {
+		rep, err := engine.Run(build(true), engine.Config{Prune: engine.PruneSourceDPOR, Workers: 1, Snapshots: snaps})
+		if err != nil {
+			t.Fatalf("snaps=%v: %v", snaps, err)
+		}
+		if rep.SnapshotRestores != 0 || rep.SnapshotBytes != 0 {
+			t.Fatalf("snaps=%v: non-Snapshotter registry still restored (%d restores, %d bytes)",
+				snaps, rep.SnapshotRestores, rep.SnapshotBytes)
+		}
+		if rep.Replays == 0 {
+			t.Fatalf("snaps=%v: fallback did not reconstruct any prefix", snaps)
+		}
+		full = rep
+	}
+	// The snapshottable twin agrees on every deterministic field (its
+	// fingerprint-dependent fields differ: the wrapper hides those too).
+	twin, err := engine.Run(build(false), engine.Config{Prune: engine.PruneSourceDPOR, Workers: 1, Snapshots: engine.SnapshotOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.SnapshotRestores == 0 {
+		t.Fatal("snapshottable twin did not restore")
+	}
+	if twin.Executions != full.Executions || twin.MaxDepth != full.MaxDepth {
+		t.Fatalf("fallback walk diverged from snapshottable twin: %+v vs %+v", full, twin)
+	}
+}

@@ -188,9 +188,12 @@ func (h *StateHash) Sum128() Fingerprint { return Fingerprint{h.a, h.b} }
 // objects are created independently and shared by closure, and harnesses
 // that want Reset/Fingerprint support register them explicitly.
 type Env struct {
-	procs      []*Proc
-	objs       []Resettable
-	unhashable bool
+	procs           []*Proc
+	objs            []Resettable
+	unhashable      bool
+	unsnapshottable bool
+	// stampClock orders EventStamp calls of ungated processes.
+	stampClock atomic.Int64
 }
 
 // NewEnv creates an environment with n processes, ids 0..n-1.
@@ -263,6 +266,9 @@ func (e *Env) Register(objs ...Resettable) {
 		if _, ok := o.(Fingerprinter); !ok {
 			e.unhashable = true
 		}
+		if _, ok := o.(Snapshotter); !ok {
+			e.unsnapshottable = true
+		}
 	}
 }
 
@@ -314,6 +320,18 @@ type Proc struct {
 	rmws    atomic.Int64
 	kinds   [6]atomic.Int64
 	crashed atomic.Bool
+
+	// pos is the schedule position after the process's last granted step;
+	// stampSeq disambiguates multiple EventStamp calls at one position; rp
+	// is the capture/fast-forward state of snapshot-based replay. All three
+	// are written either by the process itself or by the scheduler before a
+	// grant (which happens-before the process resumes), so they need no
+	// atomicity.
+	pos      int32
+	stampSeq int32
+	rp       *procReplay
+	rpState  procReplay  // backing storage for rp: one per process, reused
+	capBuf   []ReplayRec // recycled capture-log buffer (see StartCapture)
 }
 
 // ID returns the process id (0-based).
@@ -339,13 +357,16 @@ func (p *Proc) KindCount(k OpKind) int64 {
 	return p.kinds[k].Load()
 }
 
-// ResetCounters zeroes the process's step, RMW and per-kind counters.
+// ResetCounters zeroes the process's step, RMW and per-kind counters,
+// along with the schedule position and stamp sequence.
 func (p *Proc) ResetCounters() {
 	p.steps.Store(0)
 	p.rmws.Store(0)
 	for i := range p.kinds {
 		p.kinds[i].Store(0)
 	}
+	p.pos = 0
+	p.stampSeq = 0
 }
 
 // SetGate installs (or removes, with nil) the scheduling gate. Must not be

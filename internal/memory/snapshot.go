@@ -1,0 +1,319 @@
+package memory
+
+import "sync/atomic"
+
+// Snapshotter is implemented by base objects (and composites built from
+// them) whose shared state can be captured and restored in O(state) time,
+// independent of how many steps produced it. Snapshot returns an opaque
+// value that Restore later accepts; the pair must round-trip exactly: after
+// Restore(s) the object is indistinguishable — to gated readers — from the
+// moment Snapshot returned s.
+//
+// Snapshot may return nil to signal that the current state cannot be
+// captured faithfully (a GrowArray whose element type is not itself a
+// Snapshotter, say). One nil disables snapshotting for the whole
+// environment, mirroring how one false HashState disables fingerprinting:
+// the engine falls back to reconstructing prefixes by re-execution rather
+// than risking a wrong restore.
+//
+// Composites must restore only *gated* shared state. Auxiliary ungated
+// state (process-local caches like LongLived's crtWinner) must instead be
+// reset to its construction value: a restored branch re-executes the
+// process bodies in fast-forward, which regenerates exactly the auxiliary
+// state the prefix produced.
+type Snapshotter interface {
+	Snapshot() any
+	Restore(any)
+}
+
+// ReplayCrash is the panic value used to unwind a process goroutine whose
+// crash is part of a replayed prefix: the process re-executes its body in
+// fast-forward and, at the point where the recorded crash struck, panics
+// with ReplayCrash so the executor can retire it without granting steps.
+type ReplayCrash struct{ Proc int }
+
+// ReplayRec is one logged gated operation: the value the operation
+// observed. V carries scalar results (reads, CAS success as 0/1); P carries
+// pointer-valued results (Reg[T].Read, CASCell reads, GrowArray slots).
+// Writes log a zero record so the log stays aligned one-to-one with
+// granted scheduler steps.
+type ReplayRec struct {
+	V int64
+	P any
+}
+
+// procReplay modes. Off is the zero value: no logging, no fast-forward.
+const (
+	replayOff int8 = iota
+	replayCapture
+	replayFF
+)
+
+// procReplay holds a process's replay state for one executor run. In
+// capture mode every gated operation appends one ReplayRec after it
+// executes. In fast-forward (FF) mode the process re-executes its body but
+// each gated operation consumes the next record instead of touching memory
+// or the gate; when the log runs out the process either crashes (the
+// recorded prefix crashed it) or flips to capture mode and rejoins the
+// live run at its next gated operation.
+type procReplay struct {
+	mode  int8
+	crash bool
+	// owned marks a log buffer the process may recycle across runs: set by
+	// StartCapture (the buffer is the process's own, and snapshot capture
+	// copies rather than retains it), clear for FF runs, whose initial log
+	// belongs to a snapshot (the post-flip reallocation is not reclaimed
+	// either — it shares no memory with the snapshot, but telling the two
+	// apart is not worth the bookkeeping).
+	owned bool
+	cur   int
+	log   []ReplayRec
+	// posAfter[k] is the schedule position the process held after its k-th
+	// granted step (set only for FF; capture recomputes it from the
+	// schedule when a snapshot is taken).
+	posAfter []int32
+}
+
+// StartCapture puts the process in capture mode, recycling its log buffer
+// from the previous captured run (snapshot capture copies logs, so nothing
+// retains the buffer across runs). Scheduler use only.
+func (p *Proc) StartCapture() {
+	if cap(p.capBuf) == 0 {
+		p.capBuf = make([]ReplayRec, 0, 64)
+	}
+	p.rpState = procReplay{mode: replayCapture, owned: true, log: p.capBuf[:0]}
+	p.rp = &p.rpState
+}
+
+// StartFF puts the process in fast-forward mode over the given log.
+// posAfter must be parallel to log (the schedule position after each
+// logged step); crash reports whether the recorded prefix crashed the
+// process. Scheduler use only.
+func (p *Proc) StartFF(log []ReplayRec, posAfter []int32, crash bool) {
+	if len(log) != len(posAfter) {
+		panic("memory: StartFF log/posAfter length mismatch")
+	}
+	p.rpState = procReplay{mode: replayFF, crash: crash, log: log, posAfter: posAfter}
+	p.rp = &p.rpState
+}
+
+// EndReplay leaves capture/fast-forward mode, reclaiming an owned log
+// buffer for the next run. The executor calls it before returning from a
+// run so post-run code (oracle queries) neither logs nor consumes records.
+func (p *Proc) EndReplay() {
+	if p.rp != nil && p.rp.owned {
+		p.capBuf = p.rp.log
+	}
+	p.rp = nil
+}
+
+// LogView returns the process's current capture log. The slice aliases the
+// process's recycled buffer: it is only valid until the process's next run
+// (snapshot capture must copy it, see LogAppend). Returns nil when the
+// process is not capturing.
+func (p *Proc) LogView() []ReplayRec {
+	if p.rp == nil {
+		return nil
+	}
+	return p.rp.log[:len(p.rp.log):len(p.rp.log)]
+}
+
+// LogAppend appends a copy of the process's current capture log to dst and
+// returns the extended slice — the snapshot-capture form of LogView, letting
+// the caller pack every process's log into one backing array.
+func (p *Proc) LogAppend(dst []ReplayRec) []ReplayRec {
+	if p.rp == nil {
+		return dst
+	}
+	return append(dst, p.rp.log...)
+}
+
+// LogLen returns the number of logged records of the current run.
+func (p *Proc) LogLen() int {
+	if p.rp == nil {
+		return 0
+	}
+	return len(p.rp.log)
+}
+
+// ffRec consumes the next fast-forward record, if the process is in FF
+// mode. Primitives call it first: on ok the recorded value stands in for
+// the operation (no accounting, no gate, no memory touch — the restored
+// snapshot already reflects the operation's effect). At the end of the log
+// the process either unwinds with ReplayCrash or flips to capture mode and
+// reports !ok so the primitive runs its live path.
+func (p *Proc) ffRec() (ReplayRec, bool) {
+	if p == nil || p.rp == nil || p.rp.mode != replayFF {
+		return ReplayRec{}, false
+	}
+	rp := p.rp
+	if rp.cur >= len(rp.log) {
+		if rp.crash {
+			panic(ReplayCrash{Proc: p.id})
+		}
+		rp.mode = replayCapture
+		// The log so far is a view of the snapshot's packed buffer (len ==
+		// cap, shared with other restores): move it into the process's
+		// recycled capture buffer so the live suffix appends in place, and
+		// later captures still see the full log from the run's start.
+		if cap(p.capBuf) < len(rp.log) {
+			p.capBuf = make([]ReplayRec, 0, max(2*len(rp.log), 64))
+		}
+		rp.log = append(p.capBuf[:0], rp.log...)
+		rp.owned = true
+		return ReplayRec{}, false
+	}
+	rec := rp.log[rp.cur]
+	p.pos = rp.posAfter[rp.cur]
+	rp.cur++
+	return rec, true
+}
+
+// logV appends a scalar capture record after a gated operation.
+func (p *Proc) logV(v int64) {
+	if p == nil || p.rp == nil || p.rp.mode != replayCapture {
+		return
+	}
+	p.rp.log = append(p.rp.log, ReplayRec{V: v})
+}
+
+// logP appends a pointer capture record after a gated operation.
+func (p *Proc) logP(ptr any) {
+	if p == nil || p.rp == nil || p.rp.mode != replayCapture {
+		return
+	}
+	p.rp.log = append(p.rp.log, ReplayRec{P: ptr})
+}
+
+// logVP appends a capture record carrying both a scalar and a pointer.
+func (p *Proc) logVP(v int64, ptr any) {
+	if p == nil || p.rp == nil || p.rp.mode != replayCapture {
+		return
+	}
+	p.rp.log = append(p.rp.log, ReplayRec{V: v, P: ptr})
+}
+
+// SetPos records the process's current schedule position (the number of
+// scheduler decisions made once this process's step was granted).
+// Scheduler use only; EventStamp folds it into logical timestamps so that
+// a fast-forwarded branch regenerates the same stamps as the original run.
+func (p *Proc) SetPos(v int) { p.pos = int32(v) }
+
+// globalStampClock serializes EventStamp for detached processes.
+var globalStampClock atomic.Int64
+
+// EventStamp returns a logical timestamp for an observation the process
+// makes between shared-memory steps (trace events, lock-hold intervals).
+// Stamps are strictly increasing per process, and stamps taken by
+// different processes order consistently with the schedule positions at
+// which they were taken — which makes them reproducible when a branch is
+// restored from a snapshot and fast-forwarded, unlike a shared wall-order
+// counter. Ungated processes (wall-clock benchmarks) fall back to a shared
+// atomic clock. All stamps are nonzero.
+func (p *Proc) EventStamp() int64 {
+	if p.gate == nil && p.rp == nil {
+		if p.env != nil {
+			return p.env.stampClock.Add(1)
+		}
+		return globalStampClock.Add(1)
+	}
+	p.stampSeq++
+	return (int64(p.pos)+1)<<32 | int64(p.id&0xff)<<24 | int64(p.stampSeq&0xffffff)
+}
+
+// procSnap is the per-process slice of an environment snapshot: the
+// accounting counters and the crash flag at the snapshot point.
+type procSnap struct {
+	steps   int64
+	rmws    int64
+	kinds   [6]int64
+	crashed bool
+}
+
+// EnvSnapshot captures the registered shared state of an Env plus the
+// per-process accounting, taken at a scheduler decision point (every
+// process parked). It is opaque to callers; Env.Restore is its only
+// consumer.
+type EnvSnapshot struct {
+	states []any
+	procs  []procSnap
+}
+
+// Snapshottable reports whether the environment can snapshot: every
+// registered object implements Snapshotter and at least one object is
+// registered. Like Fingerprint's refusal, an empty or inexact registry
+// makes snapshots unsound (unregistered state would leak across the
+// restore), so the engine must fall back to re-execution.
+func (e *Env) Snapshottable() bool {
+	return !e.unsnapshottable && len(e.objs) > 0
+}
+
+// Snapshot captures the current state of all registered objects and the
+// per-process counters. It reports ok = false — meaning "reconstruct this
+// prefix by re-execution instead" — when the registry is empty or inexact,
+// or when any object declines at runtime (returns a nil snapshot). It must
+// only be called while no process is mid-access (at a scheduler decision
+// point).
+func (e *Env) Snapshot() (*EnvSnapshot, bool) {
+	if !e.Snapshottable() {
+		return nil, false
+	}
+	s := &EnvSnapshot{
+		states: make([]any, len(e.objs)),
+		procs:  make([]procSnap, len(e.procs)),
+	}
+	for i, o := range e.objs {
+		st := o.(Snapshotter).Snapshot()
+		if st == nil {
+			return nil, false
+		}
+		s.states[i] = st
+	}
+	for i, p := range e.procs {
+		ps := &s.procs[i]
+		ps.steps = p.steps.Load()
+		ps.rmws = p.rmws.Load()
+		for k := range p.kinds {
+			ps.kinds[k] = p.kinds[k].Load()
+		}
+		ps.crashed = p.crashed.Load()
+	}
+	return s, true
+}
+
+// Restore reverts all registered objects and per-process accounting to the
+// snapshot point. Replay position and stamp counters are zeroed: a
+// restored branch fast-forwards the process bodies from the top, which
+// regenerates positions and stamps deterministically. Must not be called
+// while any process is taking steps.
+func (e *Env) Restore(s *EnvSnapshot) {
+	if len(s.states) != len(e.objs) || len(s.procs) != len(e.procs) {
+		panic("memory: Restore snapshot shape mismatch")
+	}
+	for i, o := range e.objs {
+		o.(Snapshotter).Restore(s.states[i])
+	}
+	for i, p := range e.procs {
+		ps := &s.procs[i]
+		p.steps.Store(ps.steps)
+		p.rmws.Store(ps.rmws)
+		for k := range p.kinds {
+			p.kinds[k].Store(ps.kinds[k])
+		}
+		p.crashed.Store(ps.crashed)
+		p.pos = 0
+		p.stampSeq = 0
+	}
+}
+
+// Size returns a rough byte estimate of the snapshot, for budget
+// accounting (advisory only).
+func (s *EnvSnapshot) Size() int64 {
+	n := int64(len(s.states))*32 + int64(len(s.procs))*80
+	for _, st := range s.states {
+		if sized, ok := st.(interface{ snapSize() int64 }); ok {
+			n += sized.snapSize()
+		}
+	}
+	return n
+}

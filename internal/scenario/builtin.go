@@ -9,7 +9,6 @@ package scenario
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/abstract"
 	"repro/internal/consensus"
@@ -115,6 +114,16 @@ func init() {
 // tasOracle is the linearize oracle shared by the TAS-shaped scenarios.
 var tasOracle = Oracle{Kind: OracleLinearize, Type: spec.TASType{}}
 
+// stampFromSchedule wires a recorder's event stamps to the environment's
+// schedule-derived per-process clocks (memory.Proc.EventStamp) instead of
+// the recorder's wall-order counter. The resulting traces depend only on
+// the scheduler's choice sequence, so a branch restored from a snapshot
+// and fast-forwarded regenerates exactly the trace a full re-execution
+// would have produced.
+func stampFromSchedule(rec *trace.Recorder, env *memory.Env) {
+	rec.SetStampSource(func(proc int) int64 { return env.Proc(proc).EventStamp() })
+}
+
 // buildA1 builds the A1-only harness: one TAS invocation per process,
 // Lemma 4's safety (at most one winner), crash-mode liveness, and
 // linearizability of the invoke/commit projection; withDef2 additionally
@@ -130,6 +139,7 @@ func buildA1(withDef2 bool) func(n int, opts Options) (explore.Harness, Oracle) 
 			a1 := tas.NewA1()
 			env.Register(a1)
 			rec := trace.NewRecorder(n)
+			stampFromSchedule(rec, env)
 			bodies := make([]func(p *memory.Proc), n)
 			for i := 0; i < n; i++ {
 				i := i
@@ -176,6 +186,7 @@ func buildComposed(n int, opts Options) (explore.Harness, Oracle) {
 		o := tas.NewOneShot()
 		env.Register(o)
 		rec := trace.NewRecorder(n)
+		stampFromSchedule(rec, env)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
 			i := i
@@ -212,6 +223,7 @@ func buildQuickstart(n int, opts Options) (explore.Harness, Oracle) {
 		o := tas.NewOneShot()
 		env.Register(o)
 		rec := trace.NewRecorder(n)
+		stampFromSchedule(rec, env)
 		modules := make([]int, n)
 		bodies := make([]func(p *memory.Proc), n)
 		for i := 0; i < n; i++ {
@@ -311,18 +323,21 @@ var mutexOracle = Oracle{Kind: OracleInvariant, Invariant: "mutual-exclusion"}
 
 // lockBodies builds bodies where process i performs cycles[i]
 // acquire/release attempts on the long-lived TAS, stamping each successful
-// hold with the shared logical clock (stamps are taken in the holder's
-// ungated window, so they are consistent with the controlled interleaving).
-func lockBodies(ll *tas.LongLived, cycles []int, clock *atomic.Int64, holds [][]hold) []func(p *memory.Proc) {
+// hold with the process's schedule-derived logical clock (stamps are taken
+// in the holder's ungated window, so they are consistent with the
+// controlled interleaving — and, unlike a shared wall-order counter, they
+// are regenerated identically when a branch is restored from a snapshot
+// and its prefix fast-forwarded).
+func lockBodies(ll *tas.LongLived, cycles []int, holds [][]hold) []func(p *memory.Proc) {
 	bodies := make([]func(p *memory.Proc), len(cycles))
 	for i := range cycles {
 		i := i
 		bodies[i] = func(p *memory.Proc) {
 			for k := 0; k < cycles[i]; k++ {
 				if ll.TestAndSet(p) == spec.Winner {
-					holds[i] = append(holds[i], hold{acq: clock.Add(1)})
+					holds[i] = append(holds[i], hold{acq: p.EventStamp()})
 					ll.Reset(p)
-					holds[i][len(holds[i])-1].rel = clock.Add(1)
+					holds[i][len(holds[i])-1].rel = p.EventStamp()
 				}
 			}
 		}
@@ -402,9 +417,8 @@ func buildLockScenario(n int, opts Options, oracle Oracle, mkCycles func(n int) 
 		env := memory.NewEnv(n)
 		ll := tas.NewLongLived(n)
 		env.Register(ll)
-		var clock atomic.Int64
 		holds := make([][]hold, n)
-		bodies := lockBodies(ll, mkCycles(n), &clock, holds)
+		bodies := lockBodies(ll, mkCycles(n), holds)
 		check := func(res *sched.Result) error {
 			if opts.Crashes {
 				if err := survivorsFinished(res); err != nil {
@@ -420,7 +434,6 @@ func buildLockScenario(n int, opts Options, oracle Oracle, mkCycles func(n int) 
 			return nil
 		}
 		reset := func() {
-			clock.Store(0)
 			for i := range holds {
 				holds[i] = holds[i][:0]
 			}
@@ -606,6 +619,7 @@ func buildUniversal(oracle Oracle, opsPer int, mkReq func(i, k, n int) spec.Requ
 				}},
 			)
 			rec := trace.NewRecorder(n)
+			stampFromSchedule(rec, env)
 			bodies := make([]func(p *memory.Proc), n)
 			for i := 0; i < n; i++ {
 				i := i

@@ -39,16 +39,25 @@ type RunResult struct {
 	Mode   string `json:"mode"`
 	Oracle string `json:"oracle"`
 	// Prune names the reduction of an exhaustive run; Sampler the
-	// distribution of a sampled one.
-	Prune          string `json:"prune,omitempty"`
-	Sampler        string `json:"sampler,omitempty"`
-	Executions     int    `json:"executions"`
-	Pruned         int    `json:"pruned,omitempty"`
-	Backtracks     int    `json:"backtracks,omitempty"`
-	CacheHits      int    `json:"cache_hits,omitempty"`
-	MaxDepth       int    `json:"max_depth"`
-	DistinctStates int    `json:"distinct_states,omitempty"`
-	DistinctShapes int    `json:"distinct_shapes,omitempty"`
+	// distribution of a sampled one; Snapshots the branch-restoration mode
+	// requested for an exhaustive run ("auto" | "on" | "off").
+	Snapshots  string `json:"snapshots,omitempty"`
+	Prune      string `json:"prune,omitempty"`
+	Sampler    string `json:"sampler,omitempty"`
+	Executions int    `json:"executions"`
+	Pruned     int    `json:"pruned,omitempty"`
+	Backtracks int    `json:"backtracks,omitempty"`
+	CacheHits  int    `json:"cache_hits,omitempty"`
+	// Replays counts reconstructed prefix re-executions and
+	// SnapshotRestores snapshot-restored ones; SnapshotBytes is the
+	// cumulative captured snapshot size. All advisory, like the engine
+	// fields they mirror.
+	Replays          int   `json:"replays,omitempty"`
+	SnapshotRestores int   `json:"snapshot_restores,omitempty"`
+	SnapshotBytes    int64 `json:"snapshot_bytes,omitempty"`
+	MaxDepth         int   `json:"max_depth"`
+	DistinctStates   int   `json:"distinct_states,omitempty"`
+	DistinctShapes   int   `json:"distinct_shapes,omitempty"`
 	// Verdict is "ok", "fail" (a check failure, detailed in Failure) or
 	// "error" (an engine error: nondeterministic harness, bad config).
 	Verdict string      `json:"verdict"`
@@ -77,19 +86,23 @@ func (r *RunResult) failureOf(err error) {
 }
 
 // ExhaustiveResult builds the -json object of an exhaustive run.
-func ExhaustiveResult(name string, n int, oracle Oracle, prune explore.PruneMode, mode string, rep explore.Report, err error) RunResult {
+func ExhaustiveResult(name string, n int, oracle Oracle, prune explore.PruneMode, snaps explore.SnapshotMode, mode string, rep explore.Report, err error) RunResult {
 	r := RunResult{
-		Scenario:       name,
-		N:              n,
-		Mode:           mode,
-		Oracle:         oracle.String(),
-		Prune:          prune.String(),
-		Executions:     rep.Executions,
-		Pruned:         rep.Pruned,
-		Backtracks:     rep.Backtracks,
-		CacheHits:      rep.CacheHits,
-		MaxDepth:       rep.MaxDepth,
-		DistinctStates: rep.DistinctStates,
+		Scenario:         name,
+		N:                n,
+		Mode:             mode,
+		Oracle:           oracle.String(),
+		Prune:            prune.String(),
+		Snapshots:        snaps.String(),
+		Executions:       rep.Executions,
+		Pruned:           rep.Pruned,
+		Backtracks:       rep.Backtracks,
+		CacheHits:        rep.CacheHits,
+		Replays:          rep.Replays,
+		SnapshotRestores: rep.SnapshotRestores,
+		SnapshotBytes:    rep.SnapshotBytes,
+		MaxDepth:         rep.MaxDepth,
+		DistinctStates:   rep.DistinctStates,
 	}
 	r.failureOf(err)
 	return r

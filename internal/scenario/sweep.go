@@ -40,6 +40,12 @@ type SweepConfig struct {
 	// Crashes explores crash branches (or injects sampled crashes) on every
 	// scenario that declares crash-aware checks; others run crash-free.
 	Crashes bool
+	// Snapshots is the branch-restoration mode of exhaustive runs (the
+	// default, SnapshotAuto, restores wherever the scenario's registered
+	// objects support it and the prune mode profits). It never changes a
+	// row: restoration preserves every deterministic field, and rows carry
+	// no advisory counters.
+	Snapshots explore.SnapshotMode
 }
 
 // Row is one scenario's deterministic sweep result. It carries no
@@ -79,6 +85,7 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 			Crashes:       opts.Crashes,
 			Workers:       1,
 			Prune:         explore.PruneSourceDPOR,
+			Snapshots:     cfg.Snapshots,
 		})
 		row.Mode = "exhaustive"
 		if rep.Partial {

@@ -106,6 +106,12 @@ func (x *Executor) runBody(i int, p *memory.Proc) {
 				x.retire()
 				return
 			}
+			if rc, ok := r.(memory.ReplayCrash); ok && rc.Proc == i {
+				// The replayed prefix crashed this process; Crashed[i] was
+				// seeded from the recorded schedule.
+				x.retire()
+				return
+			}
 			panic(r)
 		}
 		x.res.Finished[i] = true
@@ -168,24 +174,111 @@ func (x *Executor) decide() {
 		return
 	}
 	res.Steps[c.Proc]++
+	x.env.Proc(c.Proc).SetPos(len(res.Schedule))
 	x.executing.Store(1)
 	x.grants[c.Proc] <- true
+}
+
+// PrefixView returns capacity-clipped views of the current run's schedule
+// and accesses so far. It must be called from inside a chooser decision
+// (the baton holder); the views stay valid after the run continues, since
+// later appends reallocate rather than overwrite.
+func (x *Executor) PrefixView() ([]Choice, []memory.Access) {
+	s, a := x.res.Schedule, x.res.Accesses
+	return s[:len(s):len(s)], a[:len(a):len(a)]
+}
+
+// Prefix seeds a run from a recorded prefix: the schedule and access
+// sequence of the first d decisions, and the per-process value logs those
+// decisions produced. The memory state must already have been restored to
+// the matching snapshot (memory.Env.Restore) before RunReplay is called.
+type Prefix struct {
+	Schedule []Choice
+	Accesses []memory.Access
+	Logs     [][]memory.ReplayRec
+	// PosAfter optionally pre-computes, per process, the schedule position
+	// after each of its granted steps (parallel to Logs). When nil, RunReplay
+	// derives it from Schedule; a caller replaying the same prefix many times
+	// computes it once instead.
+	PosAfter [][]int32
 }
 
 // Run performs one controlled execution under the chooser and returns its
 // summary. The ProcState slice passed to the chooser is scratch reused
 // across decisions; choosers must not retain it past the call.
 func (x *Executor) Run(chooser Chooser) *Result {
+	return x.run(chooser, nil, false)
+}
+
+// RunCapture is Run with per-process value logging enabled, so that a
+// snapshot taken at any decision point of this run can later seed
+// RunReplay for a sibling branch.
+func (x *Executor) RunCapture(chooser Chooser) *Result {
+	return x.run(chooser, nil, true)
+}
+
+// RunReplay re-enters a run mid-prefix: the recorded decisions are seeded
+// into the result, and every process re-executes its body in fast-forward,
+// consuming its value log instead of touching memory or the gate. A
+// process that exhausts its log either unwinds (its recorded crash) or
+// rejoins the live run at its next access; the first live scheduler
+// decision therefore happens at exactly the recorded prefix's end, with
+// every surviving process parked at the same access as in the original
+// run. Capture stays enabled for the live suffix, so snapshots taken
+// there are themselves replayable.
+func (x *Executor) RunReplay(chooser Chooser, rp *Prefix) *Result {
+	return x.run(chooser, rp, true)
+}
+
+func (x *Executor) run(chooser Chooser, rp *Prefix, capture bool) *Result {
 	if x.closed {
 		panic("sched: Run on closed Executor")
 	}
 	n := x.n
+	depth := x.lastDepth + 8
+	if rp != nil && len(rp.Schedule)+8 > depth {
+		depth = len(rp.Schedule) + 8
+	}
 	res := &Result{
-		Schedule: make([]Choice, 0, x.lastDepth+8),
-		Accesses: make([]memory.Access, 0, x.lastDepth+8),
+		Schedule: make([]Choice, 0, depth),
+		Accesses: make([]memory.Access, 0, depth),
 		Finished: make([]bool, n),
 		Crashed:  make([]bool, n),
 		Steps:    make([]int64, n),
+	}
+	if rp != nil {
+		res.Schedule = append(res.Schedule, rp.Schedule...)
+		res.Accesses = append(res.Accesses, rp.Accesses...)
+		// Per-process positions after each granted step, for stamp
+		// regeneration during fast-forward (precomputed by the caller when
+		// the prefix is replayed more than once).
+		posAfter := rp.PosAfter
+		if posAfter == nil {
+			posAfter = make([][]int32, n)
+			for j, c := range rp.Schedule {
+				if !c.Crash {
+					posAfter[c.Proc] = append(posAfter[c.Proc], int32(j+1))
+				}
+			}
+		}
+		for _, c := range rp.Schedule {
+			if c.Crash {
+				res.Crashed[c.Proc] = true
+			} else {
+				res.Steps[c.Proc]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			var log []memory.ReplayRec
+			if i < len(rp.Logs) {
+				log = rp.Logs[i]
+			}
+			x.env.Proc(i).StartFF(log, posAfter[i], res.Crashed[i])
+		}
+	} else if capture {
+		for i := 0; i < n; i++ {
+			x.env.Proc(i).StartCapture()
+		}
 	}
 	x.res = res
 	x.chooser = chooser
@@ -198,6 +291,12 @@ func (x *Executor) Run(chooser Chooser) *Result {
 		x.start[i] <- struct{}{}
 	}
 	<-x.done
+	// Leave replay/capture mode before removing the gate, so post-run
+	// oracle code (which reads shared state through the same primitives)
+	// neither logs nor consumes records.
+	for i := 0; i < n; i++ {
+		x.env.Proc(i).EndReplay()
+	}
 	x.env.SetGate(nil)
 	x.res = nil
 	x.chooser = nil

@@ -215,6 +215,7 @@ func RunChooser(env *memory.Env, chooser Chooser, bodies []func(p *memory.Proc))
 			continue
 		}
 		res.Steps[c.Proc]++
+		env.Proc(c.Proc).SetPos(len(res.Schedule))
 		g.grants[c.Proc] <- true
 		executing = 1 // granted process executes its access + local code
 	}
