@@ -21,6 +21,10 @@
 // a JSON array of one object per row ({experiment, table, title, row,
 // cells}), the machine-readable form the bench trajectory (BENCH_*.json)
 // records; the markdown output is unchanged.
+// With -bench-dir, the engine-driving experiments (E10–E15) additionally
+// write one BENCH_<id>.json perf-trajectory file each — the committed
+// files CI's bench-regression smoke compares fresh runs against via
+// benchdiff (see EXPERIMENTS.md, "Perf-trajectory files").
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
@@ -39,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for randomized experiment schedules")
 	scenarioFlag := flag.String("scenario", "", "registered or gen:<seed> scenario the engine experiments (E10-E12) drive (default: each experiment's documented workload)")
 	jsonOut := flag.String("json", "", "also write the experiment rows to this file as JSON")
+	benchDir := flag.String("bench-dir", "", "write BENCH_<id>.json perf-trajectory files for the engine experiments into this directory")
 	flag.Parse()
 	bench.SetSeed(*seed)
 	if err := bench.SetScenario(*scenarioFlag); err != nil {
@@ -76,6 +82,12 @@ func main() {
 		if *jsonOut != "" {
 			rows = append(rows, bench.RowsJSON(e.ID, tables)...)
 		}
+		if *benchDir != "" {
+			if err := writeBench(*benchDir, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "composebench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "composebench: no experiment matches %q (try -list)\n", *expFlag)
@@ -93,4 +105,24 @@ func main() {
 		}
 		fmt.Printf("composebench: %d experiment rows written to %s\n", len(rows), *jsonOut)
 	}
+}
+
+// writeBench drains the perf rows one experiment recorded into
+// BENCH_<id>.json. Experiments without timed engine runs record nothing
+// and produce no file.
+func writeBench(dir, id string) error {
+	perf := bench.TakePerf(id)
+	if len(perf) == 0 {
+		return nil
+	}
+	data, err := json.MarshalIndent(perf, "", " ")
+	if err != nil {
+		return fmt.Errorf("encoding perf rows: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("composebench: %d perf rows written to %s\n", len(perf), path)
+	return nil
 }

@@ -1,0 +1,194 @@
+package main
+
+// Table-driven flag validation: every tascheck invocation resolves to one
+// run path, and every path-restricted flag declares — in one table — the
+// paths it applies to. A flag changed from its default on a path it does
+// not apply to is a usage error (exit 2), never silently ignored: a user
+// who budgets or checkpoints a walk that is actually sampled should learn
+// to raise -exhaustive-n, not read a vacuous OK. Detection is value-based
+// (changed from the default), so spelling the default explicitly — e.g.
+// -prune dpor — stays valid everywhere, exactly as before the table.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/randexp"
+)
+
+// The flag defaults, shared by the flag declarations in main and the
+// changed-from-default detection here.
+const (
+	defMax       = 2000000
+	defSamples   = 3000
+	defSeed      = int64(1)
+	defSampler   = "random"
+	defWorkers   = 8
+	defPrune     = "dpor"
+	defSnapshots = "auto"
+)
+
+// runPath classifies an invocation by what it runs.
+type runPath int
+
+const (
+	// pathList prints the registry and runs nothing.
+	pathList runPath = iota
+	// pathSweep is -scenario all: the registry-wide parallel sweep.
+	pathSweep
+	// pathSampled is a single scenario with n > -exhaustive-n.
+	pathSampled
+	// pathExhaustive is a single-scenario walk under -prune sleep or none.
+	pathExhaustive
+	// pathExhaustiveDPOR is a single-scenario walk under -prune dpor, which
+	// additionally excludes the flags source-DPOR cannot honour.
+	pathExhaustiveDPOR
+	numPaths
+)
+
+// String names the path for tests and diagnostics.
+func (p runPath) String() string {
+	switch p {
+	case pathList:
+		return "list"
+	case pathSweep:
+		return "sweep"
+	case pathSampled:
+		return "sampled"
+	case pathExhaustive:
+		return "exhaustive"
+	case pathExhaustiveDPOR:
+		return "exhaustive-dpor"
+	}
+	return fmt.Sprintf("runPath(%d)", int(p))
+}
+
+// cliFlags holds every parsed path-restricted flag value.
+type cliFlags struct {
+	sampler    string
+	pctDepth   int
+	rates      string
+	saturation int
+	maxExecs   int
+	samples    int
+	seed       int64
+	prune      explore.PruneMode
+	cache      bool
+	ckptOut    string
+	ckptIn     string
+	timeBudget time.Duration
+	snapshots  explore.SnapshotMode
+	failFast   bool
+	jsonOut    bool
+	progress   time.Duration
+	events     string
+	debugAddr  string
+	traceOut   string
+}
+
+// flagRule ties one flag to the run paths it applies to. context entries
+// override the path's default wording where a more specific hint exists
+// (e.g. the source-DPOR checkpoint restriction).
+type flagRule struct {
+	name    string
+	set     func(f *cliFlags) bool
+	allowed [numPaths]bool
+	context map[runPath]string
+}
+
+// on builds an allowed-path set. pathList is implied for the exploration
+// knobs a bare -list invocation has always silently ignored; flags that
+// demand output (-json and the observability sinks) opt out of it
+// explicitly.
+func on(paths ...runPath) [numPaths]bool {
+	var a [numPaths]bool
+	for _, p := range paths {
+		a[p] = true
+	}
+	return a
+}
+
+// The dpor-specific hint preserved from the pre-table validation.
+const dporContext = "source-DPOR exploration; pass -prune sleep (or none) to use these"
+
+// listContext is the -list rejection wording for the output flags.
+const listContext = "-list (it prints the registry and runs nothing)"
+
+// flagRules is THE flag-applicability table. Order is the check order, so
+// rejections are deterministic when several inapplicable flags are set.
+func flagRules() []flagRule {
+	dporHint := map[runPath]string{pathExhaustiveDPOR: dporContext}
+	return []flagRule{
+		{name: "-sampler", set: func(f *cliFlags) bool { return f.sampler != defSampler },
+			allowed: on(pathList, pathSampled)},
+		{name: "-pct-depth", set: func(f *cliFlags) bool { return f.pctDepth != randexp.DefaultPCTDepth },
+			allowed: on(pathList, pathSampled)},
+		{name: "-rates", set: func(f *cliFlags) bool { return f.rates != "" },
+			allowed: on(pathList, pathSampled)},
+		{name: "-saturation", set: func(f *cliFlags) bool { return f.saturation != 0 },
+			allowed: on(pathList, pathSampled)},
+		{name: "-max", set: func(f *cliFlags) bool { return f.maxExecs != defMax },
+			allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-samples", set: func(f *cliFlags) bool { return f.samples != defSamples },
+			allowed: on(pathList, pathSweep, pathSampled)},
+		{name: "-seed", set: func(f *cliFlags) bool { return f.seed != defSeed },
+			allowed: on(pathList, pathSweep, pathSampled)},
+		{name: "-prune", set: func(f *cliFlags) bool { return f.prune != explore.PruneSourceDPOR },
+			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-cache", set: func(f *cliFlags) bool { return f.cache },
+			allowed: on(pathList, pathExhaustive), context: dporHint},
+		{name: "-checkpoint-out", set: func(f *cliFlags) bool { return f.ckptOut != "" },
+			allowed: on(pathList, pathExhaustive), context: dporHint},
+		{name: "-checkpoint-in", set: func(f *cliFlags) bool { return f.ckptIn != "" },
+			allowed: on(pathList, pathExhaustive), context: dporHint},
+		{name: "-timebudget", set: func(f *cliFlags) bool { return f.timeBudget != 0 },
+			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-snapshots", set: func(f *cliFlags) bool { return f.snapshots != explore.SnapshotAuto },
+			allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-failfast", set: func(f *cliFlags) bool { return f.failFast },
+			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-json", set: func(f *cliFlags) bool { return f.jsonOut },
+			allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
+			context: map[runPath]string{pathList: "-list (it is a single-run result object)"}},
+		{name: "-progress", set: func(f *cliFlags) bool { return f.progress != 0 },
+			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-events", set: func(f *cliFlags) bool { return f.events != "" },
+			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-debug-addr", set: func(f *cliFlags) bool { return f.debugAddr != "" },
+			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{name: "-trace-out", set: func(f *cliFlags) bool { return f.traceOut != "" },
+			allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
+			context: map[runPath]string{pathSweep: "a scenario sweep (its failures are expected report rows, not one canonical schedule)"}},
+	}
+}
+
+// pathContexts builds each path's default rejection wording, preserving the
+// pre-table messages verbatim. procs and exhaustiveN feed the dynamic
+// hints of the sampled and exhaustive contexts.
+func pathContexts(procs, exhaustiveN int) map[runPath]string {
+	exhaustive := fmt.Sprintf("exhaustive exploration; raise -n above -exhaustive-n %d", exhaustiveN)
+	return map[runPath]string{
+		pathList:           listContext,
+		pathSweep:          "a scenario sweep (sweeps always run source-DPOR on one engine worker per scenario and sample uniformly)",
+		pathSampled:        fmt.Sprintf("sampled exploration; raise -exhaustive-n to at least %d or lower -n", procs),
+		pathExhaustive:     exhaustive,
+		pathExhaustiveDPOR: exhaustive,
+	}
+}
+
+// validateFlags checks every table rule against the resolved path and
+// returns the first violation as the usage error main prints, or nil.
+func validateFlags(f *cliFlags, path runPath, contexts map[runPath]string) error {
+	for _, r := range flagRules() {
+		if r.allowed[path] || !r.set(f) {
+			continue
+		}
+		ctx := contexts[path]
+		if c, ok := r.context[path]; ok {
+			ctx = c
+		}
+		return fmt.Errorf("%s does not apply to %s", r.name, ctx)
+	}
+	return nil
+}

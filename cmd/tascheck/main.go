@@ -75,34 +75,29 @@ func main() {
 	scenarioName := flag.String("scenario", "", "scenario to check: a registered name, gen:<seed>, or 'all' for the sweep (see -list)")
 	list := flag.Bool("list", false, "print every registered and generator scenario with its oracle, then exit")
 	n := flag.Int("n", 0, "number of processes (0 = the scenario's default)")
-	maxExecs := flag.Int("max", 2000000, "max execution attempts for exhaustive exploration (per scenario in a sweep)")
-	samples := flag.Int("samples", 3000, "sampled schedules when n > -exhaustive-n (per scenario in a sweep)")
-	seed := flag.Int64("seed", 1, "base seed for sampled schedules")
-	sampler := flag.String("sampler", "random", "sampled-mode scheduler: random | pct | walk | rates")
+	maxExecs := flag.Int("max", defMax, "max execution attempts for exhaustive exploration (per scenario in a sweep)")
+	samples := flag.Int("samples", defSamples, "sampled schedules when n > -exhaustive-n (per scenario in a sweep)")
+	seed := flag.Int64("seed", defSeed, "base seed for sampled schedules")
+	sampler := flag.String("sampler", defSampler, "sampled-mode scheduler: random | pct | walk | rates")
 	pctDepth := flag.Int("pct-depth", randexp.DefaultPCTDepth, "PCT bug-depth parameter d (d-1 priority change points)")
 	rates := flag.String("rates", "", "comma-separated per-process rate weights for -sampler rates (later processes reuse the last weight)")
 	saturation := flag.Int("saturation", 0, "stop sampling after this many consecutive batches with no new coverage (0 = off)")
-	workers := flag.Int("workers", 8, "parallel exploration workers (parallel scenarios in a sweep)")
-	prune := flag.String("prune", "dpor", "partial-order reduction: dpor (source-DPOR) | sleep (legacy sleep sets) | none")
+	workers := flag.Int("workers", defWorkers, "parallel exploration workers (parallel scenarios in a sweep)")
+	prune := flag.String("prune", defPrune, "partial-order reduction: dpor (source-DPOR) | sleep (legacy sleep sets) | none")
 	cache := flag.Bool("cache", false, "state-fingerprint caching, shared across workers (requires -prune sleep or none; see DESIGN.md caveats)")
 	crashes := flag.Bool("crashes", false, "explore crash branches at every decision point")
-	snapshots := flag.String("snapshots", "auto", "snapshot-based branch restoration: auto (when supported) | on | off")
+	snapshots := flag.String("snapshots", defSnapshots, "snapshot-based branch restoration: auto (when supported) | on | off")
 	failFast := flag.Bool("failfast", false, "stop at the first failing schedule instead of the canonical one")
 	exhaustiveN := flag.Int("exhaustive-n", 3, "largest n explored exhaustively rather than sampled")
 	timeBudget := flag.Duration("timebudget", 0, "stop the exhaustive walk after this wall-clock budget (0 = none)")
 	ckptOut := flag.String("checkpoint-out", "", "write the unexplored frontier of a budget-cut walk to this file")
 	ckptIn := flag.String("checkpoint-in", "", "resume the walk from a frontier saved by -checkpoint-out")
 	jsonOut := flag.Bool("json", false, "print the single-run result as one JSON object (not valid with -scenario all or -list)")
+	progress := flag.Duration("progress", 0, "print a live status line (attempts/sec, frontier, ETA) to stderr at this interval (0 = off)")
+	events := flag.String("events", "", "write run lifecycle events to this file as JSON lines")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus), /statusz (JSON) and /debug/pprof on this address for the run's duration")
+	traceOut := flag.String("trace-out", "", "write a failing interleaving as a Chrome trace-event JSON file (viewable in Perfetto)")
 	flag.Parse()
-
-	if *list {
-		if *jsonOut {
-			fmt.Fprintln(os.Stderr, "tascheck: -json does not apply to -list (it is a single-run result object)")
-			os.Exit(2)
-		}
-		fmt.Print(scenario.Listing())
-		return
-	}
 
 	pruneMode, err := explore.ParsePruneMode(*prune)
 	if err != nil {
@@ -113,6 +108,39 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
 		os.Exit(2)
+	}
+	cf := &cliFlags{
+		sampler:    *sampler,
+		pctDepth:   *pctDepth,
+		rates:      *rates,
+		saturation: *saturation,
+		maxExecs:   *maxExecs,
+		samples:    *samples,
+		seed:       *seed,
+		prune:      pruneMode,
+		cache:      *cache,
+		ckptOut:    *ckptOut,
+		ckptIn:     *ckptIn,
+		timeBudget: *timeBudget,
+		snapshots:  snapMode,
+		failFast:   *failFast,
+		jsonOut:    *jsonOut,
+		progress:   *progress,
+		events:     *events,
+		debugAddr:  *debugAddr,
+		traceOut:   *traceOut,
+	}
+	validate := func(path runPath, procs int) {
+		if verr := validateFlags(cf, path, pathContexts(procs, *exhaustiveN)); verr != nil {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", verr)
+			os.Exit(2)
+		}
+	}
+
+	if *list {
+		validate(pathList, 0)
+		fmt.Print(scenario.Listing())
+		return
 	}
 
 	name := *scenarioName
@@ -133,20 +161,8 @@ func main() {
 	}
 
 	if name == "all" {
-		rejectFlags("a scenario sweep (sweeps always run source-DPOR on one engine worker per scenario and sample uniformly)", map[string]bool{
-			"-sampler":        *sampler != "random",
-			"-pct-depth":      *pctDepth != randexp.DefaultPCTDepth,
-			"-rates":          *rates != "",
-			"-saturation":     *saturation != 0,
-			"-cache":          *cache,
-			"-failfast":       *failFast,
-			"-prune":          pruneMode != explore.PruneSourceDPOR,
-			"-timebudget":     *timeBudget != 0,
-			"-checkpoint-out": *ckptOut != "",
-			"-checkpoint-in":  *ckptIn != "",
-			"-json":           *jsonOut,
-		})
-		runSweep(*n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes, snapMode)
+		validate(pathSweep, 0)
+		runSweep(cf, *n, *exhaustiveN, *maxExecs, *samples, *seed, *workers, *crashes, snapMode)
 		return
 	}
 
@@ -159,39 +175,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tascheck: scenario %s does not support -crashes (its checks assume every process completes)\n", sc.Name)
 		os.Exit(2)
 	}
-	h, oracle := sc.Build(procs, scenario.Options{Crashes: *crashes})
+	opts := scenario.Options{Crashes: *crashes}
+	h, oracle := sc.Build(procs, opts)
 
 	if procs > *exhaustiveN {
 		// The sampled path has no frontier, budget or fingerprint cache;
 		// reject rather than silently ignore the flags, so a user who meant
 		// to resume or budget an exhaustive walk learns to raise
 		// -exhaustive-n instead of reading a vacuous OK.
-		rejectFlags(fmt.Sprintf("sampled exploration; raise -exhaustive-n to at least %d or lower -n", procs), map[string]bool{
-			"-timebudget":     *timeBudget != 0,
-			"-checkpoint-out": *ckptOut != "",
-			"-checkpoint-in":  *ckptIn != "",
-			"-cache":          *cache,
-			"-prune":          pruneMode != explore.PruneSourceDPOR,
-			"-snapshots":      snapMode != explore.SnapshotAuto,
-		})
-		runSampled(h, sc, procs, oracle, *sampler, *samples, *seed, *workers, *crashes, *pctDepth, *rates, *saturation, *jsonOut)
+		validate(pathSampled, procs)
+		runSampled(cf, h, sc, procs, oracle, *workers, *crashes, opts)
 		return
 	}
-	// Symmetrically, the sampler knobs mean nothing on an exhaustive walk.
-	rejectFlags(fmt.Sprintf("exhaustive exploration; raise -n above -exhaustive-n %d", *exhaustiveN), map[string]bool{
-		"-sampler":    *sampler != "random",
-		"-pct-depth":  *pctDepth != randexp.DefaultPCTDepth,
-		"-rates":      *rates != "",
-		"-saturation": *saturation != 0,
-	})
+	// Symmetrically, the sampler knobs mean nothing on an exhaustive walk,
+	// and source-DPOR cannot honour the cache or checkpoint flags.
+	path := pathExhaustive
 	if pruneMode == explore.PruneSourceDPOR {
-		// Source-DPOR's backtracking obligations live in pointers, not in
-		// the serializable frontier, and are not captured by the cache key.
-		rejectFlags("source-DPOR exploration; pass -prune sleep (or none) to use these", map[string]bool{
-			"-cache":          *cache,
-			"-checkpoint-out": *ckptOut != "",
-			"-checkpoint-in":  *ckptIn != "",
-		})
+		path = pathExhaustiveDPOR
+	}
+	validate(path, procs)
+
+	session, err := newObsSession(cf, *workers, map[string]string{
+		"scenario": sc.Name, "n": fmt.Sprintf("%d", procs),
+		"mode": "exhaustive", "prune": pruneMode.String(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
+		os.Exit(2)
+	}
+	if *progress > 0 {
+		// A short walk-sampler probe on a fresh harness instance yields a
+		// Knuth estimate of the full tree — an exact attempts target under
+		// -prune none, an upper bound under any reduction.
+		session.startProgress(*progress, estimateTree(sc, procs, opts), pruneMode != explore.PruneNone, sc.Name)
 	}
 
 	cfg := explore.Config{
@@ -203,6 +219,7 @@ func main() {
 		CacheStates:   *cache,
 		FailFast:      *failFast,
 		Snapshots:     snapMode,
+		Metrics:       session.metrics(),
 	}
 	if *ckptIn != "" {
 		cfg.Resume, err = loadCheckpoint(*ckptIn)
@@ -217,8 +234,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tascheck: %v\n", werr)
 			os.Exit(2)
 		}
+		session.event("checkpoint_saved", map[string]any{"path": *ckptOut, "items": len(rep.Checkpoint.Items)})
 		fmt.Fprintf(os.Stderr, "tascheck: frontier checkpoint (%d items) saved to %s; resume with -checkpoint-in %s\n",
 			len(rep.Checkpoint.Items), *ckptOut, *ckptOut)
+	}
+	session.close(verdictOf(err))
+	var ce *explore.CheckError
+	if errors.As(err, &ce) && *traceOut != "" {
+		if terr := writeTraceOut(*traceOut, sc, procs, opts, ce.Schedule); terr != nil {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", terr)
+		}
 	}
 	how := "exhaustive"
 	if *ckptIn != "" {
@@ -248,6 +273,18 @@ func main() {
 		sc.Name, procs, oracle, pruneMode, rep.Executions, how, rep.Pruned, rep.Backtracks, rep.CacheHits, rep.Replays, rep.SnapshotRestores, rep.MaxDepth)
 }
 
+// verdictOf folds a run error into the run_end event's verdict field.
+func verdictOf(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var ce *explore.CheckError
+	if errors.As(err, &ce) {
+		return "fail"
+	}
+	return "error"
+}
+
 // printJSON emits one indented JSON object on stdout.
 func printJSON(v any) {
 	data, err := json.MarshalIndent(v, "", " ")
@@ -256,17 +293,6 @@ func printJSON(v any) {
 		os.Exit(2)
 	}
 	fmt.Println(string(data))
-}
-
-// rejectFlags exits with a usage error when any of the named flags was set
-// on a path it does not apply to.
-func rejectFlags(context string, set map[string]bool) {
-	for flagName, on := range set {
-		if on {
-			fmt.Fprintf(os.Stderr, "tascheck: %s does not apply to %s\n", flagName, context)
-			os.Exit(2)
-		}
-	}
 }
 
 // exitWithListing prints the error followed by the scenario registry, the
@@ -279,7 +305,13 @@ func exitWithListing(format string, args ...any) {
 
 // runSweep drives the registry-wide parallel sweep and prints its
 // deterministic report.
-func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, crashes bool, snaps explore.SnapshotMode) {
+func runSweep(cf *cliFlags, n, exhaustiveN, maxExecs, samples int, seed int64, workers int, crashes bool, snaps explore.SnapshotMode) {
+	session, serr := newObsSession(cf, workers, map[string]string{"mode": "sweep"})
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", serr)
+		os.Exit(2)
+	}
+	session.startProgress(cf.progress, 0, false, "sweep")
 	cfg := scenario.SweepConfig{
 		N:             n,
 		ExhaustiveN:   exhaustiveN,
@@ -289,8 +321,10 @@ func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, cr
 		Workers:       workers,
 		Crashes:       crashes,
 		Snapshots:     snaps,
+		Metrics:       session.metrics(),
 	}
 	rows, err := scenario.Sweep(scenario.Registered(), cfg)
+	session.close(verdictOf(err))
 	fmt.Print(scenario.Render(rows))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
@@ -300,31 +334,50 @@ func runSweep(n, exhaustiveN, maxExecs, samples int, seed int64, workers int, cr
 
 // runSampled drives the randomized frontend for process counts beyond the
 // exhaustive range and prints its coverage-aware summary.
-func runSampled(h explore.Harness, sc scenario.Scenario, procs int, oracle scenario.Oracle, sampler string, samples int, seed int64, workers int, crashes bool, pctDepth int, rates string, saturation int, jsonOut bool) {
-	kind, err := randexp.ParseSampler(sampler)
+func runSampled(cf *cliFlags, h explore.Harness, sc scenario.Scenario, procs int, oracle scenario.Oracle, workers int, crashes bool, opts scenario.Options) {
+	kind, err := randexp.ParseSampler(cf.sampler)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
 		os.Exit(2)
 	}
-	weights, err := parseRates(rates)
+	weights, err := parseRates(cf.rates)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tascheck: %v\n", err)
 		os.Exit(2)
 	}
+	session, serr := newObsSession(cf, workers, map[string]string{
+		"scenario": sc.Name, "n": fmt.Sprintf("%d", procs),
+		"mode": "sampled", "sampler": string(kind),
+	})
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "tascheck: %v\n", serr)
+		os.Exit(2)
+	}
+	// The sample count is an exact total for the ETA (saturation or a
+	// failing batch may legitimately finish sooner).
+	session.startProgress(cf.progress, float64(cf.samples), false, sc.Name)
 	cfg := randexp.Config{
 		Sampler:    kind,
-		Samples:    samples,
-		Seed:       seed,
+		Samples:    cf.samples,
+		Seed:       cf.seed,
 		Workers:    workers,
-		PCTDepth:   pctDepth,
+		PCTDepth:   cf.pctDepth,
 		Rates:      weights,
-		SatBatches: saturation,
+		SatBatches: cf.saturation,
+		Metrics:    session.metrics(),
 	}
 	if crashes {
 		cfg.CrashProb = explore.SampleCrashProb
 	}
 	rep, err := randexp.Run(h, cfg)
-	if jsonOut {
+	session.close(verdictOf(err))
+	var ceTrace *randexp.CheckError
+	if errors.As(err, &ceTrace) && cf.traceOut != "" {
+		if terr := writeTraceOut(cf.traceOut, sc, procs, opts, ceTrace.Schedule); terr != nil {
+			fmt.Fprintf(os.Stderr, "tascheck: %v\n", terr)
+		}
+	}
+	if cf.jsonOut {
 		printJSON(scenario.SampledResult(sc.Name, procs, oracle, string(kind), rep, err))
 		if err != nil {
 			os.Exit(1)
@@ -343,7 +396,7 @@ func runSampled(h explore.Harness, sc scenario.Scenario, procs int, oracle scena
 	}
 	how := fmt.Sprintf("sampled, %s", kind)
 	if kind == randexp.SamplerPCT {
-		how = fmt.Sprintf("sampled, pct d=%d k=%d", pctDepth, rep.PCTSteps)
+		how = fmt.Sprintf("sampled, pct d=%d k=%d", cf.pctDepth, rep.PCTSteps)
 	}
 	if rep.Saturated {
 		how += ", saturated early"

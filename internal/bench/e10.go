@@ -58,6 +58,7 @@ func RunE10() []*Table {
 				t.AddRow(label, m.name, "FAILED", err, "", "", "")
 				continue
 			}
+			recordPerf("E10", t.ID, label+" / "+m.name, rep.Executions, rep.Attempts, wall)
 			// A budget-cut walk is marked and never used as a comparison
 			// baseline: a reduction against a truncated count would be
 			// silently wrong.

@@ -58,6 +58,7 @@ func RunE11() []*Table {
 				poolTab.AddRow(r.label, mode, "FAILED", err, "")
 				continue
 			}
+			recordPerf("E11", poolTab.ID, r.label+" / "+mode, rep.Executions, rep.Attempts, wall)
 			// Budget-cut rows are marked and excluded from the speedup
 			// ratio: the two modes may have been cut at different depths.
 			execs := fmt.Sprintf("%d", rep.Executions)
@@ -103,6 +104,7 @@ func RunE11() []*Table {
 				cacheTab.AddRow(r.label, cache, "FAILED", err, "", "")
 				continue
 			}
+			recordPerf("E11", cacheTab.ID, fmt.Sprintf("%s / cache=%v", r.label, cache), rep.Executions, rep.Attempts, wall)
 			execs := fmt.Sprintf("%d", rep.Executions)
 			if rep.Partial {
 				execs += " (budget-cut)"

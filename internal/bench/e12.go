@@ -66,6 +66,9 @@ func RunE12() []*Table {
 			bugTab.AddRow(s.name, "FAILED", "inconsistent report", "", "")
 			continue
 		}
+		// Sampled runs have no redundant attempts: every sample is one
+		// executed schedule, so the attempts column mirrors executions.
+		recordPerf("E12", bugTab.ID, s.name, rep.Executions, rep.Executions, wall)
 		first := "not found"
 		if rep.Failures > 0 {
 			// The 1-based index of the failing run rather than the raw

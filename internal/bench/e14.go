@@ -54,6 +54,7 @@ func RunE14() []*Table {
 				t.AddRow(label, mode.String(), "FAILED", err, "", "", "", "")
 				continue
 			}
+			recordPerf("E14", t.ID, label+" / "+mode.String(), rep.Executions, rep.Attempts, wall)
 			attempts := intCell(rep.Attempts, rep.Partial)
 			reduction := "—"
 			if mode == explore.PruneSleep {

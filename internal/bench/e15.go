@@ -59,6 +59,9 @@ func RunE15() []*Table {
 					t.AddRow(label, prune.String(), snaps.String(), "FAILED", err, "", "", "")
 					continue
 				}
+				recordPerf("E15", t.ID,
+					fmt.Sprintf("%s / %s / snapshots=%s", label, prune.String(), snaps.String()),
+					rep.Executions, rep.Attempts, wall)
 				t.AddRow(label, prune.String(), snaps.String(), intCell(rep.Executions, rep.Partial),
 					rep.Replays, rep.SnapshotRestores, mbCell(rep.SnapshotBytes),
 					wall.Round(100*time.Microsecond))

@@ -1,0 +1,76 @@
+package bench
+
+// Perf-trajectory capture: the engine-driving experiments (E10–E15) record
+// one PerfRow per timed engine run — executions, attempts, wall-clock and
+// the derived attempts/sec — alongside the markdown cells. composebench
+// -bench-dir writes them to BENCH_<id>.json files, committed so the
+// repository carries a throughput trajectory that CI's bench-regression
+// smoke can compare fresh measurements against (see EXPERIMENTS.md,
+// "Perf-trajectory files").
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PerfRow is one timed engine run of an experiment driver. Wall-clock and
+// the derived rate are machine-dependent; comparisons across machines (or
+// against the committed files) must allow generous tolerance — CI uses 2x.
+type PerfRow struct {
+	Experiment     string  `json:"experiment"`
+	Table          string  `json:"table"`
+	Label          string  `json:"label"`
+	Executions     int     `json:"executions"`
+	Attempts       int     `json:"attempts"`
+	WallMS         float64 `json:"wall_ms"`
+	AttemptsPerSec float64 `json:"attempts_per_sec"`
+}
+
+var (
+	perfMu   sync.Mutex
+	perfRows []PerfRow
+)
+
+// recordPerf appends one timed run to the trajectory buffer. label must be
+// unique within (experiment, table) — the regression diff keys on it.
+func recordPerf(experiment, table, label string, executions, attempts int, wall time.Duration) {
+	row := PerfRow{
+		Experiment: experiment,
+		Table:      table,
+		Label:      label,
+		Executions: executions,
+		Attempts:   attempts,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+	}
+	if s := wall.Seconds(); s > 0 {
+		row.AttemptsPerSec = float64(attempts) / s
+	}
+	perfMu.Lock()
+	perfRows = append(perfRows, row)
+	perfMu.Unlock()
+}
+
+// TakePerf drains and returns the recorded rows of one experiment, sorted
+// by (table, label) so the emitted files are deterministic up to the
+// measured numbers.
+func TakePerf(experiment string) []PerfRow {
+	perfMu.Lock()
+	defer perfMu.Unlock()
+	var out, rest []PerfRow
+	for _, r := range perfRows {
+		if r.Experiment == experiment {
+			out = append(out, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	perfRows = rest
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPerfRecordAndTake pins the trajectory buffer semantics: rows drain
+// per experiment, sorted by (table, label), with the derived rate.
+func TestPerfRecordAndTake(t *testing.T) {
+	recordPerf("EX", "EXb", "z-row", 10, 20, 2*time.Second)
+	recordPerf("EX", "EXa", "b-row", 5, 1000, 500*time.Millisecond)
+	recordPerf("EX", "EXa", "a-row", 1, 2, time.Millisecond)
+	recordPerf("EY", "EY", "other-experiment", 1, 1, time.Second)
+
+	rows := TakePerf("EX")
+	if len(rows) != 3 {
+		t.Fatalf("drained %d rows, want 3", len(rows))
+	}
+	order := []string{"a-row", "b-row", "z-row"}
+	for i, r := range rows {
+		if r.Label != order[i] {
+			t.Fatalf("row %d is %q, want %q (sorted by table, label)", i, r.Label, order[i])
+		}
+	}
+	if r := rows[1]; r.Attempts != 1000 || r.WallMS != 500 || r.AttemptsPerSec != 2000 {
+		t.Fatalf("rate derivation: %+v", r)
+	}
+	if rows[2].AttemptsPerSec != 10 {
+		t.Fatalf("rate derivation: %+v", rows[2])
+	}
+
+	// EX is drained; EY is untouched until taken.
+	if again := TakePerf("EX"); len(again) != 0 {
+		t.Fatalf("TakePerf did not drain: %d rows remain", len(again))
+	}
+	if ey := TakePerf("EY"); len(ey) != 1 || ey[0].Label != "other-experiment" {
+		t.Fatalf("other experiment's rows disturbed: %+v", ey)
+	}
+}
+
+// TestPerfZeroWall: a zero-duration run must not divide by zero.
+func TestPerfZeroWall(t *testing.T) {
+	recordPerf("EZ", "EZ", "instant", 0, 0, 0)
+	rows := TakePerf("EZ")
+	if len(rows) != 1 || rows[0].AttemptsPerSec != 0 {
+		t.Fatalf("zero-wall row: %+v", rows)
+	}
+}

@@ -37,6 +37,7 @@ func independent(a, b candidate) bool {
 // later by race analysis).
 type itemChooser struct {
 	e    *engine
+	w    int // worker index: the obs counter shard this run writes
 	item WorkItem
 	env  *memory.Env
 
@@ -92,6 +93,11 @@ func (c *itemChooser) capture(refs int32) *engineSnap {
 	}
 	mem, ok := c.env.Snapshot()
 	if !ok {
+		if c.e.obs != nil && !c.e.snapDisabled.Load() {
+			c.e.obs.Event("snapshot_fallback", map[string]any{
+				"reason": "environment declined capture; reconstruct path for the rest of the walk",
+			})
+		}
 		c.e.snapDisabled.Store(true)
 		c.snapOn = false
 		return nil
@@ -138,6 +144,10 @@ func (c *itemChooser) capture(refs int32) *engineSnap {
 	s.bytes = mem.Size() + snapOverhead(s)
 	c.e.snaps.admit(s)
 	c.e.snapBytes.Add(s.bytes)
+	if c.e.obs != nil {
+		c.e.obs.SnapshotCaptures.Inc(c.w)
+		c.e.obs.SnapshotBytes.Add(c.w, s.bytes)
+	}
 	return s
 }
 
@@ -319,7 +329,13 @@ func (c *itemChooser) Choose(step int, parked []sched.ProcState) sched.Choice {
 		// have enqueued are exactly the claimant's). Non-branching points
 		// are skipped — their chains are claimed at the next branch.
 		if fp, ok := c.env.Fingerprint(); ok {
+			if c.e.obs != nil {
+				c.e.obs.CacheLookups.Inc(c.w)
+			}
 			if !c.e.cache.claim(c.stateKey(fp)) {
+				if c.e.obs != nil {
+					c.e.obs.CacheHits.Inc(c.w)
+				}
 				c.cacheHit = true
 				c.aborted = true
 				return sched.Choice{Proc: parked[0].ID, Crash: true}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -37,8 +38,11 @@ func (inst *instance) close() {
 // check and reset calls (so harness closures may accumulate into shared
 // state across executions — the Harness contract).
 type Core struct {
-	h     Harness
-	insts []*instance
+	h Harness
+	// insts is atomically published per slot: each slot is written only by
+	// its owning worker, but the observability fold sources read all slots
+	// concurrently with the walk.
+	insts []atomic.Pointer[instance]
 	// checkMu serializes harness construction, check and reset calls, and
 	// (in the exhaustive walker) guards the merged result fields.
 	checkMu sync.Mutex
@@ -50,7 +54,7 @@ func NewCore(h Harness, workers int) *Core {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Core{h: h, insts: make([]*instance, workers)}
+	return &Core{h: h, insts: make([]atomic.Pointer[instance], workers)}
 }
 
 // newInstance constructs a harness instance (serialized with checks, so
@@ -72,18 +76,85 @@ func (c *Core) newInstance() *instance {
 // all shared state must then live inside the closure, and the construction
 // cost is paid per run).
 func (c *Core) instanceFor(w int) *instance {
-	if inst := c.insts[w]; inst != nil && inst.exec != nil {
+	if inst := c.insts[w].Load(); inst != nil && inst.exec != nil {
 		return inst
 	}
 	inst := c.newInstance()
-	c.insts[w] = inst
+	c.insts[w].Store(inst)
 	return inst
 }
 
 // Close releases every pooled executor the core constructed.
 func (c *Core) Close() {
-	for _, inst := range c.insts {
-		inst.close()
+	for i := range c.insts {
+		c.insts[i].Load().close()
+	}
+}
+
+// RegisterObs registers the core's layer-level fold-on-read sources on m:
+// the executors' scheduling census (decisions, self-grants vs handoffs,
+// crash unwinds, replay entries) and the environments' cumulative memory
+// access census by kind. The closures walk the live instances on every
+// read, so instances constructed after registration participate. The
+// returned function removes the sources; callers must invoke it before the
+// core is closed for reads to stay meaningful, though reads after Close
+// are safe (counters survive; they just stop moving).
+func (c *Core) RegisterObs(m *obs.Metrics) (remove func()) {
+	if m == nil {
+		return func() {}
+	}
+	execStat := func(name, help string, pick func(*sched.ExecStats) int64) func() {
+		return m.AddSource(name, help, false, func() int64 {
+			var t int64
+			for i := range c.insts {
+				if inst := c.insts[i].Load(); inst != nil && inst.exec != nil {
+					t += pick(inst.exec.Stats())
+				}
+			}
+			return t
+		})
+	}
+	removes := []func(){
+		execStat("sched_decisions_total", "Scheduler decisions made by pooled executors.",
+			func(s *sched.ExecStats) int64 { return s.Decisions.Load() }),
+		execStat("sched_self_grants_total", "Decisions where the baton holder granted itself (no goroutine switch).",
+			func(s *sched.ExecStats) int64 { return s.SelfGrants.Load() }),
+		execStat("sched_handoffs_total", "Decisions handing the baton to another process goroutine.",
+			func(s *sched.ExecStats) int64 { return s.Handoffs.Load() }),
+		execStat("sched_crash_unwinds_total", "Crash grants (each unwinds one process body).",
+			func(s *sched.ExecStats) int64 { return s.CrashUnwinds.Load() }),
+		execStat("sched_runs_total", "Executions entered through pooled executors.",
+			func(s *sched.ExecStats) int64 { return s.Runs.Load() }),
+		execStat("sched_replay_runs_total", "Executions entered by snapshot-restored fast-forward (RunReplay).",
+			func(s *sched.ExecStats) int64 { return s.ReplayRuns.Load() }),
+	}
+	kindNames := [6]string{"read", "write", "cas", "tas", "fetch_inc", "swap"}
+	envStat := func(name, help string, pick func(*memory.Env) int64) func() {
+		return m.AddSource(name, help, false, func() int64 {
+			var t int64
+			for i := range c.insts {
+				if inst := c.insts[i].Load(); inst != nil {
+					t += pick(inst.env)
+				}
+			}
+			return t
+		})
+	}
+	removes = append(removes,
+		envStat("mem_steps_total", "Shared-memory accesses performed (all kinds).",
+			func(e *memory.Env) int64 { s, _, _ := e.CumulativeCounts(); return s }),
+		envStat("mem_rmws_total", "Read-modify-write accesses performed.",
+			func(e *memory.Env) int64 { _, r, _ := e.CumulativeCounts(); return r }))
+	for k, kn := range kindNames {
+		k := k
+		removes = append(removes,
+			envStat("mem_accesses_"+kn+"_total", "Shared-memory accesses of kind "+kn+".",
+				func(e *memory.Env) int64 { _, _, ks := e.CumulativeCounts(); return ks[k] }))
+	}
+	return func() {
+		for _, r := range removes {
+			r()
+		}
 	}
 }
 
@@ -151,6 +222,11 @@ type SampleConfig struct {
 	// boundary and results depend on BatchSize but never on the worker
 	// count.
 	BatchSize int
+	// Metrics, when non-nil, counts completed seeded runs on the domain's
+	// sharded Samples counter. Strictly advisory: the loop never reads it,
+	// so every field the frontend folds is identical with it attached or
+	// nil.
+	Metrics *obs.Metrics
 }
 
 // SampleBatches runs seeds cfg.Seed..cfg.Seed+cfg.Samples-1 through the
@@ -189,6 +265,9 @@ func (c *Core) SampleBatches(cfg SampleConfig, strat SeedStrategy, fold func(bat
 						return
 					}
 					outs[i] = c.runSeed(c.instanceFor(w), next+int64(i), strat)
+					if cfg.Metrics != nil {
+						cfg.Metrics.Samples.Inc(w)
+					}
 				}
 			}(w)
 		}

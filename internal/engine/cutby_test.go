@@ -1,0 +1,71 @@
+package engine_test
+
+// The advisory wall-time and cut-cause Report fields: a completed walk
+// reports neither cut nor partiality; each budget knob reports its own
+// cause. CutBy is advisory (multi-worker races decide which budget fires
+// first when several are close) but single-knob single-worker runs are
+// exact.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+func buildA1(t *testing.T, n int) engine.Harness {
+	t.Helper()
+	sc, err := scenario.Lookup("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sc.Build(n, scenario.Options{})
+	return h
+}
+
+func TestCutByExecutions(t *testing.T) {
+	rep, err := engine.Run(buildA1(t, 2), engine.Config{Workers: 1, MaxExecutions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.CutBy != "executions" {
+		t.Fatalf("partial=%v cutBy=%q, want partial by executions", rep.Partial, rep.CutBy)
+	}
+	if rep.Executions > 100 {
+		t.Fatalf("budget overrun: %d executions", rep.Executions)
+	}
+}
+
+func TestCutByDepth(t *testing.T) {
+	rep, err := engine.Run(buildA1(t, 2), engine.Config{Workers: 1, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.CutBy != "depth" {
+		t.Fatalf("partial=%v cutBy=%q, want partial by depth", rep.Partial, rep.CutBy)
+	}
+}
+
+func TestCutByTime(t *testing.T) {
+	rep, err := engine.Run(buildA1(t, 2), engine.Config{Workers: 1, TimeBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.CutBy != "time" {
+		t.Fatalf("partial=%v cutBy=%q, want partial by time", rep.Partial, rep.CutBy)
+	}
+}
+
+func TestCompletedWalkNotCut(t *testing.T) {
+	rep, err := engine.Run(buildA1(t, 2), engine.Config{Workers: 1, Prune: engine.PruneSourceDPOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial || rep.CutBy != "" {
+		t.Fatalf("completed walk reports partial=%v cutBy=%q", rep.Partial, rep.CutBy)
+	}
+	if rep.WallTime <= 0 {
+		t.Fatalf("WallTime not recorded: %v", rep.WallTime)
+	}
+}

@@ -423,6 +423,9 @@ func (n *dnode) addBacktrack(e *engine, initials []Transition, pref Transition) 
 	n.explored = append(n.explored, cand)
 	prefix := append(n.prefix[:len(n.prefix):len(n.prefix)], t)
 	e.backtracks.Add(1)
+	if e.obs != nil {
+		e.obs.Backtracks.Inc(0)
+	}
 	// Restore from the deepest live snapshot along this node's chain (its
 	// own if the stride captured here); the replay zone re-executes the at
 	// most snapStride decisions between it and the branch.

@@ -81,6 +81,7 @@ import (
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -229,6 +230,15 @@ type Config struct {
 	// (0 = 64 MiB). Over budget, the shallowest held snapshot is dropped
 	// first; dropped snapshots fall back to the reconstruct path.
 	SnapshotBudget int64
+	// Metrics, when non-nil, attaches the observability layer: the walk
+	// increments the domain's sharded counters (a handful of atomic adds
+	// per execution, never per scheduler step), registers frontier and
+	// layer fold sources for its duration, and emits lifecycle events into
+	// the domain's event log. Strictly advisory: nothing the engine decides
+	// ever reads it, so every deterministic Report field — and the walk's
+	// verdict — is byte-identical with Metrics attached or nil (pinned by
+	// the obs equivalence tests).
+	Metrics *obs.Metrics
 }
 
 // Report summarizes an exhaustive walk. Fields marked advisory may vary
@@ -300,6 +310,15 @@ type Report struct {
 	// by MaxExecutions or TimeBudget (nil otherwise, and always nil in
 	// source-DPOR mode); pass it as Config.Resume to continue later.
 	Checkpoint *Checkpoint
+	// WallTime is the wall-clock duration of the Run call. Advisory by
+	// nature: never identical across runs or machines.
+	WallTime time.Duration
+	// CutBy names the budget that first cut a Partial walk: "executions"
+	// (MaxExecutions), "time" (TimeBudget) or "depth" (MaxDepth). Empty on
+	// completed walks, and on walks stopped by something other than a
+	// budget (a FailFast hit, an internal error). Advisory: with Workers >
+	// 1, which budget trips first near a boundary can be timing-dependent.
+	CutBy string
 }
 
 // Transition identifies one scheduler branch for checkpointing: granting a
@@ -394,6 +413,11 @@ type engine struct {
 	started  int // items dequeued, bounded by MaxExecutions
 	stopping bool
 	deadline time.Time
+	cutBy    string // first budget that stopped the walk ("" = none)
+
+	// obs is the attached observability domain (Config.Metrics; nil when
+	// absent). Strictly advisory: written, never read, by the walk.
+	obs *obs.Metrics
 
 	backtracks atomic.Int64 // race-driven additions (source-DPOR)
 
@@ -436,13 +460,38 @@ func Run(h Harness, cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("engine: Resume is incompatible with source-DPOR (backtracking state is not serializable); use Prune: PruneSleep or PruneNone")
 		}
 	}
+	start := time.Now()
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	e := &engine{core: NewCore(h, workers), cfg: cfg, terminal: map[memory.Fingerprint]struct{}{}}
+	e := &engine{core: NewCore(h, workers), cfg: cfg, terminal: map[memory.Fingerprint]struct{}{}, obs: cfg.Metrics}
 	defer e.core.Close()
 	e.cond = sync.NewCond(&e.mu)
+	if e.obs != nil {
+		removeFrontier := e.obs.AddSource("engine_frontier", "Unexplored frontier items queued.", true, func() int64 {
+			e.mu.Lock()
+			n := len(e.queue) + len(e.leftover)
+			e.mu.Unlock()
+			return int64(n)
+		})
+		removeInflight := e.obs.AddSource("engine_inflight", "Frontier items currently executing.", true, func() int64 {
+			e.mu.Lock()
+			n := e.inflight
+			e.mu.Unlock()
+			return int64(n)
+		})
+		removeLayers := e.core.RegisterObs(e.obs)
+		defer func() {
+			removeFrontier()
+			removeInflight()
+			removeLayers()
+		}()
+		e.obs.Event("walk_start", map[string]any{
+			"workers": workers, "prune": cfg.Prune.String(), "snapshots": cfg.Snapshots.String(),
+			"crashes": cfg.Crashes, "resume": cfg.Resume != nil,
+		})
+	}
 	if cfg.TimeBudget > 0 {
 		e.deadline = time.Now().Add(cfg.TimeBudget)
 	}
@@ -457,6 +506,19 @@ func Run(h Harness, cfg Config) (Report, error) {
 	if cfg.Snapshots == SnapshotOn ||
 		(cfg.Snapshots == SnapshotAuto && cfg.Prune != PruneSourceDPOR) {
 		e.snaps = newSnapLedger(cfg.SnapshotBudget)
+		if e.obs != nil {
+			e.snaps.onEvict = func(count int64, depth int, bytes int64) {
+				e.obs.SnapshotEvictions.Inc(0)
+				// Evictions can churn by the hundred thousand on deep walks;
+				// log only power-of-two milestones to keep the event stream
+				// bounded.
+				if count&(count-1) == 0 {
+					e.obs.Event("snapshot_evicted", map[string]any{
+						"count": count, "depth": depth, "bytes": bytes,
+					})
+				}
+			}
+		}
 	}
 	if cfg.Resume != nil {
 		e.queue = append(e.queue, cfg.Resume.Items...)
@@ -475,7 +537,10 @@ func Run(h Harness, cfg Config) (Report, error) {
 				if !ok {
 					return
 				}
-				e.runItem(e.core.instanceFor(w), item, scratch)
+				if e.obs != nil {
+					e.obs.Attempts.Inc(w)
+				}
+				e.runItem(w, e.core.instanceFor(w), item, scratch)
 				e.done()
 			}
 		}(w)
@@ -493,6 +558,18 @@ func Run(h Harness, cfg Config) (Report, error) {
 		SnapshotBytes:    e.snapBytes.Load(),
 		MaxDepth:         e.maxDepth,
 		Partial:          len(e.leftover) > 0 || e.truncated,
+		WallTime:         time.Since(start),
+	}
+	if rep.Partial {
+		rep.CutBy = e.cutBy
+	}
+	if e.obs != nil {
+		e.obs.Event("walk_end", map[string]any{
+			"executions": rep.Executions, "attempts": rep.Attempts,
+			"partial": rep.Partial, "cut_by": rep.CutBy,
+			"failed":  e.best != nil,
+			"wall_ms": float64(rep.WallTime.Microseconds()) / 1000,
+		})
 	}
 	if e.fpOK {
 		rep.FingerprintOK = true
@@ -529,10 +606,12 @@ func (e *engine) next() (WorkItem, bool) {
 		}
 		if len(e.queue) > 0 {
 			if e.cfg.MaxExecutions > 0 && e.started >= e.cfg.MaxExecutions {
+				e.cutLocked("executions")
 				e.stopLocked()
 				return WorkItem{}, false
 			}
 			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+				e.cutLocked("time")
 				e.stopLocked()
 				return WorkItem{}, false
 			}
@@ -546,6 +625,19 @@ func (e *engine) next() (WorkItem, bool) {
 			return WorkItem{}, false
 		}
 		e.cond.Wait()
+	}
+}
+
+// cutLocked records the first budget that cut the walk (later cuts keep
+// the original cause) and emits the budget_cut event. Callers must hold
+// e.mu.
+func (e *engine) cutLocked(by string) {
+	if e.cutBy != "" {
+		return
+	}
+	e.cutBy = by
+	if e.obs != nil {
+		e.obs.Event("budget_cut", map[string]any{"by": by})
 	}
 }
 
@@ -604,9 +696,9 @@ func (e *engine) snapEnabled(inst *instance) bool {
 // re-executing it; the chooser is pre-seeded with the captured path so the
 // run is indistinguishable — in every deterministic respect — from a
 // reconstructed one.
-func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
+func (e *engine) runItem(w int, inst *instance, item WorkItem, scratch *dporScratch) {
 	snapOn := e.snapEnabled(inst)
-	ch := &itemChooser{e: e, item: item, env: inst.env, chain: item.chain, scratch: scratch, steps: make([]int, inst.env.N())}
+	ch := &itemChooser{e: e, w: w, item: item, env: inst.env, chain: item.chain, scratch: scratch, steps: make([]int, inst.env.N())}
 	if snapOn {
 		ch.snapOn = true
 		ch.inst = inst
@@ -706,10 +798,19 @@ func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
 		return
 	}
 	e.pruned += ch.pruned
+	if e.obs != nil && ch.pruned > 0 {
+		e.obs.Pruned.Add(w, int64(ch.pruned))
+	}
 	if restored {
 		e.snapRests++
+		if e.obs != nil {
+			e.obs.SnapshotRestores.Inc(w)
+		}
 	} else if len(item.Prefix) > 0 {
 		e.replays++
+		if e.obs != nil {
+			e.obs.Replays.Inc(w)
+		}
 	}
 	if ch.aborted {
 		if ch.cacheHit {
@@ -723,10 +824,17 @@ func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
 			// reached through sibling branches. The run was abandoned, not
 			// checked.
 			e.pruned++
+			if e.obs != nil {
+				e.obs.Pruned.Inc(w)
+			}
 		}
 		return
 	}
 	e.executions++
+	if e.obs != nil {
+		e.obs.Executions.Inc(w)
+		e.obs.Depths.Add(w, len(res.Schedule))
+	}
 	if d := len(res.Schedule); d > e.maxDepth {
 		e.maxDepth = d
 	}
@@ -735,9 +843,17 @@ func (e *engine) runItem(inst *instance, item WorkItem, scratch *dporScratch) {
 		e.terminal[fp] = struct{}{}
 	}
 	if err := inst.check(res); err != nil {
+		if e.obs != nil {
+			e.obs.Failures.Inc(w)
+		}
 		f := &failure{path: ch.path, schedule: res.Schedule, err: err}
 		if e.best == nil || lexLess(f.path, e.best.path) {
 			e.best = f
+			if e.obs != nil {
+				e.obs.Event("failure_found", map[string]any{
+					"depth": len(res.Schedule), "error": err.Error(),
+				})
+			}
 		}
 		if e.cfg.FailFast {
 			e.mu.Lock()
@@ -751,6 +867,9 @@ func (e *engine) noteTruncated() {
 	e.core.checkMu.Lock()
 	e.truncated = true
 	e.core.checkMu.Unlock()
+	e.mu.Lock()
+	e.cutLocked("depth")
+	e.mu.Unlock()
 }
 
 // NoReset strips a harness's reset path, forcing the engine onto the

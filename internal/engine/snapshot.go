@@ -164,6 +164,12 @@ type snapLedger struct {
 	budget int64
 	used   int64
 	held   []*engineSnap
+
+	// evictions counts budget evictions; onEvict, when set, observes each
+	// one (called under mu — it must not re-enter the ledger). Both are
+	// obs-only: nothing the ledger decides reads them.
+	evictions int64
+	onEvict   func(count int64, depth int, bytes int64)
 }
 
 // defaultSnapshotBudget is the byte budget when Config.SnapshotBudget is 0.
@@ -240,6 +246,10 @@ func (l *snapLedger) admit(s *engineSnap) {
 		ev := l.heapRemove(0)
 		l.used -= ev.bytes
 		ev.drop()
+		l.evictions++
+		if l.onEvict != nil {
+			l.onEvict(l.evictions, ev.depth, ev.bytes)
+		}
 		if ev == s {
 			return
 		}

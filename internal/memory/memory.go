@@ -194,6 +194,14 @@ type Env struct {
 	unsnapshottable bool
 	// stampClock orders EventStamp calls of ungated processes.
 	stampClock atomic.Int64
+
+	// Cumulative access census across executions: per-process counters are
+	// zeroed by every Reset, so their totals are folded in here first (one
+	// batch of atomic adds per execution, nothing on the per-access path).
+	// The observability layer reads these; nothing else consults them.
+	cumSteps atomic.Int64
+	cumRMWs  atomic.Int64
+	cumKinds [6]atomic.Int64
 }
 
 // NewEnv creates an environment with n processes, ids 0..n-1.
@@ -241,6 +249,24 @@ func (e *Env) ResetCounters() {
 	for _, p := range e.procs {
 		p.ResetCounters()
 	}
+}
+
+// CumulativeCounts returns the access census accumulated over every
+// execution on this environment: total steps, total RMWs, and totals by
+// OpKind. Per-process counters fold into the cumulative totals when they
+// are reset, so the sums here cover both completed (reset) executions and
+// the live counters of the current one. Advisory — the observability layer
+// is the only consumer.
+func (e *Env) CumulativeCounts() (steps, rmws int64, kinds [6]int64) {
+	steps = e.cumSteps.Load() + e.TotalSteps()
+	rmws = e.cumRMWs.Load() + e.TotalRMWs()
+	for i := range kinds {
+		kinds[i] = e.cumKinds[i].Load()
+		for _, p := range e.procs {
+			kinds[i] += p.kinds[i].Load()
+		}
+	}
+	return steps, rmws, kinds
 }
 
 // SetGate installs the same gate on every process (nil removes gates).
@@ -358,8 +384,19 @@ func (p *Proc) KindCount(k OpKind) int64 {
 }
 
 // ResetCounters zeroes the process's step, RMW and per-kind counters,
-// along with the schedule position and stamp sequence.
+// along with the schedule position and stamp sequence. The zeroed totals
+// fold into the environment's cumulative census first (see
+// Env.CumulativeCounts), so resetting never loses accounting.
 func (p *Proc) ResetCounters() {
+	if e := p.env; e != nil {
+		e.cumSteps.Add(p.steps.Load())
+		e.cumRMWs.Add(p.rmws.Load())
+		for i := range p.kinds {
+			if v := p.kinds[i].Load(); v != 0 {
+				e.cumKinds[i].Add(v)
+			}
+		}
+	}
 	p.steps.Store(0)
 	p.rmws.Store(0)
 	for i := range p.kinds {

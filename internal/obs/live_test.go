@@ -1,0 +1,120 @@
+package obs_test
+
+// Scraping a live walk: the -debug-addr endpoint must serve /metrics and
+// /statusz while the engine is mid-run, including the fold-on-read layer
+// sources (scheduler decisions, memory accesses) that deregister when the
+// run ends. The walk is held mid-run deterministically: the harness check
+// blocks on its first call until the scrape finishes, so the test never
+// races the engine to completion.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+func TestScrapeLiveWalk(t *testing.T) {
+	sc, err := scenario.Lookup("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := sc.Build(2, scenario.Options{})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	gated := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env, bodies, check, cleanup := inner()
+		wrapped := func(res *sched.Result) error {
+			once.Do(func() {
+				close(started)
+				<-release
+			})
+			return check(res)
+		}
+		return env, bodies, wrapped, cleanup
+	}
+
+	m := obs.New(2)
+	m.SetInfo("scenario", "a1")
+	srv, err := obs.Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := engine.Run(gated, engine.Config{Prune: engine.PruneNone, Workers: 2, Metrics: m})
+		done <- err
+	}()
+	<-started
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"repro_engine_attempts_total",
+		"repro_sched_decisions_total",
+		"repro_mem_steps_total",
+		"repro_engine_frontier",
+		`repro_run_info{scenario="a1"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("live /metrics missing %q", want)
+		}
+	}
+
+	var s obs.Snapshot
+	if err := json.Unmarshal([]byte(get("/statusz")), &s); err != nil {
+		t.Fatalf("live /statusz is not JSON: %v", err)
+	}
+	if s.Counters["engine_attempts_total"] < 1 {
+		t.Errorf("live /statusz shows no attempts: %+v", s.Counters)
+	}
+	if s.Counters["sched_decisions_total"] < 1 {
+		t.Errorf("live /statusz shows no scheduler decisions: %+v", s.Counters)
+	}
+	if s.Counters["mem_steps_total"] < 1 {
+		t.Errorf("live /statusz shows no memory steps: %+v", s.Counters)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// After the run the engine deregisters its fold-on-read sources; the
+	// endpoint keeps serving the domain-owned counters.
+	after := get("/metrics")
+	if strings.Contains(after, "repro_engine_frontier") {
+		t.Error("frontier gauge survived the run that registered it")
+	}
+	if !strings.Contains(after, "repro_engine_attempts_total") {
+		t.Error("engine counters vanished with the run")
+	}
+}

@@ -1,0 +1,367 @@
+package obs
+
+// Unit tests of the metrics core and its renderings: shard folding,
+// nil-safety (every hot-path handle must be usable unconditionally),
+// fold-on-read sources, the Prometheus and /statusz renderings, the JSONL
+// event log, the progress-line format, and the live HTTP endpoint. The
+// cross-layer equivalence tests live in equivalence_test.go.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardFold(t *testing.T) {
+	m := New(4)
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", m.Shards())
+	}
+	// Writes from every worker index — including ones beyond the shard
+	// count, which must wrap via the mask instead of panicking.
+	for w := 0; w < 9; w++ {
+		m.Attempts.Inc(w)
+		m.Executions.Add(w, 10)
+	}
+	if got := m.Attempts.Value(); got != 9 {
+		t.Fatalf("Attempts folded to %d, want 9", got)
+	}
+	if got := m.Executions.Value(); got != 90 {
+		t.Fatalf("Executions folded to %d, want 90", got)
+	}
+}
+
+func TestCounterConcurrentFold(t *testing.T) {
+	m := New(8)
+	var wg sync.WaitGroup
+	const perWorker = 1000
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Attempts.Inc(w)
+				m.Depths.Add(w, i%40)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Attempts.Value(); got != 8*perWorker {
+		t.Fatalf("concurrent fold lost increments: %d, want %d", got, 8*perWorker)
+	}
+	h, _ := m.Depths.fold()
+	if h.N != 8*perWorker {
+		t.Fatalf("hist fold lost samples: %d, want %d", h.N, 8*perWorker)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// A nil Counter/Hist ignores writes and reads zero; a nil Metrics
+	// ignores everything. The engine's call sites rely on this.
+	var c *Counter
+	c.Inc(3)
+	c.Add(1, 5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter read nonzero")
+	}
+	var h *Hist
+	h.Add(0, 7)
+	var m *Metrics
+	m.SetInfo("k", "v")
+	m.Event("ignored", nil)
+	m.SetEvents(nil)
+	remove := m.AddSource("x", "", false, func() int64 { return 1 })
+	remove()
+}
+
+func TestSnapshotSources(t *testing.T) {
+	m := New(1)
+	m.Attempts.Add(0, 3)
+	// Same-name sources sum (a sweep's concurrent engines all register
+	// theirs); removal unregisters exactly the removed one.
+	r1 := m.AddSource("sched_decisions_total", "decisions", false, func() int64 { return 10 })
+	r2 := m.AddSource("sched_decisions_total", "decisions", false, func() int64 { return 32 })
+	m.AddSource("engine_frontier", "frontier", true, func() int64 { return 7 })
+	s := m.Snapshot()
+	if s.Counters["sched_decisions_total"] != 42 {
+		t.Fatalf("same-name sources did not sum: %d", s.Counters["sched_decisions_total"])
+	}
+	if s.Gauges["engine_frontier"] != 7 {
+		t.Fatalf("gauge source lost: %v", s.Gauges)
+	}
+	if s.Counters["engine_attempts_total"] != 3 {
+		t.Fatalf("engine counter lost: %v", s.Counters)
+	}
+	r2()
+	if v := m.Snapshot().Counters["sched_decisions_total"]; v != 10 {
+		t.Fatalf("removal removed the wrong source: %d", v)
+	}
+	r1()
+	if _, ok := m.Snapshot().Counters["sched_decisions_total"]; ok {
+		t.Fatal("removed source still rendered")
+	}
+}
+
+func TestPrometheusRender(t *testing.T) {
+	m := New(2)
+	m.Attempts.Add(0, 100)
+	m.Executions.Add(1, 99)
+	m.Depths.Add(0, 5)
+	m.Depths.Add(0, 17)
+	m.SetInfo("scenario", "a1")
+	m.SetInfo("mode", "exhaustive")
+	m.AddSource("engine_frontier", "Frontier length.", true, func() int64 { return 4 })
+	out := m.Snapshot().Prometheus()
+
+	for _, want := range []string{
+		"# TYPE repro_engine_attempts_total counter",
+		"repro_engine_attempts_total 100",
+		"repro_engine_executions_total 99",
+		"# TYPE repro_engine_frontier gauge",
+		"repro_engine_frontier 4",
+		"# TYPE repro_engine_depth histogram",
+		"repro_engine_depth_sum 22",
+		"repro_engine_depth_count 2",
+		"# TYPE repro_uptime_seconds gauge",
+		`repro_run_info{mode="exhaustive",scenario="a1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets are cumulative: the le="8" bucket holds the depth-5
+	// sample, le="24" both.
+	if !strings.Contains(out, `repro_engine_depth_bucket{le="8"} 1`) ||
+		!strings.Contains(out, `repro_engine_depth_bucket{le="24"} 2`) ||
+		!strings.Contains(out, `repro_engine_depth_bucket{le="+Inf"} 2`) {
+		t.Fatalf("histogram buckets not cumulative:\n%s", out)
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	m := New(2)
+	m.Failures.Inc(0)
+	m.SetInfo("scenario", "composed")
+	data, err := m.Snapshot().StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("statusz JSON does not parse: %v\n%s", err, data)
+	}
+	if back.Counters["engine_failures_total"] != 1 || back.Info["scenario"] != "composed" {
+		t.Fatalf("statusz round trip lost fields: %+v", back)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit("run_start", 0, map[string]any{"argv": []string{"-n", "2"}})
+	l.Emit("walk_end", 9662, map[string]any{"executions": 9662})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var e1, e2 Event
+	if err := json.Unmarshal([]byte(lines[0]), &e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e2); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 1 || e1.Type != "run_start" || e1.Stamp != 0 {
+		t.Fatalf("first event: %+v", e1)
+	}
+	if e2.Seq != 2 || e2.Type != "walk_end" || e2.Stamp != 9662 {
+		t.Fatalf("second event: %+v", e2)
+	}
+	if e2.Fields["executions"] != float64(9662) {
+		t.Fatalf("fields lost: %+v", e2.Fields)
+	}
+	// Emissions after Close are dropped, not resurrected into a closed
+	// writer.
+	l.Emit("late", 0, nil)
+}
+
+func TestEventStampIsAttempts(t *testing.T) {
+	var buf bytes.Buffer
+	m := New(1)
+	l := NewEventLog(&buf)
+	m.SetEvents(l)
+	m.Attempts.Add(0, 123)
+	m.Event("budget_cut", map[string]any{"by": "executions"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stamp != 123 {
+		t.Fatalf("event stamp = %d, want the attempts count 123", e.Stamp)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	m := New(1)
+	m.Attempts.Add(0, 500)
+	m.Executions.Add(0, 499)
+	m.Depths.Add(0, 18)
+	m.AddSource("engine_frontier", "", true, func() int64 { return 8 })
+
+	p := &Progress{cfg: ProgressConfig{Label: "a1", Metrics: m, EstTotal: 1000}}
+	line := p.line(m.Snapshot(), 2*time.Second, 500, 250)
+	want := "a1: 2s attempts=500 (250/s) execs=499 frontier=8 maxdepth=18 eta~2s (est 1e+03)"
+	if line != want {
+		t.Fatalf("progress line:\n got %q\nwant %q", line, want)
+	}
+
+	// Upper-bound estimates say so, and stop claiming anything once the
+	// walk passes them.
+	p = &Progress{cfg: ProgressConfig{Label: "a1", Metrics: m, EstTotal: 1000, EstUpper: true}}
+	line = p.line(m.Snapshot(), 2*time.Second, 500, 250)
+	if !strings.Contains(line, "eta<=2s") || !strings.Contains(line, "upper bound under pruning") {
+		t.Fatalf("upper-bound eta missing: %q", line)
+	}
+	if _, ok := p.eta(2000, 250); ok {
+		t.Fatal("upper-bound estimate past total still produced an eta")
+	}
+
+	// No estimate, no eta clause.
+	p = &Progress{cfg: ProgressConfig{Label: "x", Metrics: m}}
+	if line := p.line(m.Snapshot(), time.Second, 500, 250); strings.Contains(line, "eta") {
+		t.Fatalf("eta rendered without an estimate: %q", line)
+	}
+}
+
+func TestProgressSampledLine(t *testing.T) {
+	// On the sampled path attempts stay zero and samples drive the line.
+	m := New(1)
+	m.Samples.Add(0, 1500)
+	p := &Progress{cfg: ProgressConfig{Label: "hb", Metrics: m, EstTotal: 3000}}
+	line := p.line(m.Snapshot(), 3*time.Second, 0, 0)
+	if !strings.Contains(line, "attempts=1500 (500/s)") || !strings.Contains(line, "eta~3s") {
+		t.Fatalf("sampled progress line: %q", line)
+	}
+}
+
+func TestProgressReporterEmits(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	m := New(1)
+	m.Attempts.Add(0, 1)
+	p := StartProgress(ProgressConfig{
+		Interval: 5 * time.Millisecond,
+		Out:      lockedWriter{&mu, &buf},
+		Metrics:  m,
+		Label:    "live",
+	})
+	if p == nil {
+		t.Fatal("StartProgress returned nil for a complete config")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		s := buf.String()
+		mu.Unlock()
+		if strings.Contains(s, "live: ") && strings.Contains(s, "attempts=1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress line within 2s: %q", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	// Stop on nil and on an incomplete config must be no-ops.
+	StartProgress(ProgressConfig{}).Stop()
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	m := New(2)
+	m.Attempts.Add(0, 77)
+	m.SetInfo("scenario", "a1")
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "repro_engine_attempts_total 77") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	code, body = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz: %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if s.Counters["engine_attempts_total"] != 77 || s.Info["scenario"] != "a1" {
+		t.Fatalf("/statusz content: %+v", s)
+	}
+	code, body = get("/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d\n%s", code, body)
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path served %d, want 404", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof not mounted: %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second server on the same metrics must bind a fresh port cleanly.
+	srv2, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+}
+
+// TestBadAddrFailsEagerly pins the bind-at-startup contract -debug-addr
+// relies on for early failure.
+func TestBadAddrFailsEagerly(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", New(1)); err == nil {
+		t.Fatal("nonsense address bound")
+	}
+}

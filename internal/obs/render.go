@@ -1,0 +1,78 @@
+package obs
+
+// Rendering of a Snapshot: Prometheus text exposition for /metrics and
+// indented JSON for /statusz. Both are pure functions of the snapshot, so
+// the scrape tests can assert on exact structure.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// metricPrefix namespaces every exported metric.
+const metricPrefix = "repro_"
+
+// Prometheus renders the snapshot in the Prometheus text exposition format:
+// every counter and gauge with HELP/TYPE headers, the depth histogram with
+// cumulative le-buckets, uptime, and a run-info metric carrying the info
+// labels.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	for _, name := range s.counterOrder {
+		writeScalar(&b, name, s.counterHelp[name], "counter", s.Counters[name])
+	}
+	for _, name := range s.gaugeOrder {
+		writeScalar(&b, name, s.gaugeHelp[name], "gauge", s.Gauges[name])
+	}
+
+	h := s.Depths
+	hn := metricPrefix + "engine_depth"
+	fmt.Fprintf(&b, "# HELP %s Schedule depth of completed executions.\n", hn)
+	fmt.Fprintf(&b, "# TYPE %s histogram\n", hn)
+	cum := 0
+	for i, c := range h.Counts {
+		cum += c
+		fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", hn, (i+1)*h.Width, cum)
+	}
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", hn, h.N)
+	fmt.Fprintf(&b, "%s_sum %d\n", hn, h.Sum)
+	fmt.Fprintf(&b, "%s_count %d\n", hn, h.N)
+
+	un := metricPrefix + "uptime_seconds"
+	fmt.Fprintf(&b, "# HELP %s Seconds since the metrics domain was created.\n", un)
+	fmt.Fprintf(&b, "# TYPE %s gauge\n", un)
+	fmt.Fprintf(&b, "%s %g\n", un, s.UptimeSec)
+
+	if len(s.Info) > 0 {
+		in := metricPrefix + "run_info"
+		keys := make([]string, 0, len(s.Info))
+		for k := range s.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		labels := make([]string, 0, len(keys))
+		for _, k := range keys {
+			labels = append(labels, fmt.Sprintf("%s=%q", k, s.Info[k]))
+		}
+		fmt.Fprintf(&b, "# HELP %s Run configuration labels.\n", in)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", in)
+		fmt.Fprintf(&b, "%s{%s} 1\n", in, strings.Join(labels, ","))
+	}
+	return b.String()
+}
+
+func writeScalar(b *strings.Builder, name, help, typ string, v int64) {
+	full := metricPrefix + name
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", full, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", full, typ)
+	fmt.Fprintf(b, "%s %d\n", full, v)
+}
+
+// StatusJSON renders the snapshot as the indented /statusz JSON object.
+func (s Snapshot) StatusJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", " ")
+}

@@ -55,9 +55,11 @@ package randexp
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -138,6 +140,13 @@ type Config struct {
 	// range. The returned CheckError still reports the lex-least failing
 	// seed.
 	KeepGoing bool
+	// Metrics, when non-nil, attaches the observability layer: completed
+	// seeded runs tick the domain's sharded Samples counter, the layer fold
+	// sources (scheduler and memory census) are registered for the run's
+	// duration, and batch lifecycle events land in the domain's event log.
+	// Strictly advisory: nothing the sampler decides reads it, so every
+	// Report field is identical with Metrics attached or nil.
+	Metrics *obs.Metrics
 }
 
 // Report summarizes a sampling run. All fields are independent of
@@ -177,6 +186,9 @@ type Report struct {
 	// total number of interleavings; 0 for other samplers and under crash
 	// injection (which invalidates the estimator).
 	TreeSizeEstimate float64
+	// WallTime is the wall-clock duration of the Run call. Advisory by
+	// nature: never identical across runs or machines.
+	WallTime time.Duration
 }
 
 // CheckError is the unified engine failure type: a check failure carrying
@@ -241,8 +253,10 @@ func (r *runner) strategyFor(seed int64, n int) (sched.Strategy, func(out *engin
 // returned as a *CheckError carrying the lex-least failing seed; by the
 // batch discipline that seed (and every other Report field) is identical
 // for every Config.Workers value.
-func Run(h Harness, cfg Config) (Report, error) {
-	rep := Report{DepthHist: stats.NewHist(8)}
+func Run(h Harness, cfg Config) (rep Report, err error) {
+	start := time.Now()
+	rep = Report{DepthHist: stats.NewHist(8)}
+	defer func() { rep.WallTime = time.Since(start) }()
 	if cfg.Samples <= 0 {
 		return rep, nil
 	}
@@ -259,6 +273,14 @@ func Run(h Harness, cfg Config) (Report, error) {
 
 	core := engine.NewCore(h, cfg.Workers)
 	defer core.Close()
+	if cfg.Metrics != nil {
+		remove := core.RegisterObs(cfg.Metrics)
+		defer remove()
+		cfg.Metrics.Event("sample_start", map[string]any{
+			"sampler": string(cfg.Sampler), "samples": cfg.Samples,
+			"seed": cfg.Seed, "batch": batch, "workers": cfg.Workers,
+		})
+	}
 	r := &runner{cfg: cfg}
 	if cfg.Sampler == SamplerPCT {
 		r.pctSteps = cfg.PCTSteps
@@ -276,7 +298,7 @@ func Run(h Harness, cfg Config) (Report, error) {
 	weightSum, weightRuns := 0.0, 0
 	staleBatches := 0
 
-	scfg := engine.SampleConfig{Samples: cfg.Samples, Seed: cfg.Seed, BatchSize: batch}
+	scfg := engine.SampleConfig{Samples: cfg.Samples, Seed: cfg.Seed, BatchSize: batch, Metrics: cfg.Metrics}
 	core.SampleBatches(scfg, r.strategyFor, func(outs []engine.SeedOutcome) bool {
 		// Merge in seed order: coverage, depth accounting, failures.
 		newCov := 0
@@ -306,6 +328,11 @@ func Run(h Harness, cfg Config) (Report, error) {
 				rep.Failures++
 				if firstFail == nil {
 					firstFail = o
+					if cfg.Metrics != nil {
+						cfg.Metrics.Event("failure_found", map[string]any{
+							"seed": o.Seed, "depth": o.Depth, "error": o.Err.Error(),
+						})
+					}
 				}
 			}
 		}
@@ -332,6 +359,14 @@ func Run(h Harness, cfg Config) (Report, error) {
 	rep.DistinctShapes = len(shapes)
 	if cfg.Sampler == SamplerWalk && weightRuns > 0 {
 		rep.TreeSizeEstimate = weightSum / float64(weightRuns)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Event("sample_end", map[string]any{
+			"executions": rep.Executions, "failures": rep.Failures,
+			"distinct_states": rep.DistinctStates, "distinct_shapes": rep.DistinctShapes,
+			"saturated": rep.Saturated,
+			"wall_ms":   float64(time.Since(start).Microseconds()) / 1000,
+		})
 	}
 	if firstFail != nil {
 		rep.FailSeed = firstFail.Seed

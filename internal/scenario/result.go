@@ -58,6 +58,12 @@ type RunResult struct {
 	MaxDepth         int   `json:"max_depth"`
 	DistinctStates   int   `json:"distinct_states,omitempty"`
 	DistinctShapes   int   `json:"distinct_shapes,omitempty"`
+	// WallMS is the run's wall-clock in milliseconds and CutBy the budget
+	// that cut a partial run ("executions" | "time" | "depth"). Advisory:
+	// consumers comparing results across runs or worker counts must ignore
+	// both (the equivalence tests normalize them away).
+	WallMS float64 `json:"wall_ms,omitempty"`
+	CutBy  string  `json:"cut_by,omitempty"`
 	// Verdict is "ok", "fail" (a check failure, detailed in Failure) or
 	// "error" (an engine error: nondeterministic harness, bad config).
 	Verdict string      `json:"verdict"`
@@ -103,6 +109,8 @@ func ExhaustiveResult(name string, n int, oracle Oracle, prune explore.PruneMode
 		SnapshotBytes:    rep.SnapshotBytes,
 		MaxDepth:         rep.MaxDepth,
 		DistinctStates:   rep.DistinctStates,
+		WallMS:           float64(rep.WallTime.Microseconds()) / 1000,
+		CutBy:            rep.CutBy,
 	}
 	r.failureOf(err)
 	return r
@@ -120,6 +128,7 @@ func SampledResult(name string, n int, oracle Oracle, sampler string, rep randex
 		MaxDepth:       rep.MaxDepth,
 		DistinctStates: rep.DistinctStates,
 		DistinctShapes: rep.DistinctShapes,
+		WallMS:         float64(rep.WallTime.Microseconds()) / 1000,
 	}
 	r.failureOf(err)
 	return r

@@ -93,3 +93,46 @@ func TestRunResultJSONRoundTrip(t *testing.T) {
 	}
 	roundTrip(t, r)
 }
+
+// TestRunResultTimingFields pins the advisory wall_ms/cut_by columns: a
+// completed run carries a positive wall-clock and no cut cause, a
+// budget-cut run names its budget, and both fields survive the JSON round
+// trip (they are part of the object, just excluded from cross-run
+// comparisons).
+func TestRunResultTimingFields(t *testing.T) {
+	sc, err := Lookup("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, oracle := sc.Build(2, Options{})
+	rep, runErr := explore.Run(h, explore.Config{Prune: explore.PruneSourceDPOR, Workers: 1})
+	r := ExhaustiveResult("a1", 2, oracle, explore.PruneSourceDPOR, explore.SnapshotAuto, "exhaustive", rep, runErr)
+	if r.WallMS <= 0 {
+		t.Fatalf("completed run reports wall_ms=%v", r.WallMS)
+	}
+	if r.CutBy != "" {
+		t.Fatalf("completed run reports cut_by=%q", r.CutBy)
+	}
+
+	h, oracle = sc.Build(2, Options{})
+	rep, runErr = explore.Run(h, explore.Config{Workers: 1, MaxExecutions: 50})
+	r = ExhaustiveResult("a1", 2, oracle, explore.PruneNone, explore.SnapshotAuto, "exhaustive-partial", rep, runErr)
+	if r.CutBy != "executions" {
+		t.Fatalf("budget-cut run reports cut_by=%q, want executions", r.CutBy)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cut_by":"executions"`) || !strings.Contains(string(data), `"wall_ms":`) {
+		t.Fatalf("timing fields lost in JSON: %s", data)
+	}
+
+	// Sampled results carry wall-clock too; sampling has no cut cause.
+	h, oracle = sc.Build(5, Options{})
+	srep, sErr := randexp.Run(h, randexp.Config{Samples: 50, Seed: 1, Workers: 1})
+	sr := SampledResult("a1", 5, oracle, "random", srep, sErr)
+	if sr.WallMS <= 0 || sr.CutBy != "" {
+		t.Fatalf("sampled result timing fields: wall_ms=%v cut_by=%q", sr.WallMS, sr.CutBy)
+	}
+}

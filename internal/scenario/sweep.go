@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/randexp"
 )
 
@@ -46,6 +47,12 @@ type SweepConfig struct {
 	// row: restoration preserves every deterministic field, and rows carry
 	// no advisory counters.
 	Snapshots explore.SnapshotMode
+	// Metrics, when non-nil, attaches the observability layer to every
+	// scenario's engine run and emits one scenario_done event per row.
+	// Strictly advisory: rows are byte-identical with Metrics attached or
+	// nil (pinned by the obs equivalence tests). Concurrent engines fold
+	// into the same domain — same-name layer sources sum on read.
+	Metrics *obs.Metrics
 }
 
 // Row is one scenario's deterministic sweep result. It carries no
@@ -86,6 +93,7 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 			Workers:       1,
 			Prune:         explore.PruneSourceDPOR,
 			Snapshots:     cfg.Snapshots,
+			Metrics:       cfg.Metrics,
 		})
 		row.Mode = "exhaustive"
 		if rep.Partial {
@@ -93,6 +101,7 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 		}
 		row.Executions, row.Pruned, row.MaxDepth = rep.Executions, rep.Pruned, rep.MaxDepth
 		row.Outcome = outcomeText(err, sc.Params.ExpectFail, !rep.Partial)
+		noteRow(cfg.Metrics, row)
 		return row
 	}
 
@@ -101,6 +110,7 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 		Samples: samples,
 		Seed:    cfg.Seed,
 		Workers: 1,
+		Metrics: cfg.Metrics,
 	}
 	if opts.Crashes {
 		rcfg.CrashProb = explore.SampleCrashProb
@@ -111,7 +121,19 @@ func RunOne(sc Scenario, cfg SweepConfig) Row {
 	// A sample (like a budget-cut walk) is never exhaustive, so an
 	// ExpectFail scenario that survives it proves nothing either way.
 	row.Outcome = outcomeText(err, sc.Params.ExpectFail, false)
+	noteRow(cfg.Metrics, row)
 	return row
+}
+
+// noteRow emits the per-scenario sweep lifecycle event.
+func noteRow(m *obs.Metrics, row Row) {
+	if m == nil {
+		return
+	}
+	m.Event("scenario_done", map[string]any{
+		"scenario": row.Name, "n": row.N, "mode": row.Mode,
+		"executions": row.Executions, "outcome": row.Outcome,
+	})
 }
 
 // outcomeText folds a run result into the deterministic outcome column.

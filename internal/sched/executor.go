@@ -54,6 +54,28 @@ type Executor struct {
 	isParked  []bool
 	states    []ProcState
 	lastDepth int // previous run's decision count, to presize Result slices
+
+	stats ExecStats
+}
+
+// ExecStats is the executor's lifetime scheduling census: cumulative across
+// every run the executor performed, monotone, and purely advisory — the
+// observability layer folds it on read; nothing consults it on a decision
+// path. All updates happen while holding the baton, so plain atomics
+// suffice for cross-goroutine reads.
+type ExecStats struct {
+	// Runs counts Run/RunCapture/RunReplay calls; ReplayRuns the RunReplay
+	// subset (snapshot-restored re-entries).
+	Runs       atomic.Int64
+	ReplayRuns atomic.Int64
+	// Decisions counts scheduler decisions (== granted steps + crashes).
+	Decisions atomic.Int64
+	// SelfGrants counts decisions where the baton holder granted itself —
+	// the zero-goroutine-switch fast path; Handoffs counts the rest.
+	SelfGrants atomic.Int64
+	Handoffs   atomic.Int64
+	// CrashUnwinds counts crash grants (each unwinds one process body).
+	CrashUnwinds atomic.Int64
 }
 
 // NewExecutor creates a pooled executor for the environment and bodies.
@@ -127,7 +149,7 @@ func (x *Executor) Enter(p *memory.Proc, a memory.Access) {
 	x.parkedAcc[i] = a
 	x.isParked[i] = true
 	if x.executing.Add(-1) == 0 {
-		x.decide()
+		x.decide(i)
 	}
 	if !<-x.grants[i] {
 		panic(crashSignal{proc: i})
@@ -138,14 +160,15 @@ func (x *Executor) Enter(p *memory.Proc, a memory.Access) {
 // execution, and the baton falls to it if nobody else is executing.
 func (x *Executor) retire() {
 	if x.executing.Add(-1) == 0 {
-		x.decide()
+		x.decide(-1)
 	}
 }
 
 // decide runs one scheduler decision while holding the baton: pick a
 // parked process (or report the run finished), record the choice, and pass
-// the baton to the granted process.
-func (x *Executor) decide() {
+// the baton to the granted process. from is the deciding process (the one
+// that just parked), or -1 when the baton fell from a retiring process.
+func (x *Executor) decide(from int) {
 	res := x.res
 	states := x.states[:0]
 	for i := 0; i < x.n; i++ {
@@ -164,7 +187,14 @@ func (x *Executor) decide() {
 	res.Schedule = append(res.Schedule, c)
 	res.Accesses = append(res.Accesses, x.parkedAcc[c.Proc])
 	x.isParked[c.Proc] = false
+	x.stats.Decisions.Add(1)
+	if c.Proc == from {
+		x.stats.SelfGrants.Add(1)
+	} else {
+		x.stats.Handoffs.Add(1)
+	}
 	if c.Crash {
+		x.stats.CrashUnwinds.Add(1)
 		res.Crashed[c.Proc] = true
 		x.env.Proc(c.Proc).MarkCrashed()
 		// The executing count must be restored before the grant lands: the
@@ -230,9 +260,17 @@ func (x *Executor) RunReplay(chooser Chooser, rp *Prefix) *Result {
 	return x.run(chooser, rp, true)
 }
 
+// Stats returns the executor's lifetime scheduling census. The pointer is
+// valid for the executor's lifetime; fields are read with their atomics.
+func (x *Executor) Stats() *ExecStats { return &x.stats }
+
 func (x *Executor) run(chooser Chooser, rp *Prefix, capture bool) *Result {
 	if x.closed {
 		panic("sched: Run on closed Executor")
+	}
+	x.stats.Runs.Add(1)
+	if rp != nil {
+		x.stats.ReplayRuns.Add(1)
 	}
 	n := x.n
 	depth := x.lastDepth + 8

@@ -1,0 +1,113 @@
+package trace
+
+// Chrome trace-event export: render a scheduler interleaving — typically
+// the canonical failing schedule of a CheckError — as a Trace Event Format
+// JSON file viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// One track (tid) per process; each granted step becomes a duration event
+// annotated with the access kind and object, each crash an instant marker
+// on the victim's track. Timestamps are synthetic (the schedule position,
+// spaced stepTicks µs apart): the scheduler has no real-time clock, and
+// the schedule order IS the semantics worth seeing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// ChromeEvent is one Trace Event Format entry (the subset this exporter
+// emits: X duration events, i instants, M metadata).
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object-form JSON envelope (the array form is legal
+// too, but the object form lets viewers attach metadata later).
+type chromeTrace struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// stepTicks is the synthetic spacing between schedule positions, in
+// microseconds; events occupy stepDur of it so adjacent steps on one track
+// render with a visible gap.
+const (
+	stepTicks = 10.0
+	stepDur   = 8.0
+)
+
+// ChromeOps converts one scheduler step to its event name and argument
+// map. Crash steps name the access the victim was parked on (it never
+// executed).
+func ChromeOps(c sched.Choice, acc memory.Access) (string, map[string]any) {
+	if c.Crash {
+		return "crash", map[string]any{
+			"proc":    c.Proc,
+			"pending": fmt.Sprintf("%v(obj %d)", acc.Kind, acc.Obj),
+		}
+	}
+	return acc.Kind.String(), map[string]any{
+		"proc": c.Proc,
+		"obj":  acc.Obj,
+		"kind": acc.Kind.String(),
+	}
+}
+
+// ChromeSchedule renders a schedule and its per-step accesses as trace
+// events. accesses may be shorter than schedule (or nil) when the access
+// record is unavailable; missing entries render as bare "step" events.
+// Process tracks are named p0..p(n-1) via thread_name metadata; crashed
+// lists the processes to flag with a final crash marker (nil = derive from
+// the schedule's crash choices alone).
+func ChromeSchedule(schedule []sched.Choice, accesses []memory.Access) []ChromeEvent {
+	seen := map[int]bool{}
+	var evs []ChromeEvent
+	for i, c := range schedule {
+		if !seen[c.Proc] {
+			seen[c.Proc] = true
+			evs = append(evs, ChromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: c.Proc,
+				Args: map[string]any{"name": fmt.Sprintf("p%d", c.Proc)},
+			})
+		}
+		name, args := "step", map[string]any{"proc": c.Proc}
+		if i < len(accesses) {
+			name, args = ChromeOps(c, accesses[i])
+		} else if c.Crash {
+			name = "crash"
+		}
+		args["schedule_pos"] = i
+		ts := float64(i) * stepTicks
+		if c.Crash {
+			evs = append(evs, ChromeEvent{
+				Name: "crash", Ph: "i", TS: ts, PID: 1, TID: c.Proc, Scope: "t", Args: args,
+			})
+			continue
+		}
+		evs = append(evs, ChromeEvent{
+			Name: name, Ph: "X", TS: ts, Dur: stepDur, PID: 1, TID: c.Proc, Args: args,
+		})
+	}
+	return evs
+}
+
+// WriteChrome writes the schedule as a complete Trace Event Format JSON
+// document.
+func WriteChrome(w io.Writer, schedule []sched.Choice, accesses []memory.Access) error {
+	evs := ChromeSchedule(schedule, accesses)
+	if evs == nil {
+		evs = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: evs})
+}
