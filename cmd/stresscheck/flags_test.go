@@ -1,6 +1,7 @@
 package main
 
-// Exhaustive validation of the flag-applicability table: every rule is
+// Exhaustive validation of stresscheck's flag-applicability table,
+// extending the tascheck contract to the new binary: every rule is
 // exercised on every run path, both set (changed from default) and unset,
 // so no (flag, path) combination can silently drift. The setters map is
 // the test's own knowledge of how to flip each flag to a non-default
@@ -10,53 +11,38 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"repro/internal/explore"
-	"repro/internal/randexp"
 )
 
 // defaultFlags mirrors the parsed defaults of a bare invocation: every
-// rule's set() must report false on it.
+// rule's Set must report false on it.
 func defaultFlags() *cliFlags {
 	return &cliFlags{
-		sampler:   defSampler,
-		pctDepth:  randexp.DefaultPCTDepth,
-		maxExecs:  defMax,
-		samples:   defSamples,
-		seed:      defSeed,
-		prune:     explore.PruneSourceDPOR,
-		snapshots: explore.SnapshotAuto,
+		g:          defG,
+		duration:   defDuration,
+		checkEvery: defCheckEvery,
+		seed:       defSeed,
 	}
 }
 
 // setters flips each table flag to a non-default value.
 var setters = map[string]func(f *cliFlags){
-	"-sampler":        func(f *cliFlags) { f.sampler = "pct" },
-	"-pct-depth":      func(f *cliFlags) { f.pctDepth = randexp.DefaultPCTDepth + 1 },
-	"-rates":          func(f *cliFlags) { f.rates = "1,2" },
-	"-saturation":     func(f *cliFlags) { f.saturation = 5 },
-	"-max":            func(f *cliFlags) { f.maxExecs = defMax + 1 },
-	"-samples":        func(f *cliFlags) { f.samples = defSamples + 1 },
-	"-seed":           func(f *cliFlags) { f.seed = defSeed + 1 },
-	"-prune":          func(f *cliFlags) { f.prune = explore.PruneSleep },
-	"-cache":          func(f *cliFlags) { f.cache = true },
-	"-checkpoint-out": func(f *cliFlags) { f.ckptOut = "ckpt.json" },
-	"-checkpoint-in":  func(f *cliFlags) { f.ckptIn = "ckpt.json" },
-	"-timebudget":     func(f *cliFlags) { f.timeBudget = time.Second },
-	"-snapshots":      func(f *cliFlags) { f.snapshots = explore.SnapshotOn },
-	"-failfast":       func(f *cliFlags) { f.failFast = true },
-	"-json":           func(f *cliFlags) { f.jsonOut = true },
-	"-progress":       func(f *cliFlags) { f.progress = time.Second },
-	"-events":         func(f *cliFlags) { f.events = "events.jsonl" },
-	"-debug-addr":     func(f *cliFlags) { f.debugAddr = "localhost:0" },
-	"-trace-out":      func(f *cliFlags) { f.traceOut = "trace.json" },
+	"-g":           func(f *cliFlags) { f.g = defG + 1 },
+	"-duration":    func(f *cliFlags) { f.duration = defDuration + time.Second },
+	"-arrival":     func(f *cliFlags) { f.arrival = 1000 },
+	"-procs-sweep": func(f *cliFlags) { f.procsSweep = "1,2,4" },
+	"-check-every": func(f *cliFlags) { f.checkEvery = defCheckEvery + 1 },
+	"-max-rounds":  func(f *cliFlags) { f.maxRounds = 100 },
+	"-seed":        func(f *cliFlags) { f.seed = defSeed + 1 },
+	"-json":        func(f *cliFlags) { f.jsonOut = true },
+	"-events":      func(f *cliFlags) { f.events = "events.jsonl" },
+	"-debug-addr":  func(f *cliFlags) { f.debugAddr = "localhost:0" },
 }
 
 // TestFlagTableEveryCombination enumerates (rule × path): a set flag
 // passes exactly on its allowed paths and the rejection names the flag;
 // an unset flag passes everywhere.
 func TestFlagTableEveryCombination(t *testing.T) {
-	contexts := pathContexts(4, 3)
+	contexts := pathContexts()
 	rules := flagRules()
 	if len(rules) != len(setters) {
 		t.Fatalf("table has %d rules, test knows %d setters — keep them in sync", len(rules), len(setters))
@@ -98,7 +84,7 @@ func TestFlagTableEveryCombination(t *testing.T) {
 // TestFlagDefaultsPassEverywhere: a default cliFlags is valid on every
 // path — spelling no flag can never be a usage error.
 func TestFlagDefaultsPassEverywhere(t *testing.T) {
-	contexts := pathContexts(4, 3)
+	contexts := pathContexts()
 	for path := runPath(0); path < numPaths; path++ {
 		if err := validateFlags(defaultFlags(), path, contexts); err != nil {
 			t.Errorf("defaults rejected on %s: %v", path, err)
@@ -106,22 +92,17 @@ func TestFlagDefaultsPassEverywhere(t *testing.T) {
 	}
 }
 
-// TestFlagContextWording pins the specific hints the table carries over
-// from the pre-table validation.
+// TestFlagContextWording pins the per-path hints.
 func TestFlagContextWording(t *testing.T) {
-	contexts := pathContexts(4, 3)
+	contexts := pathContexts()
 	cases := []struct {
 		mutate func(f *cliFlags)
 		path   runPath
 		want   string
 	}{
-		{func(f *cliFlags) { f.cache = true }, pathExhaustiveDPOR, dporContext},
-		{func(f *cliFlags) { f.ckptOut = "x" }, pathExhaustiveDPOR, dporContext},
-		{func(f *cliFlags) { f.jsonOut = true }, pathList, "single-run result object"},
-		{func(f *cliFlags) { f.traceOut = "x" }, pathSweep, "not one canonical schedule"},
-		{func(f *cliFlags) { f.sampler = "pct" }, pathExhaustive, "raise -n above -exhaustive-n 3"},
-		{func(f *cliFlags) { f.maxExecs = 1 }, pathSampled, "raise -exhaustive-n to at least 4"},
-		{func(f *cliFlags) { f.progress = time.Second }, pathList, "runs nothing"},
+		{func(f *cliFlags) { f.jsonOut = true }, pathList, "stress-result array"},
+		{func(f *cliFlags) { f.events = "x" }, pathList, "runs nothing"},
+		{func(f *cliFlags) { f.debugAddr = "x" }, pathList, "runs nothing"},
 	}
 	for _, c := range cases {
 		f := defaultFlags()
@@ -139,13 +120,26 @@ func TestFlagContextWording(t *testing.T) {
 
 // TestPathStrings keeps the diagnostic names stable.
 func TestPathStrings(t *testing.T) {
-	want := map[runPath]string{
-		pathList: "list", pathSweep: "sweep", pathSampled: "sampled",
-		pathExhaustive: "exhaustive", pathExhaustiveDPOR: "exhaustive-dpor",
-	}
+	want := map[runPath]string{pathList: "list", pathStress: "stress"}
 	for p, w := range want {
 		if p.String() != w {
 			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), w)
+		}
+	}
+}
+
+// TestParseProcsSweep pins the sweep-list syntax and its rejections.
+func TestParseProcsSweep(t *testing.T) {
+	got, err := parseProcsSweep("1, 2,4,8")
+	if err != nil || len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Errorf("parseProcsSweep(\"1, 2,4,8\") = %v, %v", got, err)
+	}
+	if got, err := parseProcsSweep(""); err != nil || got != nil {
+		t.Errorf("empty sweep = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "a", "1,,2", "1,2.5"} {
+		if _, err := parseProcsSweep(bad); err == nil {
+			t.Errorf("parseProcsSweep(%q): accepted", bad)
 		}
 	}
 }

@@ -1,18 +1,16 @@
 package main
 
-// Table-driven flag validation: every tascheck invocation resolves to one
-// run path, and every path-restricted flag declares — in one table — the
-// paths it applies to. A flag changed from its default on a path it does
-// not apply to is a usage error (exit 2), never silently ignored: a user
-// who budgets or checkpoints a walk that is actually sampled should learn
-// to raise -exhaustive-n, not read a vacuous OK. Detection is value-based
-// (changed from the default), so spelling the default explicitly — e.g.
-// -prune dpor — stays valid everywhere, exactly as before the table.
+// Table-driven flag validation over the shared internal/cliflags core:
+// every tascheck invocation resolves to one run path, and every
+// path-restricted flag declares — in one table — the paths it applies to.
+// See the cliflags package comment for the semantics (value-based
+// detection, deterministic first-violation rejection, exit 2).
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/explore"
 	"repro/internal/randexp"
 )
@@ -87,26 +85,15 @@ type cliFlags struct {
 	traceOut   string
 }
 
-// flagRule ties one flag to the run paths it applies to. context entries
-// override the path's default wording where a more specific hint exists
-// (e.g. the source-DPOR checkpoint restriction).
-type flagRule struct {
-	name    string
-	set     func(f *cliFlags) bool
-	allowed [numPaths]bool
-	context map[runPath]string
-}
+// flagRule is the shared rule type instantiated for this binary.
+type flagRule = cliflags.Rule[*cliFlags, runPath]
 
 // on builds an allowed-path set. pathList is implied for the exploration
 // knobs a bare -list invocation has always silently ignored; flags that
 // demand output (-json and the observability sinks) opt out of it
 // explicitly.
-func on(paths ...runPath) [numPaths]bool {
-	var a [numPaths]bool
-	for _, p := range paths {
-		a[p] = true
-	}
-	return a
+func on(paths ...runPath) []bool {
+	return cliflags.On(int(numPaths), paths...)
 }
 
 // The dpor-specific hint preserved from the pre-table validation.
@@ -120,46 +107,46 @@ const listContext = "-list (it prints the registry and runs nothing)"
 func flagRules() []flagRule {
 	dporHint := map[runPath]string{pathExhaustiveDPOR: dporContext}
 	return []flagRule{
-		{name: "-sampler", set: func(f *cliFlags) bool { return f.sampler != defSampler },
-			allowed: on(pathList, pathSampled)},
-		{name: "-pct-depth", set: func(f *cliFlags) bool { return f.pctDepth != randexp.DefaultPCTDepth },
-			allowed: on(pathList, pathSampled)},
-		{name: "-rates", set: func(f *cliFlags) bool { return f.rates != "" },
-			allowed: on(pathList, pathSampled)},
-		{name: "-saturation", set: func(f *cliFlags) bool { return f.saturation != 0 },
-			allowed: on(pathList, pathSampled)},
-		{name: "-max", set: func(f *cliFlags) bool { return f.maxExecs != defMax },
-			allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-samples", set: func(f *cliFlags) bool { return f.samples != defSamples },
-			allowed: on(pathList, pathSweep, pathSampled)},
-		{name: "-seed", set: func(f *cliFlags) bool { return f.seed != defSeed },
-			allowed: on(pathList, pathSweep, pathSampled)},
-		{name: "-prune", set: func(f *cliFlags) bool { return f.prune != explore.PruneSourceDPOR },
-			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-cache", set: func(f *cliFlags) bool { return f.cache },
-			allowed: on(pathList, pathExhaustive), context: dporHint},
-		{name: "-checkpoint-out", set: func(f *cliFlags) bool { return f.ckptOut != "" },
-			allowed: on(pathList, pathExhaustive), context: dporHint},
-		{name: "-checkpoint-in", set: func(f *cliFlags) bool { return f.ckptIn != "" },
-			allowed: on(pathList, pathExhaustive), context: dporHint},
-		{name: "-timebudget", set: func(f *cliFlags) bool { return f.timeBudget != 0 },
-			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-snapshots", set: func(f *cliFlags) bool { return f.snapshots != explore.SnapshotAuto },
-			allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-failfast", set: func(f *cliFlags) bool { return f.failFast },
-			allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-json", set: func(f *cliFlags) bool { return f.jsonOut },
-			allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
-			context: map[runPath]string{pathList: "-list (it is a single-run result object)"}},
-		{name: "-progress", set: func(f *cliFlags) bool { return f.progress != 0 },
-			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-events", set: func(f *cliFlags) bool { return f.events != "" },
-			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-debug-addr", set: func(f *cliFlags) bool { return f.debugAddr != "" },
-			allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
-		{name: "-trace-out", set: func(f *cliFlags) bool { return f.traceOut != "" },
-			allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
-			context: map[runPath]string{pathSweep: "a scenario sweep (its failures are expected report rows, not one canonical schedule)"}},
+		{Name: "-sampler", Set: func(f *cliFlags) bool { return f.sampler != defSampler },
+			Allowed: on(pathList, pathSampled)},
+		{Name: "-pct-depth", Set: func(f *cliFlags) bool { return f.pctDepth != randexp.DefaultPCTDepth },
+			Allowed: on(pathList, pathSampled)},
+		{Name: "-rates", Set: func(f *cliFlags) bool { return f.rates != "" },
+			Allowed: on(pathList, pathSampled)},
+		{Name: "-saturation", Set: func(f *cliFlags) bool { return f.saturation != 0 },
+			Allowed: on(pathList, pathSampled)},
+		{Name: "-max", Set: func(f *cliFlags) bool { return f.maxExecs != defMax },
+			Allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-samples", Set: func(f *cliFlags) bool { return f.samples != defSamples },
+			Allowed: on(pathList, pathSweep, pathSampled)},
+		{Name: "-seed", Set: func(f *cliFlags) bool { return f.seed != defSeed },
+			Allowed: on(pathList, pathSweep, pathSampled)},
+		{Name: "-prune", Set: func(f *cliFlags) bool { return f.prune != explore.PruneSourceDPOR },
+			Allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-cache", Set: func(f *cliFlags) bool { return f.cache },
+			Allowed: on(pathList, pathExhaustive), Context: dporHint},
+		{Name: "-checkpoint-out", Set: func(f *cliFlags) bool { return f.ckptOut != "" },
+			Allowed: on(pathList, pathExhaustive), Context: dporHint},
+		{Name: "-checkpoint-in", Set: func(f *cliFlags) bool { return f.ckptIn != "" },
+			Allowed: on(pathList, pathExhaustive), Context: dporHint},
+		{Name: "-timebudget", Set: func(f *cliFlags) bool { return f.timeBudget != 0 },
+			Allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-snapshots", Set: func(f *cliFlags) bool { return f.snapshots != explore.SnapshotAuto },
+			Allowed: on(pathList, pathSweep, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-failfast", Set: func(f *cliFlags) bool { return f.failFast },
+			Allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-json", Set: func(f *cliFlags) bool { return f.jsonOut },
+			Allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
+			Context: map[runPath]string{pathList: "-list (it is a single-run result object)"}},
+		{Name: "-progress", Set: func(f *cliFlags) bool { return f.progress != 0 },
+			Allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-events", Set: func(f *cliFlags) bool { return f.events != "" },
+			Allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-debug-addr", Set: func(f *cliFlags) bool { return f.debugAddr != "" },
+			Allowed: on(pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
+		{Name: "-trace-out", Set: func(f *cliFlags) bool { return f.traceOut != "" },
+			Allowed: on(pathSampled, pathExhaustive, pathExhaustiveDPOR),
+			Context: map[runPath]string{pathSweep: "a scenario sweep (its failures are expected report rows, not one canonical schedule)"}},
 	}
 }
 
@@ -180,15 +167,5 @@ func pathContexts(procs, exhaustiveN int) map[runPath]string {
 // validateFlags checks every table rule against the resolved path and
 // returns the first violation as the usage error main prints, or nil.
 func validateFlags(f *cliFlags, path runPath, contexts map[runPath]string) error {
-	for _, r := range flagRules() {
-		if r.allowed[path] || !r.set(f) {
-			continue
-		}
-		ctx := contexts[path]
-		if c, ok := r.context[path]; ok {
-			ctx = c
-		}
-		return fmt.Errorf("%s does not apply to %s", r.name, ctx)
-	}
-	return nil
+	return cliflags.Validate(f, path, flagRules(), contexts)
 }

@@ -461,3 +461,44 @@ func TestE11Shapes(t *testing.T) {
 		t.Fatalf("E11b: no harness produced cache hits: %v", cache.Rows)
 	}
 }
+
+func TestE16Shapes(t *testing.T) {
+	tables := RunE16()
+	if len(tables) != 1 {
+		t.Fatalf("E16 tables = %d", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows)%2 != 0 || len(tab.Rows) < 4 {
+		t.Fatalf("E16 rows = %d, want 2 scenarios x the sweep points", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		name := tab.Rows[r][0]
+		rounds, ops := cellInt(t, tab, r, 2), cellInt(t, tab, r, 3)
+		if rounds != e16Rounds {
+			t.Fatalf("E16 row %d: rounds = %d, want the pinned budget %d", r, rounds, e16Rounds)
+		}
+		if ops != 4*rounds {
+			t.Fatalf("E16 row %d: ops = %d, want G x rounds = %d", r, ops, 4*rounds)
+		}
+		rmw, rmwFail := cellInt(t, tab, r, 8), cellInt(t, tab, r, 9)
+		if name == "a1" && rmw != 0 {
+			t.Fatalf("E16 row %d: a1 performed %d RMWs, want 0 (register-only algorithm)", r, rmw)
+		}
+		if rmwFail > rmw {
+			t.Fatalf("E16 row %d: rmw-fail %d exceeds rmw %d", r, rmwFail, rmw)
+		}
+		if fails := cellInt(t, tab, r, 10); fails != 0 {
+			t.Fatalf("E16 row %d: %d spot-check failures on a verified scenario", r, fails)
+		}
+	}
+	// The drained perf rows carry one (scenario, procs) label each.
+	perf := TakePerf("E16")
+	if len(perf) != len(tab.Rows) {
+		t.Fatalf("E16 perf rows = %d, want %d", len(perf), len(tab.Rows))
+	}
+	for _, p := range perf {
+		if p.Attempts != 4*e16Rounds || p.WallMS <= 0 {
+			t.Fatalf("E16 perf row %q: attempts=%d wall=%.3fms", p.Label, p.Attempts, p.WallMS)
+		}
+	}
+}

@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"E12", RunE12, "randomized exploration: PCT vs uniform bug finding, sampler coverage growth"},
 		{"E14", RunE14, "unified engine core: source-DPOR vs legacy sleep sets, attempts and wall-clock"},
 		{"E15", RunE15, "incremental replay: snapshot-restored branches vs prefix reconstruction"},
+		{"E16", RunE16, "native stress: throughput scaling, latency tails and the RMW census"},
 	}
 }
 

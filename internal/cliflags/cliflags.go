@@ -1,0 +1,64 @@
+// Package cliflags is the shared table-driven flag-validation core of the
+// command-line frontends. Every binary resolves an invocation to one run
+// path, and every path-restricted flag declares — in one table — the paths
+// it applies to. A flag changed from its default on a path it does not
+// apply to is a usage error (exit 2), never silently ignored: a user who
+// budgets a walk that is actually sampled, or paces a listing that runs
+// nothing, should learn that from the rejection, not read a vacuous OK.
+// Detection is value-based (changed from the default), so spelling a
+// default explicitly stays valid everywhere.
+//
+// The package is generic over the frontend's flag struct F and its path
+// enum P (any integer-kinded type), so each binary keeps its own typed
+// paths and flag set while sharing the rule semantics, the rejection
+// wording, and the exhaustive-test contract: rejections always start
+// "<flag> does not apply to ", which the per-binary tests enumerate over
+// (rule × path).
+package cliflags
+
+import "fmt"
+
+// Rule ties one flag to the run paths it applies to. Set reports whether
+// the flag was changed from its default; Allowed is indexed by path.
+// Context entries override the path's default rejection wording where a
+// more specific hint exists.
+type Rule[F any, P ~int] struct {
+	// Name is the flag's spelling, with the leading dash ("-json").
+	Name string
+	// Set reports whether the flag holds a non-default value.
+	Set func(f F) bool
+	// Allowed[p] reports whether the flag applies on path p.
+	Allowed []bool
+	// Context overrides the rejection hint per path.
+	Context map[P]string
+}
+
+// On builds an allowed-path set of size n with the given paths enabled.
+func On[P ~int](n int, paths ...P) []bool {
+	a := make([]bool, n)
+	for _, p := range paths {
+		a[p] = true
+	}
+	return a
+}
+
+// Validate checks every rule against the resolved path and returns the
+// first violation as the usage error the frontend prints, or nil. Rule
+// order is the check order, so rejections are deterministic when several
+// inapplicable flags are set.
+func Validate[F any, P ~int](f F, path P, rules []Rule[F, P], contexts map[P]string) error {
+	for _, r := range rules {
+		if int(path) < len(r.Allowed) && r.Allowed[path] {
+			continue
+		}
+		if !r.Set(f) {
+			continue
+		}
+		ctx := contexts[path]
+		if c, ok := r.Context[path]; ok {
+			ctx = c
+		}
+		return fmt.Errorf("%s does not apply to %s", r.Name, ctx)
+	}
+	return nil
+}

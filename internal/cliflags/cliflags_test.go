@@ -1,0 +1,65 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+)
+
+type testPath int
+
+const (
+	pList testPath = iota
+	pRun
+	pN
+)
+
+type testFlags struct {
+	a, b bool
+}
+
+func testRules() []Rule[*testFlags, testPath] {
+	return []Rule[*testFlags, testPath]{
+		{Name: "-a", Set: func(f *testFlags) bool { return f.a }, Allowed: On(int(pN), pList, pRun)},
+		{Name: "-b", Set: func(f *testFlags) bool { return f.b }, Allowed: On(int(pN), pRun),
+			Context: map[testPath]string{pList: "the listing (custom hint)"}},
+	}
+}
+
+func TestValidateAllowedAndDefaults(t *testing.T) {
+	ctx := map[testPath]string{pList: "the listing", pRun: "a run"}
+	for p := testPath(0); p < pN; p++ {
+		if err := Validate(&testFlags{}, p, testRules(), ctx); err != nil {
+			t.Errorf("defaults rejected on path %d: %v", p, err)
+		}
+	}
+	if err := Validate(&testFlags{a: true}, pList, testRules(), ctx); err != nil {
+		t.Errorf("-a allowed on list but rejected: %v", err)
+	}
+}
+
+func TestValidateRejectionWording(t *testing.T) {
+	ctx := map[testPath]string{pList: "the listing", pRun: "a run"}
+	err := Validate(&testFlags{b: true}, pList, testRules(), ctx)
+	if err == nil {
+		t.Fatal("-b on list: silently accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "-b does not apply to ") {
+		t.Errorf("rejection does not name the flag: %v", err)
+	}
+	if !strings.Contains(err.Error(), "custom hint") {
+		t.Errorf("per-path context override lost: %v", err)
+	}
+}
+
+func TestValidateFirstViolationWins(t *testing.T) {
+	ctx := map[testPath]string{pList: "the listing"}
+	err := Validate(&testFlags{a: true, b: true}, pList, testRules(), ctx)
+	if err != nil {
+		// -a is allowed on list; -b must be the one reported.
+		if !strings.HasPrefix(err.Error(), "-b ") {
+			t.Errorf("wrong rule reported: %v", err)
+		}
+	} else {
+		t.Fatal("expected -b rejection")
+	}
+}

@@ -217,6 +217,7 @@ func (a *GrowArray[T]) publish(p *Proc, i int) *T {
 	if c.slots[si].CompareAndSwap(nil, fresh) {
 		out = fresh
 	} else {
+		p.rmwFail(OpCAS)
 		out = c.slots[si].Load()
 	}
 	p.logP(out)
@@ -279,6 +280,7 @@ func (a *GrowArray[T]) putLive(p *Proc, i int, v *T) *T {
 	if c.slots[si].CompareAndSwap(nil, v) {
 		out = v
 	} else {
+		p.rmwFail(OpCAS)
 		out = c.slots[si].Load()
 	}
 	p.logP(out)

@@ -111,6 +111,29 @@ type Gate interface {
 	Enter(p *Proc, a Access)
 }
 
+// Instr is an optional per-access instrumentation sink, the second
+// accounting backend next to the per-process step counters. When installed
+// on a Proc, every shared-memory access reports its kind through Access,
+// and every read-modify-write that loses its race (a CAS that found a
+// different value, a test-and-set that read 1, a PutIfEmpty that found the
+// cell taken) additionally reports through RMWFail — the direct contention
+// signal the cooperative gate cannot produce, because under the gate every
+// interleaving is serialized and "losing" is a scheduling decision rather
+// than a hardware race. The stress tier installs an Instr backed by
+// per-goroutine sharded obs counters; the model-checking paths never
+// install one, so the hook costs a nil check there.
+//
+// Implementations must be safe for concurrent use by all processes they
+// are installed on. Calls happen on the hot path of every primitive;
+// implementations should be O(1) and allocation-free.
+type Instr interface {
+	// Access reports one shared-memory access of the given kind by proc.
+	Access(proc int, kind OpKind)
+	// RMWFail reports that an RMW access (already reported via Access)
+	// lost its race and will retry or return a loser result.
+	RMWFail(proc int, kind OpKind)
+}
+
 // Resettable is implemented by base objects (and by composites built from
 // them) that can restore themselves to their construction-time state.
 // Registering a Resettable with an Env makes Env.Reset restore it, which is
@@ -276,6 +299,15 @@ func (e *Env) SetGate(g Gate) {
 	}
 }
 
+// SetInstr installs the same instrumentation sink on every process (nil
+// removes it). Must not be called concurrently with processes taking
+// steps.
+func (e *Env) SetInstr(in Instr) {
+	for _, p := range e.procs {
+		p.SetInstr(in)
+	}
+}
+
 // Register adds shared objects to the environment's registry. Registration
 // order is the canonical order used by Fingerprint, so harnesses must
 // register deterministically (plain straight-line construction code does).
@@ -342,6 +374,7 @@ type Proc struct {
 	id      int
 	env     *Env
 	gate    Gate
+	instr   Instr
 	steps   atomic.Int64
 	rmws    atomic.Int64
 	kinds   [6]atomic.Int64
@@ -410,6 +443,10 @@ func (p *Proc) ResetCounters() {
 // called concurrently with the process taking steps.
 func (p *Proc) SetGate(g Gate) { p.gate = g }
 
+// SetInstr installs (or removes, with nil) the instrumentation sink. Must
+// not be called concurrently with the process taking steps.
+func (p *Proc) SetInstr(in Instr) { p.instr = in }
+
 // MarkCrashed records that the process has crashed. Accounting only; the
 // scheduler enforces the crash by never granting further steps.
 func (p *Proc) MarkCrashed() { p.crashed.Store(true) }
@@ -446,7 +483,8 @@ func (p *Proc) enterObj(kind OpKind, obj uint64) {
 	}
 }
 
-// account charges one access of the given kind to the process's counters.
+// account charges one access of the given kind to the process's counters
+// and mirrors it into the instrumentation sink when one is installed.
 func (p *Proc) account(kind OpKind) {
 	p.steps.Add(1)
 	if kind.IsRMW() {
@@ -455,6 +493,19 @@ func (p *Proc) account(kind OpKind) {
 	if int(kind) < len(p.kinds) {
 		p.kinds[kind].Add(1)
 	}
+	if p.instr != nil {
+		p.instr.Access(p.id, kind)
+	}
+}
+
+// rmwFail reports a lost RMW race to the instrumentation sink. Primitives
+// call it on their losing branch, after the access itself was accounted.
+// Nil receivers (uninstrumented detached driving) are allowed.
+func (p *Proc) rmwFail(kind OpKind) {
+	if p == nil || p.instr == nil {
+		return
+	}
+	p.instr.RMWFail(p.id, kind)
 }
 
 // NewDetachedProc creates a process handle that is not part of any Env.

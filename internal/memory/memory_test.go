@@ -618,3 +618,150 @@ func TestFingerprintRefusals(t *testing.T) {
 		t.Fatal("a grow array must make the env unfingerprintable")
 	}
 }
+
+// countingInstr is a deterministic Instr sink for tests: plain counters per
+// (proc, kind), no atomics — the tests below drive processes sequentially.
+type countingInstr struct {
+	accesses map[int]map[OpKind]int
+	fails    map[int]map[OpKind]int
+}
+
+func newCountingInstr() *countingInstr {
+	return &countingInstr{
+		accesses: map[int]map[OpKind]int{},
+		fails:    map[int]map[OpKind]int{},
+	}
+}
+
+func bump(m map[int]map[OpKind]int, proc int, kind OpKind) {
+	if m[proc] == nil {
+		m[proc] = map[OpKind]int{}
+	}
+	m[proc][kind]++
+}
+
+func (c *countingInstr) Access(proc int, kind OpKind)  { bump(c.accesses, proc, kind) }
+func (c *countingInstr) RMWFail(proc int, kind OpKind) { bump(c.fails, proc, kind) }
+
+// TestInstrAccessAndFailAccounting drives every primitive's win and lose
+// branch sequentially and checks the Instr sink saw exactly the accesses
+// the step counters saw, plus one RMWFail per losing RMW.
+func TestInstrAccessAndFailAccounting(t *testing.T) {
+	e := NewEnv(2)
+	in := newCountingInstr()
+	e.SetInstr(in)
+	p0, p1 := e.Proc(0), e.Proc(1)
+
+	// CASReg: one winning CAS, one losing CAS, a read and a write.
+	r := NewCASReg(0)
+	if !r.CompareAndSwap(p0, 0, 1) {
+		t.Fatal("first CAS should win")
+	}
+	if r.CompareAndSwap(p1, 0, 2) {
+		t.Fatal("second CAS should lose")
+	}
+	r.Read(p0)
+	r.Write(p0, 7)
+
+	// HardwareTAS: winner then loser.
+	tas := NewHardwareTAS()
+	if tas.TestAndSet(p0) != 0 {
+		t.Fatal("first TAS should win")
+	}
+	if tas.TestAndSet(p1) != 1 {
+		t.Fatal("second TAS should lose")
+	}
+
+	// CASCell: winner then loser.
+	cell := NewCASCell[int]()
+	v1, v2 := 1, 2
+	if _, won := cell.PutIfEmpty(p0, &v1); !won {
+		t.Fatal("first PutIfEmpty should win")
+	}
+	if _, won := cell.PutIfEmpty(p1, &v2); won {
+		t.Fatal("second PutIfEmpty should lose")
+	}
+
+	// FetchInc never loses.
+	ctr := NewFetchInc(0)
+	ctr.Inc(p0)
+	ctr.Inc(p1)
+
+	wantAccess := map[int]map[OpKind]int{
+		0: {OpCAS: 2, OpRead: 1, OpWrite: 1, OpTAS: 1, OpFetchInc: 1},
+		1: {OpCAS: 2, OpTAS: 1, OpFetchInc: 1},
+	}
+	wantFail := map[int]map[OpKind]int{
+		1: {OpCAS: 2, OpTAS: 1},
+	}
+	for proc, kinds := range wantAccess {
+		for k, n := range kinds {
+			if got := in.accesses[proc][k]; got != n {
+				t.Errorf("proc %d %v accesses = %d, want %d", proc, k, got, n)
+			}
+		}
+	}
+	for proc := 0; proc < 2; proc++ {
+		for k, n := range wantFail[proc] {
+			if got := in.fails[proc][k]; got != n {
+				t.Errorf("proc %d %v fails = %d, want %d", proc, k, got, n)
+			}
+		}
+	}
+	if len(in.fails[0]) != 0 {
+		t.Errorf("proc 0 lost no races but recorded fails: %v", in.fails[0])
+	}
+	// Every Access mirrored a step: totals must agree with the step counters.
+	var seen int
+	for _, kinds := range in.accesses {
+		for _, n := range kinds {
+			seen += n
+		}
+	}
+	if int64(seen) != e.TotalSteps() {
+		t.Errorf("instr saw %d accesses, step counters saw %d", seen, e.TotalSteps())
+	}
+}
+
+// TestInstrGrowArray checks the GrowArray access paths mirror into the
+// sink. (Its CAS-losing branch needs a real race to trigger; the stress
+// tier exercises it, and putLive/publish share the rmwFail call pattern
+// asserted on the scalar primitives above.)
+func TestInstrGrowArray(t *testing.T) {
+	e := NewEnv(2)
+	in := newCountingInstr()
+	e.SetInstr(in)
+	p0, p1 := e.Proc(0), e.Proc(1)
+
+	a := NewGrowArray[int](func(i int) *int { v := i; return &v })
+	a.Get(p0, 3) // read step + publishing CAS step
+	v := 99
+	if got := a.GetOrPut(p1, 3, &v); got == &v {
+		t.Fatal("GetOrPut on a published slot should adopt the winner")
+	}
+	if in.accesses[0][OpRead] != 1 || in.accesses[0][OpCAS] != 1 {
+		t.Errorf("p0 Get accesses = %v, want one read and one CAS", in.accesses[0])
+	}
+	// p1's GetOrPut found the slot taken on its read step: no CAS issued.
+	if in.accesses[1][OpRead] != 1 || in.accesses[1][OpCAS] != 0 {
+		t.Errorf("p1 GetOrPut accesses = %v, want one read and no CAS", in.accesses[1])
+	}
+	if len(in.fails[0]) != 0 || len(in.fails[1]) != 0 {
+		t.Errorf("sequential driving recorded fails: %v %v", in.fails[0], in.fails[1])
+	}
+}
+
+// TestInstrRemoved checks SetInstr(nil) detaches the sink.
+func TestInstrRemoved(t *testing.T) {
+	e := NewEnv(1)
+	in := newCountingInstr()
+	e.SetInstr(in)
+	p := e.Proc(0)
+	r := NewCASReg(0)
+	r.Read(p)
+	e.SetInstr(nil)
+	r.Read(p)
+	if got := in.accesses[0][OpRead]; got != 1 {
+		t.Fatalf("after SetInstr(nil) the sink still saw accesses: %d", got)
+	}
+}

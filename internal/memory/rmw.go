@@ -67,6 +67,7 @@ func (r *CASReg) CompareAndSwap(p *Proc, old, new int64) bool {
 	if ok {
 		p.logV(1)
 	} else {
+		p.rmwFail(OpCAS)
 		p.logV(0)
 	}
 	return ok
@@ -127,6 +128,7 @@ func (c *CASCell[T]) PutIfEmpty(p *Proc, v *T) (*T, bool) {
 		p.logVP(1, v)
 		return v, true
 	}
+	p.rmwFail(OpCAS)
 	w := c.v.Load()
 	p.logP(w)
 	return w, false
@@ -170,6 +172,9 @@ func (t *HardwareTAS) TestAndSet(p *Proc) int {
 	}
 	p.enter(OpTAS, &t.oid)
 	v := int64(t.v.Swap(1))
+	if v != 0 {
+		p.rmwFail(OpTAS)
+	}
 	p.logV(v)
 	return int(v)
 }

@@ -165,6 +165,8 @@ type Metrics struct {
 
 	mu      sync.Mutex
 	sources []*source
+	dynamic map[string]*Counter
+	dynOrd  []string
 	info    map[string]string
 	events  *EventLog
 }
@@ -201,6 +203,31 @@ func New(workers int) *Metrics {
 
 // Shards returns the shard count (for tests).
 func (m *Metrics) Shards() int { return m.shards }
+
+// Counter returns the dynamic sharded counter with the given name,
+// creating it on first use. Dynamic counters render exactly like the fixed
+// engine counters (same sharding, same Prometheus counter type) but are
+// declared by their writers — the stress tier registers its op/failure
+// counters this way instead of growing the engine-layer struct. Repeated
+// calls with one name return the same counter; help is taken from the
+// first call. A nil Metrics returns a nil Counter, which ignores writes.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.dynamic[name]; ok {
+		return c
+	}
+	c := newCounter(name, help, m.shards)
+	if m.dynamic == nil {
+		m.dynamic = map[string]*Counter{}
+	}
+	m.dynamic[name] = c
+	m.dynOrd = append(m.dynOrd, name)
+	return c
+}
 
 // SetInfo records a run-info label (scenario name, mode, process count),
 // rendered on /statusz and as the Prometheus run-info metric's labels.
@@ -263,14 +290,18 @@ func (m *Metrics) Event(typ string, fields map[string]any) {
 	}
 }
 
-// HistSnapshot is a folded histogram in a snapshot.
+// HistSnapshot is a folded histogram in a snapshot. P50/P99 are the
+// bucket-interpolated quantiles of the folded sample (stats.Hist.Quantile);
+// zero when empty.
 type HistSnapshot struct {
-	Width  int   `json:"width"`
-	Counts []int `json:"counts"`
-	N      int   `json:"n"`
-	Min    int   `json:"min"`
-	Max    int   `json:"max"`
-	Sum    int64 `json:"sum"`
+	Width  int     `json:"width"`
+	Counts []int   `json:"counts"`
+	N      int     `json:"n"`
+	Min    int     `json:"min"`
+	Max    int     `json:"max"`
+	Sum    int64   `json:"sum"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
 }
 
 // Snapshot is one folded view of a Metrics domain — what /statusz serializes
@@ -310,7 +341,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Info[k] = v
 	}
 	srcs := append([]*source(nil), m.sources...)
+	dynNames := append([]string(nil), m.dynOrd...)
+	dyn := make([]*Counter, len(dynNames))
+	for i, name := range dynNames {
+		dyn[i] = m.dynamic[name]
+	}
 	m.mu.Unlock()
+	for _, c := range dyn {
+		s.Counters[c.name] = c.Value()
+		s.counterHelp[c.name] = c.help
+		s.counterOrder = append(s.counterOrder, c.name)
+	}
 	for _, src := range srcs {
 		v := src.fn()
 		if src.gauge {
@@ -327,9 +368,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.Counters[src.name] += v
 		}
 	}
-	sort.Strings(s.counterOrder[len(m.counters):]) // sources in name order
+	sort.Strings(s.counterOrder[len(m.counters):]) // dynamics+sources in name order
 	sort.Strings(s.gaugeOrder)
 	h, sum := m.Depths.fold()
-	s.Depths = HistSnapshot{Width: h.Width, Counts: h.Counts, N: h.N, Min: h.Min, Max: h.Max, Sum: sum}
+	s.Depths = HistSnapshot{
+		Width: h.Width, Counts: h.Counts, N: h.N, Min: h.Min, Max: h.Max, Sum: sum,
+		P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+	}
 	return s
 }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -363,5 +364,112 @@ func TestServeEndpoints(t *testing.T) {
 func TestBadAddrFailsEagerly(t *testing.T) {
 	if _, err := Serve("256.0.0.1:99999", New(1)); err == nil {
 		t.Fatal("nonsense address bound")
+	}
+}
+
+// TestDynamicCounter: get-or-create semantics, nil safety, and rendering
+// of dynamically declared counters alongside the fixed engine set.
+func TestDynamicCounter(t *testing.T) {
+	m := New(4)
+	c1 := m.Counter("stress_ops_total", "Operations completed by stress workers.")
+	c2 := m.Counter("stress_ops_total", "ignored duplicate help")
+	if c1 != c2 {
+		t.Fatal("Counter with one name returned distinct counters")
+	}
+	c1.Add(0, 5)
+	c1.Add(3, 7)
+	s := m.Snapshot()
+	if got := s.Counters["stress_ops_total"]; got != 12 {
+		t.Fatalf("dynamic counter folded to %d, want 12", got)
+	}
+	text := s.Prometheus()
+	if !strings.Contains(text, "# TYPE repro_stress_ops_total counter") ||
+		!strings.Contains(text, "repro_stress_ops_total 12") {
+		t.Fatalf("dynamic counter missing from Prometheus rendering:\n%s", text)
+	}
+	if !strings.Contains(text, "Operations completed by stress workers.") {
+		t.Fatalf("first-call help not preserved:\n%s", text)
+	}
+	var nilM *Metrics
+	nilC := nilM.Counter("x", "")
+	nilC.Add(0, 1) // must not panic
+	if nilC.Value() != 0 {
+		t.Fatal("nil Metrics counter should read zero")
+	}
+}
+
+// TestHistSnapshotQuantiles: the folded depth histogram reports
+// interpolated P50/P99 through stats.Hist.Quantile.
+func TestHistSnapshotQuantiles(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		m.Depths.Add(0, 10)
+	}
+	m.Depths.Add(0, 1000)
+	s := m.Snapshot()
+	if s.Depths.P50 < 8 || s.Depths.P50 > 16 {
+		t.Errorf("P50 = %v, want within the [8,16) bucket", s.Depths.P50)
+	}
+	if s.Depths.P99 < 8 || s.Depths.P99 > 1000 {
+		t.Errorf("P99 = %v out of range", s.Depths.P99)
+	}
+	if New(1).Snapshot().Depths.P50 != 0 {
+		t.Error("empty depth histogram should report P50 = 0")
+	}
+}
+
+// TestSourceChurnConcurrentSnapshot hammers AddSource/remove and dynamic
+// Counter creation from many goroutines while a reader loops Snapshot()
+// and renders it — the access pattern stress workers produce, pinned here
+// under the race detector. Snapshot totals must never go backwards for
+// the monotonic fixed counters, and rendering must never crash.
+func TestSourceChurnConcurrentSnapshot(t *testing.T) {
+	m := New(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var val atomic.Int64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				remove := m.AddSource("churn_gauge", "live worker gauge", true, val.Load)
+				val.Add(1)
+				m.Counter("churn_ops_total", "dynamic churn counter").Add(w, 1)
+				m.Attempts.Inc(w)
+				m.Depths.Add(w, i%64)
+				remove()
+			}
+		}(w)
+	}
+
+	var lastAttempts int64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := m.Snapshot()
+		if a := s.Counters["engine_attempts_total"]; a < lastAttempts {
+			t.Fatalf("monotonic counter went backwards: %d -> %d", lastAttempts, a)
+		} else {
+			lastAttempts = a
+		}
+		if text := s.Prometheus(); !strings.Contains(text, "repro_engine_attempts_total") {
+			t.Fatal("fixed counter missing mid-churn")
+		}
+		if _, err := s.StatusJSON(); err != nil {
+			t.Fatalf("StatusJSON mid-churn: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the churn quiesces, every gauge source was deregistered.
+	if v, ok := m.Snapshot().Gauges["churn_gauge"]; ok && v != 0 {
+		t.Fatalf("leaked churn gauge with value %d", v)
 	}
 }

@@ -1,0 +1,178 @@
+package stats
+
+// LatencyHist is a log-bucketed histogram of non-negative integer samples,
+// sized for per-operation latencies in nanoseconds: values below 16 get
+// exact buckets, and every power-of-two range above that is split into 16
+// sub-buckets (HdrHistogram-style), so the relative quantization error of
+// any sample is bounded by 1/16 (~6%) across the full int64 range while
+// the whole histogram stays a fixed ~7.5 KiB array. The zero value is an
+// empty histogram ready for use.
+//
+// The stress tier records one sample per completed scenario operation into
+// a per-goroutine LatencyHist (no locks, no shared cache lines on the hot
+// path) and merges the per-goroutine histograms when a reader asks, so
+// quantiles over millions of operations cost O(buckets), not O(samples).
+
+import (
+	"math"
+	"math/bits"
+)
+
+// latSubBits is the log2 of the per-power-of-two sub-bucket count.
+const latSubBits = 4
+
+// latSub is the sub-bucket count: samples below latSub are exact.
+const latSub = 1 << latSubBits
+
+// latBuckets is the index space: exp ranges over 0..58 for int64 samples
+// (bits.Len64 <= 63), and each exp contributes latSub sub-buckets above
+// the exact range.
+const latBuckets = (63-latSubBits)*latSub + latSub
+
+// LatencyHist accumulates samples; see the package comment above for the
+// bucket layout. All methods are single-goroutine; callers that share one
+// instance must synchronize (the stress tier instead merges per-goroutine
+// instances).
+type LatencyHist struct {
+	counts [latBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// latBucket maps a sample to its bucket index. Negative samples clamp to
+// bucket 0 (latencies cannot be negative; a clock step backwards should
+// not corrupt the histogram).
+func latBucket(v int64) int {
+	if v < latSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - latSubBits - 1 // v>>exp is in [latSub, 2*latSub)
+	return exp*latSub + int(v>>uint(exp))
+}
+
+// latBounds returns the half-open sample range [lo, hi) of bucket i. The
+// final bucket's true upper bound is 2^63, which does not fit in int64, so
+// it saturates to math.MaxInt64 and that bucket alone is inclusive of hi.
+func latBounds(i int) (lo, hi int64) {
+	if i < latSub {
+		return int64(i), int64(i) + 1
+	}
+	exp := uint(i>>latSubBits) - 1
+	lo = int64(i-int(exp)*latSub) << exp
+	if i == latBuckets-1 {
+		return lo, math.MaxInt64
+	}
+	return lo, lo + int64(1)<<exp
+}
+
+// Add records one sample.
+func (h *LatencyHist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[latBucket(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Merge folds other into h. Merging preserves every quantile of the
+// combined sample up to the shared bucket quantization, which is what
+// makes per-goroutine recording sound: Quantile over the merge equals
+// Quantile over one histogram that saw all samples.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// N returns the number of recorded samples.
+func (h *LatencyHist) N() int64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *LatencyHist) Sum() int64 { return h.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (h *LatencyHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *LatencyHist) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LatencyHist) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded sample,
+// linearly interpolated within the containing bucket and clamped to the
+// observed [Min, Max] range so the extremes are exact. An empty histogram
+// returns 0.
+func (h *LatencyHist) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	// Continuous rank in [0, n-1]; the value is interpolated within the
+	// bucket the rank falls into, exactly as stats.Hist.Quantile does for
+	// fixed-width buckets.
+	rank := q * float64(h.n-1)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) > rank {
+			lo, hi := latBounds(i)
+			within := (rank - float64(cum)) / float64(c)
+			v := float64(lo) + within*float64(hi-lo)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(h.max)
+}

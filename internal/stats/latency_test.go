@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestLatBucketRoundTrip: every bucket's bounds contain exactly the
+// samples that map to it, across the exact range, the log range, and the
+// extremes.
+func TestLatBucketRoundTrip(t *testing.T) {
+	samples := []int64{0, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 12345,
+		1 << 20, (1 << 40) + 12345, math.MaxInt64}
+	for _, v := range samples {
+		i := latBucket(v)
+		lo, hi := latBounds(i)
+		// The final bucket saturates hi at MaxInt64 and is inclusive.
+		if v < lo || (v >= hi && !(i == latBuckets-1 && v == math.MaxInt64)) {
+			t.Errorf("sample %d maps to bucket %d = [%d,%d)", v, i, lo, hi)
+		}
+		if i < 0 || i >= latBuckets {
+			t.Errorf("sample %d maps outside the index space: %d", v, i)
+		}
+	}
+	// Bucket bounds tile the sample space without gaps.
+	var prevHi int64
+	for i := 0; i < latBuckets; i++ {
+		lo, hi := latBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d is empty: [%d,%d)", i, lo, hi)
+		}
+		prevHi = hi
+	}
+}
+
+// TestLatencyHistEmpty: the zero value reports zeros everywhere.
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.N() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram reports nonzero accounting")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// Merging an empty histogram changes nothing.
+	var other LatencyHist
+	other.Add(5)
+	before := other
+	other.Merge(&h)
+	if other != before {
+		t.Errorf("merging an empty histogram changed the target")
+	}
+}
+
+// TestLatencyHistQuantileAccuracy: on a random sample, every reported
+// quantile is within one bucket width (~6% relative) of the exact
+// order-statistic answer, and quantiles are monotone in q.
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h LatencyHist
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~[100ns, 10ms], the latency range that matters.
+		v := int64(100 * math.Pow(10, rng.Float64()*5))
+		h.Add(v)
+		xs = append(xs, float64(v))
+	}
+	sort.Float64s(xs)
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile not monotone at q=%v: %v < %v", q, got, prev)
+		}
+		prev = got
+		exact := Percentile(xs, q*100)
+		// One sub-bucket of relative error plus interpolation slack.
+		if relerr := math.Abs(got-exact) / math.Max(exact, 1); relerr > 0.08 {
+			t.Errorf("Quantile(%v) = %v, exact %v (relerr %.3f)", q, got, exact, relerr)
+		}
+	}
+	if h.Quantile(0) != float64(h.Min()) || h.Quantile(1) != float64(h.Max()) {
+		t.Errorf("extreme quantiles are not the observed extremes")
+	}
+}
+
+// TestLatencyHistMerge: merging per-goroutine histograms equals one
+// histogram that saw every sample.
+func TestLatencyHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole LatencyHist
+	parts := make([]LatencyHist, 4)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	var merged LatencyHist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatalf("merged parts differ from the whole-sample histogram")
+	}
+	if merged.N() != 10000 || merged.Min() != whole.Min() || merged.Max() != whole.Max() || merged.Sum() != whole.Sum() {
+		t.Fatalf("merged accounting differs: n=%d", merged.N())
+	}
+}
+
+// TestLatencyHistNegativeClamp: negative samples clamp to zero instead of
+// corrupting the bucket array.
+func TestLatencyHistNegativeClamp(t *testing.T) {
+	var h LatencyHist
+	h.Add(-5)
+	if h.N() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample not clamped: min=%d max=%d", h.Min(), h.Max())
+	}
+}

@@ -153,6 +153,50 @@ func (h *Hist) Merge(other *Hist) {
 	h.N += other.N
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded sample,
+// linearly interpolated within the containing bucket and clamped to the
+// observed [Min, Max] range (so q=0 and q=1 return the exact extremes).
+// An empty histogram returns 0. Merged histograms report the quantiles of
+// the combined sample up to the shared bucket quantization.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	w := h.Width
+	if w < 1 {
+		w = 1
+	}
+	// Continuous rank in [0, N-1]: the same convention as Percentile over
+	// a sorted sample, but the interpolation happens within one bucket.
+	rank := q * float64(h.N-1)
+	cum := 0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) > rank {
+			lo := float64(i * w)
+			within := (rank - float64(cum)) / float64(c)
+			v := lo + within*float64(w)
+			if v < float64(h.Min) {
+				v = float64(h.Min)
+			}
+			if v > float64(h.Max) {
+				v = float64(h.Max)
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(h.Max)
+}
+
 // String renders the non-empty buckets compactly: "[0,8):3 [8,16):12".
 func (h *Hist) String() string {
 	if h.N == 0 {

@@ -161,3 +161,63 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistQuantile: quantiles interpolate linearly within the containing
+// bucket and clamp to the observed extremes.
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(8)
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", h.Quantile(0.5))
+	}
+	h.Add(3)
+	if h.Quantile(0) != 3 || h.Quantile(0.5) != 3 || h.Quantile(1) != 3 {
+		t.Fatalf("single-sample quantiles: %v %v %v", h.Quantile(0), h.Quantile(0.5), h.Quantile(1))
+	}
+	// 100 samples in [0,8), 100 in [8,16): the median sits at the bucket
+	// boundary, p0/p1 are the exact extremes, and everything is monotone.
+	h = NewHist(8)
+	for i := 0; i < 100; i++ {
+		h.Add(2)
+		h.Add(10)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+	if got := h.Quantile(0.25); got < 2 || got > 8 {
+		t.Errorf("Quantile(0.25) = %v, want within the first bucket [2,8]", got)
+	}
+	if got := h.Quantile(0.75); got < 8 || got > 10 {
+		t.Errorf("Quantile(0.75) = %v, want within the second bucket clamped to max", got)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistQuantileMerged: a merge of two histograms reports the quantiles
+// of the combined sample.
+func TestHistQuantileMerged(t *testing.T) {
+	a, b := NewHist(4), NewHist(4)
+	for i := 0; i < 50; i++ {
+		a.Add(1)
+		b.Add(21)
+	}
+	a.Merge(b)
+	if got := a.Quantile(0.1); got != 1 {
+		t.Errorf("merged Quantile(0.1) = %v, want 1 (clamped to min)", got)
+	}
+	if got := a.Quantile(0.9); math.Abs(got-21) > 1 {
+		t.Errorf("merged Quantile(0.9) = %v, want ~21", got)
+	}
+	if got, want := a.Quantile(1), float64(21); got != want {
+		t.Errorf("merged Quantile(1) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,204 @@
+package stress
+
+// Tests drive real scenarios natively with small round budgets, so they
+// exercise genuine concurrency (and run under -race in CI) while staying
+// fast and deterministic in everything but timing.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+func mustScenario(t *testing.T, name string) scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", name, err)
+	}
+	return sc
+}
+
+// TestRunA1 hammers the basic TAS scenario and checks the accounting
+// invariants that hold regardless of scheduling: ops = rounds*G, every op
+// took at least one shared-memory access, every access census field is
+// consistent, and the latency histogram saw every op.
+func TestRunA1(t *testing.T) {
+	m := obs.New(4)
+	r, err := Run(Config{
+		Scenario:   mustScenario(t, "a1"),
+		G:          4,
+		Duration:   time.Minute, // MaxRounds is the real bound
+		MaxRounds:  200,
+		CheckEvery: 10,
+		Seed:       1,
+		Metrics:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds != 200 {
+		t.Fatalf("rounds = %d, want 200", r.Rounds)
+	}
+	if r.Ops != int64(r.G)*r.Rounds {
+		t.Fatalf("ops = %d, want G*rounds = %d", r.Ops, int64(r.G)*r.Rounds)
+	}
+	if r.Accesses < r.Ops {
+		t.Errorf("accesses = %d < ops = %d: every op takes at least one access", r.Accesses, r.Ops)
+	}
+	// a1 is the paper's register-only obstruction-free module: its native
+	// census must show zero RMWs — the same claim E7's census makes under
+	// the gate, reproduced on real hardware.
+	if r.RMWs != 0 {
+		t.Errorf("a1 issued %d RMWs, want 0 (register-only algorithm)", r.RMWs)
+	}
+	if r.RMWFails > r.RMWs {
+		t.Errorf("rmw fails = %d > rmw attempts = %d", r.RMWFails, r.RMWs)
+	}
+	if r.Latency.N() != r.Ops {
+		t.Errorf("latency histogram saw %d samples, want %d", r.Latency.N(), r.Ops)
+	}
+	if r.CheckRounds != 20 {
+		t.Errorf("check rounds = %d, want 20 (every 10th of 200)", r.CheckRounds)
+	}
+	if r.CheckFailures != 0 {
+		t.Errorf("a1 spot-checks failed: %d (%s)", r.CheckFailures, r.FirstCheckErr)
+	}
+	if r.OpsPerSec <= 0 || r.WallMS <= 0 {
+		t.Errorf("throughput accounting missing: ops/sec=%v wall=%vms", r.OpsPerSec, r.WallMS)
+	}
+	// The live counters carry the same totals.
+	s := m.Snapshot()
+	if got := s.Counters["stress_ops_total"]; got != r.Ops {
+		t.Errorf("stress_ops_total = %d, want %d", got, r.Ops)
+	}
+	if got := s.Counters["stress_rmw_fail_total"]; got != r.RMWFails {
+		t.Errorf("stress_rmw_fail_total = %d, want %d", got, r.RMWFails)
+	}
+	if !strings.Contains(s.Prometheus(), "repro_stress_ops_total") {
+		t.Error("stress counters missing from Prometheus rendering")
+	}
+}
+
+// TestRunComposedLinearizeSpotCheck runs the composed TAS (linearize
+// oracle) with a check every round: the sampled histories must all
+// linearize.
+func TestRunComposedLinearizeSpotCheck(t *testing.T) {
+	r, err := Run(Config{
+		Scenario:   mustScenario(t, "composed"),
+		G:          3,
+		Duration:   time.Minute,
+		MaxRounds:  100,
+		CheckEvery: 1,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CheckRounds != 100 {
+		t.Fatalf("check rounds = %d, want 100", r.CheckRounds)
+	}
+	if r.CheckFailures != 0 {
+		t.Fatalf("composed spot-checks failed: %d (%s)", r.CheckFailures, r.FirstCheckErr)
+	}
+	// The composed TAS reaches its hardware A2 stage only under real step
+	// contention (Lemma 7: registers only in contention-free runs), so the
+	// RMW census is timing-dependent — assert only its internal
+	// consistency, not a floor.
+	if r.RMWs > r.Accesses || r.RMWFails > r.RMWs {
+		t.Errorf("census inconsistent: accesses=%d rmws=%d fails=%d", r.Accesses, r.RMWs, r.RMWFails)
+	}
+}
+
+// TestRunNoResetScenario exercises the rebuild-per-round path.
+func TestRunNoResetScenario(t *testing.T) {
+	var noReset scenario.Scenario
+	for _, sc := range scenario.Registered() {
+		if sc.Params.NoReset {
+			noReset = sc
+			break
+		}
+	}
+	if noReset.Build == nil {
+		t.Skip("no NoReset scenario registered")
+	}
+	r, err := Run(Config{
+		Scenario:   noReset,
+		G:          2,
+		Duration:   time.Minute,
+		MaxRounds:  20,
+		CheckEvery: 5,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds != 20 || r.CheckFailures != 0 {
+		t.Fatalf("rounds=%d failures=%d (%s)", r.Rounds, r.CheckFailures, r.FirstCheckErr)
+	}
+}
+
+// TestRunArrivalPacing: open-loop arrivals still complete rounds and
+// record latencies that exclude the arrival gaps (a 1ms mean gap must not
+// inflate per-op latency to milliseconds).
+func TestRunArrivalPacing(t *testing.T) {
+	r, err := Run(Config{
+		Scenario:  mustScenario(t, "a1"),
+		G:         2,
+		Duration:  time.Minute,
+		MaxRounds: 10,
+		Arrival:   1000, // 1ms mean gap per worker
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds != 10 {
+		t.Fatalf("rounds = %d, want 10", r.Rounds)
+	}
+	if r.P50 > 5e5 {
+		t.Errorf("p50 = %.0fns: arrival gaps leaked into op latency", r.P50)
+	}
+}
+
+// TestSweepEventsAndTable: a two-point sweep emits the event triple and
+// renders one row per point.
+func TestSweepEventsAndTable(t *testing.T) {
+	m := obs.New(4)
+	var events strings.Builder
+	log := obs.NewEventLog(&events)
+	m.SetEvents(log)
+	results, err := Sweep(Config{
+		Scenario:  mustScenario(t, "a1"),
+		G:         2,
+		Duration:  time.Minute,
+		MaxRounds: 20,
+		Seed:      5,
+		Metrics:   m,
+	}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("closing event log: %v", err)
+	}
+	for _, typ := range []string{"sweep_start", "point_done", "sweep_end"} {
+		if !strings.Contains(events.String(), `"type":"`+typ+`"`) {
+			t.Errorf("missing %s event in %s", typ, events.String())
+		}
+	}
+	table := Table(results, 0)
+	if !strings.Contains(table, "## stress a1") {
+		t.Errorf("table missing header:\n%s", table)
+	}
+	// Header row plus one data row per point.
+	if got := strings.Count(table, "\n| "); got != 3 {
+		t.Errorf("table has %d pipe rows, want 3 (header + 2 points):\n%s", got, table)
+	}
+}

@@ -1,0 +1,79 @@
+package stress
+
+// GOMAXPROCS sweeps and the GBBS-style scaling-table rendering: one
+// regenerable markdown table per scenario, one row per processor count,
+// with throughput, the latency tail, and the RMW contention census.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sweep runs one stress point per entry of procsList (GOMAXPROCS values),
+// emitting sweep_start / point_done / sweep_end events into cfg.Metrics
+// when an event log is attached. Points run sequentially — each owns the
+// whole machine, which is the only way a scaling curve means anything.
+// An empty procsList runs a single point at the current GOMAXPROCS.
+func Sweep(cfg Config, procsList []int) ([]Result, error) {
+	if len(procsList) == 0 {
+		procsList = []int{0}
+	}
+	cfg.Metrics.Event("sweep_start", map[string]any{
+		"scenario": cfg.Scenario.Name,
+		"g":        cfg.Scenario.Procs(cfg.G),
+		"points":   len(procsList),
+		"duration": cfg.Duration.String(),
+	})
+	results := make([]Result, 0, len(procsList))
+	for _, procs := range procsList {
+		pc := cfg
+		pc.Procs = procs
+		r, err := Run(pc)
+		if err != nil {
+			return results, fmt.Errorf("stress: point procs=%d: %w", procs, err)
+		}
+		results = append(results, r)
+		cfg.Metrics.Event("point_done", map[string]any{
+			"scenario":    r.Scenario,
+			"procs":       r.Procs,
+			"g":           r.G,
+			"rounds":      r.Rounds,
+			"ops":         r.Ops,
+			"ops_per_sec": r.OpsPerSec,
+			"p50_ns":      r.P50,
+			"p99_ns":      r.P99,
+			"p999_ns":     r.P999,
+			"rmw_fails":   r.RMWFails,
+			"check_fails": r.CheckFailures,
+		})
+	}
+	cfg.Metrics.Event("sweep_end", map[string]any{
+		"scenario": cfg.Scenario.Name,
+		"points":   len(results),
+	})
+	return results, nil
+}
+
+// Table renders sweep results as one GBBS-style markdown scaling table:
+// a header describing the workload, then one row per sweep point. All
+// results must come from one scenario/G configuration (Sweep guarantees
+// that); the table is regenerable byte-for-byte modulo timing noise.
+func Table(results []Result, dur time.Duration) string {
+	if len(results) == 0 {
+		return "(no stress results)\n"
+	}
+	var b strings.Builder
+	r0 := results[0]
+	fmt.Fprintf(&b, "## stress %s — G=%d, %s per point\n\n", r0.Scenario, r0.G, dur)
+	b.WriteString("| procs | rounds | ops | ops/sec | p50(ns) | p90(ns) | p99(ns) | p999(ns) | rmw | rmw-fail | fail% | checks | check-fail |\n")
+	b.WriteString("|------:|-------:|----:|--------:|--------:|--------:|--------:|---------:|----:|---------:|------:|-------:|-----------:|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %d | %d | %d | %.0f | %.0f | %.0f | %.0f | %.0f | %d | %d | %.1f%% | %d | %d |\n",
+			r.Procs, r.Rounds, r.Ops, r.OpsPerSec,
+			r.P50, r.P90, r.P99, r.P999,
+			r.RMWs, r.RMWFails, 100*r.FailRatio(),
+			r.CheckRounds, r.CheckFailures)
+	}
+	return b.String()
+}
