@@ -22,6 +22,7 @@ const (
 	defDuration   = 2 * time.Second
 	defCheckEvery = 64
 	defSeed       = int64(1)
+	defLincheck   = "spot"
 )
 
 // runPath classifies an invocation by what it runs.
@@ -48,16 +49,20 @@ func (p runPath) String() string {
 
 // cliFlags holds every parsed path-restricted flag value.
 type cliFlags struct {
-	g          int
-	duration   time.Duration
-	arrival    float64
-	procsSweep string
-	checkEvery int
-	maxRounds  int64
-	seed       int64
-	jsonOut    bool
-	events     string
-	debugAddr  string
+	g             int
+	duration      time.Duration
+	arrival       float64
+	procsSweep    string
+	checkEvery    int
+	maxRounds     int64
+	seed          int64
+	lincheck      string
+	linWindow     int
+	linMaxConfigs int
+	linMaxOps     int64
+	jsonOut       bool
+	events        string
+	debugAddr     string
 }
 
 // flagRule is the shared rule type instantiated for this binary.
@@ -89,6 +94,14 @@ func flagRules() []flagRule {
 			Allowed: on(pathList, pathStress)},
 		{Name: "-seed", Set: func(f *cliFlags) bool { return f.seed != defSeed },
 			Allowed: on(pathList, pathStress)},
+		{Name: "-lincheck", Set: func(f *cliFlags) bool { return f.lincheck != defLincheck },
+			Allowed: on(pathList, pathStress)},
+		{Name: "-lin-window", Set: func(f *cliFlags) bool { return f.linWindow != 0 },
+			Allowed: on(pathList, pathStress)},
+		{Name: "-lin-max-configs", Set: func(f *cliFlags) bool { return f.linMaxConfigs != 0 },
+			Allowed: on(pathList, pathStress)},
+		{Name: "-lin-max-ops", Set: func(f *cliFlags) bool { return f.linMaxOps != 0 },
+			Allowed: on(pathList, pathStress)},
 		{Name: "-json", Set: func(f *cliFlags) bool { return f.jsonOut },
 			Allowed: on(pathStress),
 			Context: map[runPath]string{pathList: "-list (it is a stress-result array)"}},
@@ -107,7 +120,27 @@ func pathContexts() map[runPath]string {
 	}
 }
 
-// validateFlags checks every table rule against the resolved path.
+// validateFlags checks every table rule against the resolved path, then
+// the cross-flag dependencies the per-flag table cannot express: the JIT
+// checker budget knobs only mean something when a streaming lincheck mode
+// is selected.
 func validateFlags(f *cliFlags, path runPath, contexts map[runPath]string) error {
-	return cliflags.Validate(f, path, flagRules(), contexts)
+	if err := cliflags.Validate(f, path, flagRules(), contexts); err != nil {
+		return err
+	}
+	if f.lincheck != "online" && f.lincheck != "post" {
+		for _, dep := range []struct {
+			name string
+			set  bool
+		}{
+			{"-lin-window", f.linWindow != 0},
+			{"-lin-max-configs", f.linMaxConfigs != 0},
+			{"-lin-max-ops", f.linMaxOps != 0},
+		} {
+			if dep.set {
+				return fmt.Errorf("%s requires -lincheck online or post (got -lincheck %s)", dep.name, f.lincheck)
+			}
+		}
+	}
+	return nil
 }

@@ -21,6 +21,7 @@ func defaultFlags() *cliFlags {
 		duration:   defDuration,
 		checkEvery: defCheckEvery,
 		seed:       defSeed,
+		lincheck:   defLincheck,
 	}
 }
 
@@ -33,9 +34,16 @@ var setters = map[string]func(f *cliFlags){
 	"-check-every": func(f *cliFlags) { f.checkEvery = defCheckEvery + 1 },
 	"-max-rounds":  func(f *cliFlags) { f.maxRounds = 100 },
 	"-seed":        func(f *cliFlags) { f.seed = defSeed + 1 },
-	"-json":        func(f *cliFlags) { f.jsonOut = true },
-	"-events":      func(f *cliFlags) { f.events = "events.jsonl" },
-	"-debug-addr":  func(f *cliFlags) { f.debugAddr = "localhost:0" },
+	"-lincheck":    func(f *cliFlags) { f.lincheck = "online" },
+	// The budget knobs are only coherent alongside a streaming mode, so
+	// their setters select one too (both flags are allowed on every path,
+	// so the extra firing rule cannot change any verdict).
+	"-lin-window":      func(f *cliFlags) { f.linWindow = 4096; f.lincheck = "online" },
+	"-lin-max-configs": func(f *cliFlags) { f.linMaxConfigs = 1 << 20; f.lincheck = "post" },
+	"-lin-max-ops":     func(f *cliFlags) { f.linMaxOps = 1 << 20; f.lincheck = "post" },
+	"-json":            func(f *cliFlags) { f.jsonOut = true },
+	"-events":          func(f *cliFlags) { f.events = "events.jsonl" },
+	"-debug-addr":      func(f *cliFlags) { f.debugAddr = "localhost:0" },
 }
 
 // TestFlagTableEveryCombination enumerates (rule × path): a set flag
@@ -114,6 +122,40 @@ func TestFlagContextWording(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("rejection on %s lost its hint %q: %v", c.path, c.want, err)
+		}
+	}
+}
+
+// TestLincheckCrossFlagDeps pins the cross-flag dependency the per-flag
+// table cannot express: the JIT budget knobs demand a streaming mode.
+func TestLincheckCrossFlagDeps(t *testing.T) {
+	contexts := pathContexts()
+	knobs := map[string]func(f *cliFlags){
+		"-lin-window":      func(f *cliFlags) { f.linWindow = 4096 },
+		"-lin-max-configs": func(f *cliFlags) { f.linMaxConfigs = 1 << 20 },
+		"-lin-max-ops":     func(f *cliFlags) { f.linMaxOps = 1 << 20 },
+	}
+	for name, set := range knobs {
+		for _, mode := range []string{defLincheck, "off"} {
+			f := defaultFlags()
+			f.lincheck = mode
+			set(f)
+			err := validateFlags(f, pathStress, contexts)
+			if err == nil {
+				t.Errorf("%s with -lincheck %s: silently accepted", name, mode)
+				continue
+			}
+			if !strings.Contains(err.Error(), name) || !strings.Contains(err.Error(), "online or post") {
+				t.Errorf("%s with -lincheck %s: rejection lost its hint: %v", name, mode, err)
+			}
+		}
+		for _, mode := range []string{"online", "post"} {
+			f := defaultFlags()
+			f.lincheck = mode
+			set(f)
+			if err := validateFlags(f, pathStress, contexts); err != nil {
+				t.Errorf("%s with -lincheck %s: unexpectedly rejected: %v", name, mode, err)
+			}
 		}
 	}
 }

@@ -54,22 +54,30 @@ func main() {
 	checkEvery := flag.Int("check-every", defCheckEvery, "spot-check the recorded history every Nth round (-1 = never)")
 	maxRounds := flag.Int64("max-rounds", 0, "additionally cap rounds per point (0 = duration only; the deterministic-workload knob)")
 	seed := flag.Int64("seed", defSeed, "seed for the arrival-gap generators")
+	lincheck := flag.String("lincheck", defLincheck, "linearizability tier: spot (sampled spot-checks), off, online (stream every round's history through the JIT checker during the run), post (record and verify after the run)")
+	linWindow := flag.Int("lin-window", 0, "JIT checker window: max resident ops between quiescent cuts (0 = checker default; needs -lincheck online/post)")
+	linMaxConfigs := flag.Int("lin-max-configs", 0, "JIT checker per-segment configuration budget (0 = checker default; needs -lincheck online/post)")
+	linMaxOps := flag.Int64("lin-max-ops", 0, "cap the operations fed to the checker, later rounds run unverified (0 = unlimited; needs -lincheck online/post)")
 	jsonOut := flag.Bool("json", false, "print the sweep results as one JSON array instead of the scaling table")
 	events := flag.String("events", "", "write sweep lifecycle events to this file as JSON lines")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus), /statusz (JSON) and /debug/pprof on this address for the run's duration")
 	flag.Parse()
 
 	cf := &cliFlags{
-		g:          *g,
-		duration:   *duration,
-		arrival:    *arrival,
-		procsSweep: *procsSweep,
-		checkEvery: *checkEvery,
-		maxRounds:  *maxRounds,
-		seed:       *seed,
-		jsonOut:    *jsonOut,
-		events:     *events,
-		debugAddr:  *debugAddr,
+		g:             *g,
+		duration:      *duration,
+		arrival:       *arrival,
+		procsSweep:    *procsSweep,
+		checkEvery:    *checkEvery,
+		maxRounds:     *maxRounds,
+		seed:          *seed,
+		lincheck:      *lincheck,
+		linWindow:     *linWindow,
+		linMaxConfigs: *linMaxConfigs,
+		linMaxOps:     *linMaxOps,
+		jsonOut:       *jsonOut,
+		events:        *events,
+		debugAddr:     *debugAddr,
 	}
 	path := pathStress
 	if *list {
@@ -125,15 +133,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stresscheck: debug endpoint on http://%s (/metrics, /statusz, /debug/pprof)\n", srv.Addr)
 	}
 
+	linMode, err := stress.ParseLinMode(*lincheck)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stresscheck: %v\n", err)
+		os.Exit(2)
+	}
+	m.SetInfo("lincheck", linMode.String())
+
 	results, runErr := stress.Sweep(stress.Config{
-		Scenario:   sc,
-		G:          *g,
-		Duration:   *duration,
-		MaxRounds:  *maxRounds,
-		Arrival:    *arrival,
-		CheckEvery: *checkEvery,
-		Seed:       *seed,
-		Metrics:    m,
+		Scenario:      sc,
+		G:             *g,
+		Duration:      *duration,
+		MaxRounds:     *maxRounds,
+		Arrival:       *arrival,
+		CheckEvery:    *checkEvery,
+		Seed:          *seed,
+		LinMode:       linMode,
+		LinWindow:     *linWindow,
+		LinMaxConfigs: *linMaxConfigs,
+		LinMaxOps:     *linMaxOps,
+		Metrics:       m,
 	}, procsList)
 
 	if el != nil {
@@ -163,26 +182,46 @@ func main() {
 	os.Exit(verdict(sc, results))
 }
 
-// verdict maps the spot-check tally to the exit code: a normal scenario
-// must never fail a spot-check; a planted-bug scenario is expected to be
-// caught (though native scheduling may not hit the buggy window in a
-// short run — only an actual observed failure counts either way).
+// verdict maps the correctness tally — spot-checks and, in the streaming
+// lincheck modes, full-history verification — to the exit code: a normal
+// scenario must never fail either; a planted-bug scenario is expected to
+// be caught (though native scheduling may not hit the buggy window in a
+// short run — only an actual observed failure counts either way). A
+// checker contract error (budget overrun, lost trace source) is always an
+// exit-1 failure: it means the verification the user asked for did not
+// happen.
 func verdict(sc scenario.Scenario, results []stress.Result) int {
-	var fails, checks int64
+	var fails, checks, linFails, linOps int64
 	for _, r := range results {
 		fails += r.CheckFailures
 		checks += r.CheckRounds
+		linFails += r.LinFailures
+		linOps += r.LinOps
+		if r.LinErr != "" {
+			fmt.Fprintf(os.Stderr, "stresscheck: lincheck error (procs=%d): %s\n", r.Procs, r.LinErr)
+			return 1
+		}
 	}
 	if sc.Params.ExpectFail {
-		if fails > 0 {
-			fmt.Fprintf(os.Stderr, "stresscheck: planted bug caught by %d of %d spot-checks (expected)\n", fails, checks)
+		if fails+linFails > 0 {
+			fmt.Fprintf(os.Stderr, "stresscheck: planted bug caught (%d spot-check, %d lincheck failures; expected)\n", fails, linFails)
 			return 0
 		}
-		if checks > 0 {
-			fmt.Fprintf(os.Stderr, "stresscheck: planted-bug scenario passed all %d spot-checks — native scheduling did not hit the buggy window\n", checks)
+		if checks > 0 || linOps > 0 {
+			fmt.Fprintf(os.Stderr, "stresscheck: planted-bug scenario passed every check — native scheduling did not hit the buggy window\n")
 			return 1
 		}
 		return 0
+	}
+	if linFails > 0 {
+		for _, r := range results {
+			if r.FirstLinErr != "" {
+				fmt.Fprintf(os.Stderr, "stresscheck: lincheck FAILED (procs=%d): %s\n", r.Procs, r.FirstLinErr)
+				break
+			}
+		}
+		fmt.Fprintf(os.Stderr, "stresscheck: %d round histories failed linearizability (%d ops verified)\n", linFails, linOps)
+		return 1
 	}
 	if fails > 0 {
 		for _, r := range results {

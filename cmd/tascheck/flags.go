@@ -25,6 +25,7 @@ const (
 	defWorkers   = 8
 	defPrune     = "dpor"
 	defSnapshots = "auto"
+	defLincheck  = "auto"
 )
 
 // runPath classifies an invocation by what it runs.
@@ -72,6 +73,7 @@ type cliFlags struct {
 	samples    int
 	seed       int64
 	prune      explore.PruneMode
+	lincheck   string
 	cache      bool
 	ckptOut    string
 	ckptIn     string
@@ -123,6 +125,11 @@ func flagRules() []flagRule {
 			Allowed: on(pathList, pathSweep, pathSampled)},
 		{Name: "-prune", Set: func(f *cliFlags) bool { return f.prune != explore.PruneSourceDPOR },
 			Allowed: on(pathList, pathExhaustive, pathExhaustiveDPOR)},
+		// The checker dispatch applies wherever an oracle actually runs —
+		// every path, with -list carrying the usual silently-valid
+		// tradition of the workload knobs.
+		{Name: "-lincheck", Set: func(f *cliFlags) bool { return f.lincheck != defLincheck },
+			Allowed: on(pathList, pathSweep, pathSampled, pathExhaustive, pathExhaustiveDPOR)},
 		{Name: "-cache", Set: func(f *cliFlags) bool { return f.cache },
 			Allowed: on(pathList, pathExhaustive), Context: dporHint},
 		{Name: "-checkpoint-out", Set: func(f *cliFlags) bool { return f.ckptOut != "" },

@@ -25,6 +25,7 @@ func defaultFlags() *cliFlags {
 		samples:   defSamples,
 		seed:      defSeed,
 		prune:     explore.PruneSourceDPOR,
+		lincheck:  defLincheck,
 		snapshots: explore.SnapshotAuto,
 	}
 }
@@ -39,6 +40,7 @@ var setters = map[string]func(f *cliFlags){
 	"-samples":        func(f *cliFlags) { f.samples = defSamples + 1 },
 	"-seed":           func(f *cliFlags) { f.seed = defSeed + 1 },
 	"-prune":          func(f *cliFlags) { f.prune = explore.PruneSleep },
+	"-lincheck":       func(f *cliFlags) { f.lincheck = "jit" },
 	"-cache":          func(f *cliFlags) { f.cache = true },
 	"-checkpoint-out": func(f *cliFlags) { f.ckptOut = "ckpt.json" },
 	"-checkpoint-in":  func(f *cliFlags) { f.ckptIn = "ckpt.json" },

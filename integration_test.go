@@ -58,7 +58,7 @@ func TestIntegrationComposedTASWithCrashes(t *testing.T) {
 					return fmt.Errorf("survivor %d did not finish", i)
 				}
 			}
-			if lr := linearize.CheckTAS(ops); !lr.Ok {
+			if lr, lerr := linearize.CheckTAS(ops); lerr != nil || !lr.Ok {
 				return fmt.Errorf("not linearizable: %s", lr.Reason)
 			}
 			return nil

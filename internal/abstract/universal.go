@@ -90,7 +90,7 @@ type stageLocal struct {
 	resp      map[int64]int64
 	slot      int // next 1-based consensus slot
 	announced []int64
-	state     string
+	state     spec.State
 }
 
 // NewStage builds an Abstract instance for n processes over typ, using
@@ -114,7 +114,7 @@ func NewStage(name string, typ spec.Type, n int, reg *Registry, mkCons func(slot
 			decided: map[int64]bool{},
 			resp:    map[int64]int64{},
 			slot:    1,
-			state:   typ.Init(),
+			state:   typ.Start(),
 		}
 	}
 	return s
@@ -209,7 +209,7 @@ func (s *Stage) applyDecision(p *memory.Proc, st *stageLocal, id int64) {
 	req := s.reg.Lookup(p, id)
 	st.decided[id] = true
 	st.perf = append(st.perf, id)
-	st.state, st.resp[id] = s.typ.Apply(st.state, req)
+	st.state, st.resp[id] = st.state.Apply(req)
 }
 
 // abortReturn sets the Aborted flag, computes the abort history from the

@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"E14", RunE14, "unified engine core: source-DPOR vs legacy sleep sets, attempts and wall-clock"},
 		{"E15", RunE15, "incremental replay: snapshot-restored branches vs prefix reconstruction"},
 		{"E16", RunE16, "native stress: throughput scaling, latency tails and the RMW census"},
+		{"E17", RunE17, "linearizability checker scaling: brute-force DFS vs JIT streaming"},
 	}
 }
 

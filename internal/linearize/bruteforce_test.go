@@ -69,10 +69,10 @@ func validLinearization(t spec.Type, h spec.History, ops []trace.Op) bool {
 		}
 	}
 	// Responses of completed ops must match.
-	state := t.Init()
+	state := t.Start()
 	for _, r := range h {
 		var resp int64
-		state, resp = t.Apply(state, r)
+		state, resp = state.Apply(r)
 		if o := byID[r.ID]; !o.Pending && resp != o.Resp {
 			return false
 		}

@@ -1,0 +1,695 @@
+package linearize
+
+// The Wing–Gong/Lowe just-in-time linearizability checker: the scalable
+// tier of this package. Where Check memoizes one global DFS over a ≤64-op
+// bitmask, the JIT checker streams an arbitrarily long history through a
+// bounded window:
+//
+//   - The history is cut at *quiescent points* — stamps where every
+//     earlier completed operation has already returned. At such a cut
+//     every earlier completed op real-time-precedes every later op, so a
+//     linearization of the whole history is exactly a concatenation of
+//     per-segment linearizations chained on the object state. Stress
+//     round barriers are natural quiescent points; low-contention phases
+//     produce them constantly.
+//   - Each segment is solved by a calls-first search over an entry-linked
+//     history (Wing–Gong as refined by Lowe): candidate operations are
+//     the call entries before the first return entry of a doubly-linked
+//     event list, linearizing an op unlinks its entries in O(1), and
+//     backtracking relinks them (undo, no copying). Configurations
+//     (linearized-set bitmask, pending-usage mask, interned state id) are
+//     memoized exactly, and the search enumerates *every* reachable
+//     terminal configuration — the frontier carried into the next
+//     segment — not just the first.
+//   - Verified segments are evicted: only the frontier of
+//     (state, pending-mask) configurations crosses a cut, so memory is
+//     bounded by the window and the interner, which is compacted to the
+//     frontier's live states whenever it grows past a threshold.
+//
+// Pending operations (crashed or cut off mid-flight) float forward: with
+// no response event they real-time-precede nothing, so they may take
+// effect in their own segment (no earlier than their invocation), in any
+// later segment, or never. They are carried in a capped side table and
+// addressed by a bitmask in every configuration.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// The JIT checker's default budgets.
+const (
+	// DefaultWindow is the default bound on operations resident between
+	// quiescent cuts. A history whose overlap exceeds the window is a
+	// contract error (raise the window), never a verdict.
+	DefaultWindow = 8192
+	// DefaultMaxConfigs is the default per-segment configuration budget.
+	DefaultMaxConfigs = 1 << 21
+	// DefaultMaxPending is the default cap on carried pending operations
+	// (they occupy bits of a 64-bit mask in every configuration).
+	DefaultMaxPending = 64
+
+	// segTarget is the preferred segment size: consecutive quiescent cuts
+	// are coalesced up to this many operations so mostly-sequential
+	// histories do not pay per-segment setup for every operation.
+	segTarget = 512
+	// compactAbove triggers interner compaction: after a segment, if more
+	// states than this are interned, the interner is rebuilt from the
+	// frontier's live states (unbounded-state types like counters would
+	// otherwise grow the intern table linearly with history length).
+	compactAbove = 1 << 16
+)
+
+// JITConfig parameterizes the JIT checker. The zero value selects the
+// defaults above with witness tracking off.
+type JITConfig struct {
+	// Window bounds the operations resident between quiescent cuts.
+	Window int
+	// MaxConfigs bounds the per-segment memoized configuration count.
+	MaxConfigs int
+	// MaxPending bounds the carried pending-operation table (≤ 64).
+	MaxPending int
+	// Witness retains a linearization witness per frontier configuration.
+	// Witness histories grow with the stream; enable only for histories
+	// that fit in memory (CheckJIT enables it automatically for small
+	// inputs).
+	Witness bool
+}
+
+func (c JITConfig) withDefaults() JITConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MaxConfigs <= 0 {
+		c.MaxConfigs = DefaultMaxConfigs
+	}
+	if c.MaxPending <= 0 || c.MaxPending > 64 {
+		c.MaxPending = DefaultMaxPending
+	}
+	return c
+}
+
+// Stats is the JIT checker's telemetry: how much history was checked, how
+// it was segmented, and the peak sizes of the bounded structures.
+type Stats struct {
+	// Ops counts operations pushed (completed and pending).
+	Ops int64
+	// Windows counts solved segments and Evicted the completed operations
+	// released after their segment was verified.
+	Windows int64
+	Evicted int64
+	// PeakWindow is the largest segment solved; PeakConfigs the largest
+	// per-segment memo; PeakStates the most states interned at once;
+	// PeakFrontier the widest configuration frontier carried across a cut.
+	PeakWindow   int
+	PeakConfigs  int
+	PeakStates   int
+	Frontier     int
+	PeakFrontier int
+}
+
+// Fold accumulates another checker's telemetry into st (counters add,
+// peaks take the maximum) — used to aggregate per-object and per-check
+// stats.
+func (st *Stats) Fold(o Stats) {
+	st.Ops += o.Ops
+	st.Windows += o.Windows
+	st.Evicted += o.Evicted
+	st.PeakWindow = max(st.PeakWindow, o.PeakWindow)
+	st.PeakConfigs = max(st.PeakConfigs, o.PeakConfigs)
+	st.PeakStates = max(st.PeakStates, o.PeakStates)
+	st.Frontier += o.Frontier
+	st.PeakFrontier = max(st.PeakFrontier, o.PeakFrontier)
+}
+
+// streamCfg is one frontier configuration: the object state after the
+// segments solved so far, the pending operations that have taken effect,
+// and (when tracked) a witness linearization reaching it.
+type streamCfg struct {
+	state    spec.StateID
+	pendUsed uint64
+	witness  spec.History
+}
+
+// Stream checks one object's history online. Push operations in
+// invocation-stamp order, Barrier at instance resets (the stream verifies
+// the closed instance and restarts from the type's starting state), and
+// Finish for the verdict. Not safe for concurrent use.
+type Stream struct {
+	t       spec.Type
+	cfg     JITConfig
+	in      *spec.Interner
+	stutter spec.Stutterable // non-nil iff t declares stutter-safe pairs
+	track   bool
+	lastInv int64
+
+	frontier []streamCfg
+	pend     []trace.Op // carried pending ops; bit i of pendUsed = pend[i]
+
+	buf     []trace.Op // completed ops awaiting a segment, Inv-sorted
+	prefMax []int64    // prefMax[i] ≥ max Ret over buf[..i], exact for cut tests
+	cuts    []int      // ascending quiescent cut indices into buf
+	scanned int        // cut predicate evaluated for indices < scanned
+
+	failed *Result // sticky verdict failure
+	err    error   // sticky contract error
+	stats  Stats
+}
+
+// NewStream returns a stream checking a history of type t.
+func NewStream(t spec.Type, cfg JITConfig) *Stream {
+	cfg = cfg.withDefaults()
+	s := &Stream{
+		t:        t,
+		cfg:      cfg,
+		in:       spec.NewInterner(t),
+		track:    cfg.Witness,
+		lastInv:  math.MinInt64,
+		frontier: []streamCfg{{}},
+		scanned:  1,
+	}
+	if st, ok := t.(spec.Stutterable); ok {
+		s.stutter = st
+	}
+	return s
+}
+
+// Push feeds the next operation. Operations must arrive in invocation
+// order; aborted operations must be projected out first. The returned
+// error is a contract violation (ordering, budgets), never a verdict —
+// verdict failures are sticky and reported by Finish.
+func (s *Stream) Push(op trace.Op) error {
+	if s.err != nil {
+		return s.err
+	}
+	if op.Aborted {
+		s.err = fmt.Errorf("linearize: aborted operation (id %d) must be projected out before the stream", op.Req.ID)
+		return s.err
+	}
+	if s.failed != nil {
+		return nil // verdict already decided; drain cheaply
+	}
+	if op.Inv < s.lastInv {
+		s.err = fmt.Errorf("linearize: stream operations must be pushed in invocation order (stamp %d after %d)", op.Inv, s.lastInv)
+		return s.err
+	}
+	s.lastInv = op.Inv
+	s.stats.Ops++
+	if op.Pending {
+		if len(s.pend) >= s.cfg.MaxPending {
+			s.err = fmt.Errorf("linearize: more than %d pending operations carried (raise MaxPending up to 64)", s.cfg.MaxPending)
+			return s.err
+		}
+		s.pend = append(s.pend, op)
+		return nil
+	}
+	pm := op.Ret
+	if n := len(s.prefMax); n > 0 && s.prefMax[n-1] > pm {
+		pm = s.prefMax[n-1]
+	}
+	s.buf = append(s.buf, op)
+	s.prefMax = append(s.prefMax, pm)
+	// Evaluate the (immutable) cut predicate at the new index: index i is
+	// a quiescent cut iff everything before it returned before its
+	// invocation. prefMax may retain values from evicted ops; those are
+	// all smaller than any remaining Inv, so the comparison stays exact.
+	for ; s.scanned < len(s.buf); s.scanned++ {
+		if s.prefMax[s.scanned-1] < s.buf[s.scanned].Inv {
+			s.cuts = append(s.cuts, s.scanned)
+		}
+	}
+	return s.advance(false)
+}
+
+// advance solves buffered segments. Without force it batches up to
+// segTarget operations per segment and enforces the window bound; with
+// force (Finish/Barrier) it drains the buffer completely.
+func (s *Stream) advance(force bool) error {
+	for s.failed == nil {
+		c := s.pickCut(force)
+		if c < 0 {
+			break
+		}
+		s.solveSegment(s.buf[:c], s.buf[c].Inv)
+		s.evict(c)
+		if s.err != nil {
+			return s.err
+		}
+	}
+	if s.failed != nil {
+		s.buf, s.prefMax, s.cuts, s.scanned = nil, nil, nil, 1
+		return nil
+	}
+	if force {
+		if len(s.buf) > 0 {
+			s.solveSegment(s.buf, math.MaxInt64)
+			s.evict(len(s.buf))
+		}
+		return s.err
+	}
+	last := 0
+	if n := len(s.cuts); n > 0 {
+		last = s.cuts[n-1]
+	}
+	if len(s.buf)-last > s.cfg.Window {
+		s.err = fmt.Errorf("linearize: no quiescent cut within the %d-op window (history too entangled; raise Window)", s.cfg.Window)
+	}
+	return s.err
+}
+
+// pickCut selects the next segment boundary: the largest known cut within
+// the target batch size (coalescing runs of tiny quiescent segments), or
+// the earliest cut when even it exceeds the target. -1 means wait for
+// more operations (or, under force, drain the remainder as one segment).
+func (s *Stream) pickCut(force bool) int {
+	if len(s.cuts) == 0 {
+		return -1
+	}
+	target := min(segTarget, s.cfg.Window)
+	if !force && len(s.buf) < target {
+		return -1
+	}
+	c := s.cuts[0]
+	for _, x := range s.cuts[1:] {
+		if x > target {
+			break
+		}
+		c = x
+	}
+	return c
+}
+
+// evict drops the first c buffered operations and rebases the cut queue.
+func (s *Stream) evict(c int) {
+	s.buf = s.buf[c:]
+	s.prefMax = s.prefMax[c:]
+	keep := s.cuts[:0]
+	for _, x := range s.cuts {
+		if x > c {
+			keep = append(keep, x-c)
+		}
+	}
+	s.cuts = keep
+	s.scanned = max(1, s.scanned-c)
+	s.stats.Evicted += int64(c)
+}
+
+// Barrier closes the current object instance — the harness reset its
+// object — verifying everything buffered and restarting the frontier from
+// the type's starting state. Pending operations cannot cross a reset;
+// having never returned, they constrain nothing, so the closed instance's
+// verdict already accounts for both fates. Stamps may restart after a
+// barrier.
+func (s *Stream) Barrier() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.advance(true); err != nil {
+		return err
+	}
+	s.pend = s.pend[:0]
+	s.frontier = append(s.frontier[:0], streamCfg{})
+	s.lastInv = math.MinInt64
+	s.stats.PeakStates = max(s.stats.PeakStates, s.in.Len())
+	s.in = spec.NewInterner(s.t) // fresh instance: no live states to keep
+	return nil
+}
+
+// Finish drains the buffer and returns the verdict. Contract errors
+// (ordering, window, budgets) are returned as errors; a genuine
+// non-linearizable window is a Result with Ok == false and a Reason
+// localizing it.
+func (s *Stream) Finish() (Result, error) {
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if err := s.advance(true); err != nil {
+		return Result{}, err
+	}
+	if s.failed != nil {
+		return *s.failed, nil
+	}
+	res := Result{Ok: true}
+	if s.track && len(s.frontier) > 0 {
+		res.Witness = s.frontier[0].witness
+	}
+	return res, nil
+}
+
+// Failed exposes a sticky verdict failure mid-stream (nil while the
+// history linearizes), so online drivers can stop feeding early.
+func (s *Stream) Failed() *Result { return s.failed }
+
+// Stats returns a snapshot of the checker telemetry.
+func (s *Stream) Stats() Stats {
+	out := s.stats
+	out.PeakStates = max(out.PeakStates, s.in.Len())
+	out.Frontier = len(s.frontier)
+	return out
+}
+
+// solveSegment runs the entry-linked search over one quiescent segment,
+// replacing the frontier with every configuration reachable from it. An
+// empty result frontier is a verdict failure localized to the segment.
+func (s *Stream) solveSegment(ops []trace.Op, segEnd int64) {
+	if len(ops) == 0 {
+		return
+	}
+	s.stats.Windows++
+	s.stats.PeakWindow = max(s.stats.PeakWindow, len(ops))
+
+	sv := newSolver(s, ops, segEnd)
+	for i := range s.frontier {
+		sv.base = &s.frontier[i]
+		sv.dfs(s.frontier[i].state, s.frontier[i].pendUsed)
+		if s.err != nil {
+			return
+		}
+	}
+	s.stats.PeakConfigs = max(s.stats.PeakConfigs, len(sv.visited))
+	if len(sv.out) == 0 {
+		s.failed = &Result{Ok: false, Reason: sv.failReason()}
+		return
+	}
+	next := make([]streamCfg, 0, len(sv.out))
+	for _, c := range sv.out {
+		next = append(next, *c)
+	}
+	sort.Slice(next, func(i, j int) bool {
+		if next[i].state != next[j].state {
+			return next[i].state < next[j].state
+		}
+		return next[i].pendUsed < next[j].pendUsed
+	})
+	s.frontier = next
+	s.stats.PeakFrontier = max(s.stats.PeakFrontier, len(next))
+
+	// Compact the interner to the frontier's live states: counters and
+	// other unbounded-state types would otherwise grow it with history
+	// length. Memo hits are overwhelmingly intra-segment, so dropping the
+	// transition cache here costs almost nothing.
+	if s.in.Len() > compactAbove {
+		s.stats.PeakStates = max(s.stats.PeakStates, s.in.Len())
+		old := s.in
+		s.in = spec.NewInterner(s.t)
+		for i := range s.frontier {
+			s.frontier[i].state = s.in.ID(old.State(s.frontier[i].state))
+		}
+	}
+}
+
+// segEntry is one node of the entry-linked event list: a call or return
+// entry in stamp order. Linearizing an operation unlinks its entries;
+// backtracking relinks them in reverse order (dancing links).
+type segEntry struct {
+	stamp   int64
+	call    bool
+	pending bool
+	idx     int // completed: segment-local bit; pending: stream pend index
+	op      *trace.Op
+	match   *segEntry // the return entry of a completed call entry
+	prev    *segEntry
+	next    *segEntry
+}
+
+func lift(e *segEntry)   { e.prev.next, e.next.prev = e.next, e.prev }
+func unlift(e *segEntry) { e.prev.next, e.next.prev = e, e }
+
+type outKey struct {
+	state    spec.StateID
+	pendUsed uint64
+}
+
+// solver is the per-segment search state.
+type solver struct {
+	s          *Stream
+	ops        []trace.Op
+	head, tail *segEntry
+	maskWords  []uint64
+	remaining  int
+	visited    map[string]struct{}
+	out        map[outKey]*streamCfg
+	base       *streamCfg // incoming config currently explored (for witnesses)
+	frag       []spec.Request
+	keyBuf     []byte
+}
+
+func newSolver(s *Stream, ops []trace.Op, segEnd int64) *solver {
+	sv := &solver{
+		s:         s,
+		ops:       ops,
+		maskWords: make([]uint64, (len(ops)+63)/64),
+		remaining: len(ops),
+		visited:   make(map[string]struct{}),
+		out:       make(map[outKey]*streamCfg),
+	}
+	entries := make([]segEntry, 0, 2*len(ops)+len(s.pend))
+	for i := range ops {
+		o := &ops[i]
+		entries = append(entries,
+			segEntry{stamp: o.Inv, call: true, idx: i, op: o},
+			segEntry{stamp: o.Ret, idx: i, op: o})
+	}
+	for pi := range s.pend {
+		if p := &s.pend[pi]; p.Inv < segEnd {
+			entries = append(entries, segEntry{stamp: p.Inv, call: true, pending: true, idx: pi, op: p})
+		}
+	}
+	// Calls sort before returns on equal stamps: an op invoked exactly
+	// when another returns is concurrent with it (real-time precedence is
+	// strict), so it must still be a candidate.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].stamp != entries[j].stamp {
+			return entries[i].stamp < entries[j].stamp
+		}
+		return entries[i].call && !entries[j].call
+	})
+	calls := make([]*segEntry, len(ops))
+	sv.head, sv.tail = &segEntry{}, &segEntry{}
+	prev := sv.head
+	for i := range entries {
+		e := &entries[i]
+		prev.next, e.prev = e, prev
+		prev = e
+		if !e.pending {
+			if e.call {
+				calls[e.idx] = e
+			} else {
+				calls[e.idx].match = e
+			}
+		}
+	}
+	prev.next, sv.tail.prev = sv.tail, prev
+	return sv
+}
+
+// visit memoizes the configuration (linearized mask, pending mask, state).
+// Keys are compared exactly — never by hash alone — so a collision can
+// only cost work, not soundness.
+func (sv *solver) visit(state spec.StateID, pendUsed uint64) bool {
+	b := sv.keyBuf[:0]
+	for _, w := range sv.maskWords {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	b = append(b, byte(pendUsed), byte(pendUsed>>8), byte(pendUsed>>16), byte(pendUsed>>24),
+		byte(pendUsed>>32), byte(pendUsed>>40), byte(pendUsed>>48), byte(pendUsed>>56))
+	b = append(b, byte(state), byte(state>>8), byte(state>>16), byte(state>>24))
+	sv.keyBuf = b
+	if _, seen := sv.visited[string(b)]; seen {
+		return false
+	}
+	if len(sv.visited) >= sv.s.cfg.MaxConfigs {
+		sv.s.err = fmt.Errorf("linearize: segment exceeded the %d-configuration budget (raise MaxConfigs)", sv.s.cfg.MaxConfigs)
+		return false
+	}
+	sv.visited[string(b)] = struct{}{}
+	return true
+}
+
+// dfs explores every linearization order of the segment from the given
+// configuration, recording all reachable terminal configurations.
+// Candidates are exactly the call entries before the first return entry
+// of the remaining event list (Wing–Gong: an op may linearize next iff no
+// other remaining completed op returned before it was invoked).
+func (sv *solver) dfs(state spec.StateID, pendUsed uint64) {
+	if sv.s.err != nil {
+		return
+	}
+	if sv.remaining == 0 {
+		k := outKey{state, pendUsed}
+		if _, ok := sv.out[k]; !ok {
+			c := &streamCfg{state: state, pendUsed: pendUsed}
+			if sv.s.track {
+				w := make(spec.History, 0, len(sv.base.witness)+len(sv.frag))
+				c.witness = append(append(w, sv.base.witness...), sv.frag...)
+			}
+			sv.out[k] = c
+		}
+		// Keep going: unused pending ops may still take effect here,
+		// yielding further terminals.
+	}
+	if !sv.visit(state, pendUsed) {
+		return
+	}
+	// Stutter rule: a completed candidate whose (op, resp) pair the type
+	// declares StutterSafe — a response match implies a self-loop in every
+	// state — commutes with every other choice once applicable, and as a
+	// candidate no remaining operation real-time-precedes it, so any
+	// linearization of the rest can be rewritten with it first. Take it
+	// greedily and skip sibling exploration; without this, windows of
+	// identical commuting operations (64 concurrent TAS losers, say)
+	// explode into 2^c masked configurations.
+	for e := sv.head.next; sv.s.stutter != nil && e != sv.tail && e.call; e = e.next {
+		if e.pending || !sv.s.stutter.StutterSafe(e.op.Req.Op, e.op.Resp) {
+			continue
+		}
+		next, resp := sv.s.in.Apply(state, e.op.Req)
+		if next != state || resp != e.op.Resp {
+			continue
+		}
+		lift(e)
+		lift(e.match)
+		sv.maskWords[e.idx>>6] |= 1 << uint(e.idx&63)
+		sv.remaining--
+		if sv.s.track {
+			sv.frag = append(sv.frag, e.op.Req)
+		}
+		sv.dfs(state, pendUsed)
+		if sv.s.track {
+			sv.frag = sv.frag[:len(sv.frag)-1]
+		}
+		sv.remaining++
+		sv.maskWords[e.idx>>6] &^= 1 << uint(e.idx&63)
+		unlift(e.match)
+		unlift(e)
+		return
+	}
+	for e := sv.head.next; e != sv.tail; e = e.next {
+		if !e.call {
+			break // first return entry ends the candidate prefix
+		}
+		if e.pending {
+			if pendUsed&(1<<uint(e.idx)) != 0 {
+				continue
+			}
+			// The pending op takes effect here with whatever response the
+			// spec gives it; not choosing it anywhere leaves it without
+			// effect (both fates the checker must admit).
+			next, _ := sv.s.in.Apply(state, e.op.Req)
+			if sv.s.track {
+				sv.frag = append(sv.frag, e.op.Req)
+			}
+			sv.dfs(next, pendUsed|1<<uint(e.idx))
+			if sv.s.track {
+				sv.frag = sv.frag[:len(sv.frag)-1]
+			}
+			continue
+		}
+		next, resp := sv.s.in.Apply(state, e.op.Req)
+		if resp != e.op.Resp {
+			continue // cannot linearize here; maybe in another order
+		}
+		lift(e)
+		lift(e.match)
+		sv.maskWords[e.idx>>6] |= 1 << uint(e.idx&63)
+		sv.remaining--
+		if sv.s.track {
+			sv.frag = append(sv.frag, e.op.Req)
+		}
+		sv.dfs(next, pendUsed)
+		if sv.s.track {
+			sv.frag = sv.frag[:len(sv.frag)-1]
+		}
+		sv.remaining++
+		sv.maskWords[e.idx>>6] &^= 1 << uint(e.idx&63)
+		unlift(e.match)
+		unlift(e)
+	}
+}
+
+// failReason localizes a failed segment: the stamp window, its size, and
+// a few of its operations.
+func (sv *solver) failReason() string {
+	lo, hi := sv.ops[0].Inv, sv.ops[0].Ret
+	for _, o := range sv.ops {
+		if o.Ret > hi {
+			hi = o.Ret
+		}
+	}
+	var sample []string
+	for i := range sv.ops {
+		if i == 6 {
+			sample = append(sample, "…")
+			break
+		}
+		o := &sv.ops[i]
+		sample = append(sample, fmt.Sprintf("%v->%d", o.Req, o.Resp))
+	}
+	return fmt.Sprintf("no linearization for window of %d ops, stamps [%d..%d] (%d pending carried): %s",
+		len(sv.ops), lo, hi, len(sv.pendCarried()), strings.Join(sample, " "))
+}
+
+func (sv *solver) pendCarried() []trace.Op { return sv.s.pend }
+
+// CheckJIT decides linearizability of ops against t with the streaming
+// JIT checker — the scalable counterpart of Check, sharing its contract
+// (committed responses must match, pending ops may take effect or not,
+// aborted ops are a caller error). Witness tracking is enabled
+// automatically for histories small enough to afford it.
+func CheckJIT(t spec.Type, ops []trace.Op, cfg JITConfig) (Result, Stats, error) {
+	if !cfg.Witness && len(ops) <= 4096 {
+		cfg.Witness = true
+	}
+	sorted := append([]trace.Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+	s := NewStream(t, cfg)
+	for _, o := range sorted {
+		if err := s.Push(o); err != nil {
+			return Result{}, s.Stats(), err
+		}
+	}
+	r, err := s.Finish()
+	return r, s.Stats(), err
+}
+
+// CheckObjects checks a composed history object-by-object: ops are
+// partitioned by their Module label and each projection is checked
+// against its own sequential type. By the Herlihy–Wing locality theorem
+// (P-compositionality) the composition is linearizable iff every
+// per-object projection is, so the verdict is the conjunction. Stats are
+// folded across objects; the Result of the first failing object (in
+// module order) is returned with its module named.
+func CheckObjects(objects map[string]spec.Type, ops []trace.Op, cfg JITConfig) (Result, Stats, error) {
+	mods := make([]string, 0, len(objects))
+	for m := range objects {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	byMod := make(map[string][]trace.Op, len(objects))
+	for _, o := range ops {
+		if _, ok := objects[o.Module]; !ok {
+			return Result{}, Stats{}, fmt.Errorf("linearize: operation %v labeled with unknown module %q", o.Req, o.Module)
+		}
+		byMod[o.Module] = append(byMod[o.Module], o)
+	}
+	var stats Stats
+	for _, m := range mods {
+		r, st, err := CheckJIT(objects[m], byMod[m], cfg)
+		stats.Fold(st)
+		if err != nil {
+			return Result{}, stats, fmt.Errorf("object %q: %w", m, err)
+		}
+		if !r.Ok {
+			r.Reason = fmt.Sprintf("object %q (%s): %s", m, objects[m].Name(), r.Reason)
+			r.Witness = nil
+			return r, stats, nil
+		}
+	}
+	return Result{Ok: true}, stats, nil
+}

@@ -1,10 +1,17 @@
 // Package linearize checks linearizability [15] of recorded concurrent
-// executions. It provides the general Wing–Gong-style search (exponential,
-// memoized, fine for the small-scope executions the explore package
-// produces) and a specialized constant-factor checker for test-and-set
-// histories used by the stress tests, where thousands of operations make
-// the general search infeasible. The two are cross-validated against each
-// other by property tests.
+// executions. It provides three checkers, cross-validated against each
+// other by property tests:
+//
+//   - Check: the general Wing–Gong-style memoized search, exponential but
+//     fine for the small-scope executions the explore package produces.
+//     Kept as the baseline the scalable checker is validated against.
+//   - CheckTAS: a specialized O(k log k) decision procedure for one-shot
+//     test-and-set histories.
+//   - the JIT checker (jit.go): a Wing–Gong/Lowe just-in-time search over
+//     an entry-linked history with interned-state configuration
+//     memoization, a streaming window mode, and per-object projection
+//     (P-compositionality) — the one that scales to the stress tier's
+//     million-operation histories.
 //
 // Theorem 3 of the paper reduces correctness of a safely composable object
 // with no init requests to linearizability of its invoke/commit projection;
@@ -37,11 +44,13 @@ type Result struct {
 // out by the caller (per Theorem 3 the projection is onto invoke and
 // commit events).
 //
-// Check runs a memoized depth-first search over linearization prefixes. It
-// returns an error — not a verdict — on inputs outside its contract: more
-// than 64 operations (use CheckTAS for large TAS histories), or an aborted
-// operation the caller failed to project out. Errors mean the harness or
-// oracle is miswired, never that the history failed to linearize.
+// Check runs a memoized depth-first search over linearization prefixes,
+// with states interned so memo keys are (bitmask, state-id) integer pairs.
+// It returns an error — not a verdict — on inputs outside its contract:
+// more than 64 operations (use CheckJIT or CheckTAS for large histories),
+// or an aborted operation the caller failed to project out. Errors mean
+// the harness or oracle is miswired, never that the history failed to
+// linearize.
 func Check(t spec.Type, ops []trace.Op) (Result, error) {
 	for _, o := range ops {
 		if o.Aborted {
@@ -49,26 +58,25 @@ func Check(t spec.Type, ops []trace.Op) (Result, error) {
 		}
 	}
 	if len(ops) > 64 {
-		return Result{}, fmt.Errorf("linearize: Check limited to 64 operations, got %d (use CheckTAS for large TAS histories)", len(ops))
+		return Result{}, fmt.Errorf("linearize: Check limited to 64 operations, got %d (use CheckJIT for large histories)", len(ops))
 	}
 	ops = append([]trace.Op(nil), ops...)
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
 
+	in := spec.NewInterner(t)
 	type key struct {
 		mask  uint64
-		state string
+		state spec.StateID
 	}
 	visited := map[key]bool{}
-	full := uint64(1)
+	var full uint64
 	if len(ops) > 0 {
 		full = uint64(1)<<uint(len(ops)) - 1
-	} else {
-		full = 0
 	}
 
 	var witness spec.History
-	var dfs func(mask uint64, state string) bool
-	dfs = func(mask uint64, state string) bool {
+	var dfs func(mask uint64, state spec.StateID) bool
+	dfs = func(mask uint64, state spec.StateID) bool {
 		if mask == full {
 			return true
 		}
@@ -99,7 +107,7 @@ func Check(t spec.Type, ops []trace.Op) (Result, error) {
 			}
 			if o.Pending {
 				// Branch 1: the pending op takes effect here (any response).
-				next, _ := t.Apply(state, o.Req)
+				next, _ := in.Apply(state, o.Req)
 				witness = append(witness, o.Req)
 				if dfs(mask|bit, next) {
 					return true
@@ -111,7 +119,7 @@ func Check(t spec.Type, ops []trace.Op) (Result, error) {
 				}
 				continue
 			}
-			next, resp := t.Apply(state, o.Req)
+			next, resp := in.Apply(state, o.Req)
 			if resp != o.Resp {
 				continue // cannot linearize here; maybe later in another order
 			}
@@ -124,7 +132,7 @@ func Check(t spec.Type, ops []trace.Op) (Result, error) {
 		return false
 	}
 
-	if dfs(0, t.Init()) {
+	if dfs(0, 0) {
 		return Result{Ok: true, Witness: witness}, nil
 	}
 	return Result{Ok: false, Reason: "no linearization matches observed responses"}, nil
@@ -132,22 +140,29 @@ func Check(t spec.Type, ops []trace.Op) (Result, error) {
 
 // CheckTAS decides linearizability of a (possibly large) one-shot
 // test-and-set execution in O(k log k): committed operations respond Winner
-// or Loser; pending operations may or may not have taken effect.
+// or Loser; pending operations may or may not have taken effect. Like
+// Check, it returns an error — never a verdict — on an aborted operation
+// the caller failed to project out.
 //
 // A TAS execution is linearizable iff
 //  1. at most one committed operation won;
 //  2. if a committed winner w exists, every committed loser l satisfies
-//     Inv(w) < Ret(l) (w can be placed before l); and
+//     Inv(w) ≤ Ret(l) (w can be placed before l); and
 //  3. if losers committed but no winner did, some pending operation p has
-//     Inv(p) < Ret(l) for every committed loser l (p took the win).
-func CheckTAS(ops []trace.Op) Result {
+//     Inv(p) ≤ Ret(l) for every committed loser l (p took the win).
+//
+// The comparisons are non-strict because real-time precedence is strict:
+// an operation invoked exactly when another returns is concurrent with it
+// and may still linearize first (the same tie convention as Check and the
+// JIT checker, whose cross-validation suite exercises tied stamps).
+func CheckTAS(ops []trace.Op) (Result, error) {
 	var winner *trace.Op
 	minLoserRet := int64(1<<62 - 1)
 	losers := 0
 	for i := range ops {
 		o := &ops[i]
 		if o.Aborted {
-			panic("linearize: CheckTAS requires aborted operations to be projected out")
+			return Result{}, fmt.Errorf("linearize: aborted operation (id %d) must be projected out before CheckTAS", o.Req.ID)
 		}
 		if o.Pending {
 			continue
@@ -155,7 +170,7 @@ func CheckTAS(ops []trace.Op) Result {
 		switch o.Resp {
 		case spec.Winner:
 			if winner != nil {
-				return Result{Ok: false, Reason: "two committed winners"}
+				return Result{Ok: false, Reason: "two committed winners"}, nil
 			}
 			winner = o
 		case spec.Loser:
@@ -164,26 +179,26 @@ func CheckTAS(ops []trace.Op) Result {
 				minLoserRet = o.Ret
 			}
 		default:
-			return Result{Ok: false, Reason: "non-TAS response"}
+			return Result{Ok: false, Reason: "non-TAS response"}, nil
 		}
 	}
 	if winner != nil {
 		if winner.Inv > minLoserRet {
-			return Result{Ok: false, Reason: "a loser completed before the winner was invoked"}
+			return Result{Ok: false, Reason: "a loser completed before the winner was invoked"}, nil
 		}
-		return Result{Ok: true, Witness: tasWitness(winner, ops)}
+		return Result{Ok: true, Witness: tasWitness(winner, ops)}, nil
 	}
 	if losers == 0 {
-		return Result{Ok: true}
+		return Result{Ok: true}, nil
 	}
 	// No committed winner: a pending op must account for the set bit.
 	for i := range ops {
 		o := &ops[i]
-		if o.Pending && o.Inv < minLoserRet {
-			return Result{Ok: true, Witness: tasWitness(o, ops)}
+		if o.Pending && o.Inv <= minLoserRet {
+			return Result{Ok: true, Witness: tasWitness(o, ops)}, nil
 		}
 	}
-	return Result{Ok: false, Reason: "losers committed but no possible winner precedes them"}
+	return Result{Ok: false, Reason: "losers committed but no possible winner precedes them"}, nil
 }
 
 // tasWitness builds a linearization placing w first and the committed

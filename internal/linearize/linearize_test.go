@@ -40,7 +40,7 @@ func TestCheckRejectsTwoWinners(t *testing.T) {
 	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("two winners accepted")
 	}
-	if CheckTAS(ops).Ok {
+	if mustCheckTAS(t, ops).Ok {
 		t.Fatal("CheckTAS accepted two winners")
 	}
 }
@@ -55,7 +55,7 @@ func TestCheckRejectsRealTimeViolation(t *testing.T) {
 	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("generic checker accepted real-time violation")
 	}
-	if CheckTAS(ops).Ok {
+	if mustCheckTAS(t, ops).Ok {
 		t.Fatal("TAS checker accepted real-time violation")
 	}
 }
@@ -68,7 +68,7 @@ func TestCheckOverlappingWinnerLoser(t *testing.T) {
 	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("overlapping winner/loser should linearize")
 	}
-	if !CheckTAS(ops).Ok {
+	if !mustCheckTAS(t, ops).Ok {
 		t.Fatal("CheckTAS rejected overlapping winner/loser")
 	}
 }
@@ -83,7 +83,7 @@ func TestCheckPendingTakesEffect(t *testing.T) {
 	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("pending winner should explain the loser")
 	}
-	if !CheckTAS(ops).Ok {
+	if !mustCheckTAS(t, ops).Ok {
 		t.Fatal("CheckTAS rejected pending winner")
 	}
 }
@@ -96,7 +96,7 @@ func TestCheckPendingCannotExplainIfInvokedLater(t *testing.T) {
 	if mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("a pending op invoked after the loser returned cannot have won")
 	}
-	if CheckTAS(ops).Ok {
+	if mustCheckTAS(t, ops).Ok {
 		t.Fatal("CheckTAS accepted late pending winner")
 	}
 }
@@ -110,7 +110,7 @@ func TestCheckPendingDropped(t *testing.T) {
 	if !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("pending op should simply be dropped")
 	}
-	if !CheckTAS(ops).Ok {
+	if !mustCheckTAS(t, ops).Ok {
 		t.Fatal("CheckTAS should drop the pending op")
 	}
 }
@@ -173,14 +173,14 @@ func TestCheckEmpty(t *testing.T) {
 	if !mustCheck(t, spec.TASType{}, nil).Ok {
 		t.Fatal("empty history must linearize")
 	}
-	if !CheckTAS(nil).Ok {
+	if !mustCheckTAS(t, nil).Ok {
 		t.Fatal("empty TAS history must linearize")
 	}
 }
 
 func TestCheckTASAllPending(t *testing.T) {
 	ops := []trace.Op{pend(1, spec.OpTAS, 0, 1), pend(2, spec.OpTAS, 0, 2)}
-	if !CheckTAS(ops).Ok || !mustCheck(t, spec.TASType{}, ops).Ok {
+	if !mustCheckTAS(t, ops).Ok || !mustCheck(t, spec.TASType{}, ops).Ok {
 		t.Fatal("all-pending history must linearize")
 	}
 }
@@ -200,15 +200,10 @@ func TestCheckRejectsContractViolations(t *testing.T) {
 	if _, err := Check(spec.TASType{}, big); err == nil {
 		t.Fatal("expected an error on a >64-operation history")
 	}
-	// CheckTAS, the large-history path, retains its panic guard.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected CheckTAS to panic on aborted op")
-			}
-		}()
-		CheckTAS([]trace.Op{aborted})
-	}()
+	// CheckTAS, the large-history path, shares the error contract.
+	if _, err := CheckTAS([]trace.Op{aborted}); err == nil {
+		t.Fatal("expected CheckTAS to error on an unprojected aborted op")
+	}
 }
 
 // mustCheck runs Check and fails the test on a contract error, so verdict
@@ -216,6 +211,16 @@ func TestCheckRejectsContractViolations(t *testing.T) {
 func mustCheck(t *testing.T, ty spec.Type, ops []trace.Op) Result {
 	t.Helper()
 	res, err := Check(ty, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustCheckTAS is the same convenience for the specialized TAS checker.
+func mustCheckTAS(t *testing.T, ops []trace.Op) Result {
+	t.Helper()
+	res, err := CheckTAS(ops)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +260,7 @@ func TestCrossValidateTASChecker(t *testing.T) {
 			}
 		}
 		g := mustCheck(t, spec.TASType{}, ops)
-		s := CheckTAS(ops)
+		s := mustCheckTAS(t, ops)
 		if g.Ok != s.Ok {
 			t.Fatalf("checkers disagree on %+v: generic=%v specialized=%v (%s / %s)",
 				ops, g.Ok, s.Ok, g.Reason, s.Reason)
@@ -284,11 +289,11 @@ func TestCheckWitnessIsValidLinearization(t *testing.T) {
 	}
 	// Replaying the witness sequentially must reproduce the committed
 	// responses.
-	state := ty.Init()
+	state := ty.Start()
 	resp := map[int64]int64{}
 	for _, r := range res.Witness {
 		var v int64
-		state, v = ty.Apply(state, r)
+		state, v = state.Apply(r)
 		resp[r.ID] = v
 	}
 	for _, o := range ops {

@@ -218,6 +218,11 @@ type Env struct {
 	// stampClock orders EventStamp calls of ungated processes.
 	stampClock atomic.Int64
 
+	// historySrc is an opaque slot scenarios use to hand a history drain
+	// hook (a trace.Source) up to harnesses that only hold the Env. Typed
+	// any to keep this package below the trace layer.
+	historySrc any
+
 	// Cumulative access census across executions: per-process counters are
 	// zeroed by every Reset, so their totals are folded in here first (one
 	// batch of atomic adds per execution, nothing on the per-access path).
@@ -248,6 +253,14 @@ func (e *Env) Proc(i int) *Proc { return e.procs[i] }
 // Procs returns all process handles, in id order. The slice is shared; do
 // not mutate it.
 func (e *Env) Procs() []*Proc { return e.procs }
+
+// SetHistorySource stores an opaque history drain hook (by convention a
+// trace.Source) for harnesses layered above to retrieve via HistorySource.
+// The slot is opaque so this package stays below the trace layer.
+func (e *Env) SetHistorySource(src any) { e.historySrc = src }
+
+// HistorySource returns the hook stored by SetHistorySource, or nil.
+func (e *Env) HistorySource() any { return e.historySrc }
 
 // TotalSteps returns the sum of step counts over all processes.
 func (e *Env) TotalSteps() int64 {

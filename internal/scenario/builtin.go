@@ -104,6 +104,12 @@ func init() {
 		Build:       buildLeaderElection,
 	})
 	Register(Scenario{
+		Name:        "tasfai",
+		Description: "composed one-shot TAS + hardware fetch-and-increment: the compositional linearizability oracle checks each object's projection",
+		Params:      Params{Fingerprints: true},
+		Build:       buildTASFAI,
+	})
+	Register(Scenario{
 		Name:        "universalqueue",
 		Description: "the examples/universalqueue workload: wait-free FIFO queue from the universal construction, linearizable",
 		Params:      Params{NoReset: true},
@@ -262,6 +268,65 @@ func buildQuickstart(n int, opts Options) (explore.Harness, Oracle) {
 		return env, bodies, check, reset
 	}
 	return h, tasOracle
+}
+
+// buildTASFAI builds the two-object composition the compositional
+// linearizability oracle is exercised on: every process races the composed
+// one-shot TAS once (module "tas") and then takes two tickets from a
+// hardware fetch-and-increment counter (module "fai"). Each per-module
+// projection must linearize against its own sequential type — the
+// P-compositionality form of Theorem 3 — and the harness exposes its
+// recorder through the environment so streaming harnesses (the stress
+// driver's -lincheck sidecar) can drain history round by round.
+func buildTASFAI(n int, opts Options) (explore.Harness, Oracle) {
+	oracle := Oracle{Kind: OracleLinearize, Objects: map[string]spec.Type{
+		"tas": spec.TASType{},
+		"fai": spec.FetchIncType{},
+	}}
+	h := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func()) {
+		env := memory.NewEnv(n)
+		o := tas.NewOneShot()
+		c := memory.NewFetchInc(0)
+		env.Register(o, c)
+		rec := trace.NewRecorder(n)
+		stampFromSchedule(rec, env)
+		env.SetHistorySource(trace.Source(rec.Ops))
+		bodies := make([]func(p *memory.Proc), n)
+		for i := 0; i < n; i++ {
+			i := i
+			bodies[i] = func(p *memory.Proc) {
+				m := spec.Request{ID: int64(3*i + 1), Proc: i, Op: spec.OpTAS}
+				rec.RecordInvoke(i, m)
+				v := o.TestAndSet(p)
+				rec.RecordCommit(i, m, v, "tas")
+				for k := int64(2); k <= 3; k++ {
+					m := spec.Request{ID: int64(3*i) + k, Proc: i, Op: spec.OpInc}
+					rec.RecordInvoke(i, m)
+					// Inc returns the post-increment value; the sequential
+					// fetch-and-increment spec responds with the value fetched.
+					t := c.Inc(p) - 1
+					rec.RecordCommit(i, m, t, "fai")
+				}
+			}
+		}
+		check := func(res *sched.Result) error {
+			ops := rec.Ops()
+			// The winner invariant is about the TAS object alone: the fai
+			// ticket 0 is a legitimate zero response, not a win.
+			var tasOps []trace.Op
+			for _, op := range ops {
+				if op.Module == "tas" {
+					tasOps = append(tasOps, op)
+				}
+			}
+			if err := uniqueWinner(tasOps, true); err != nil {
+				return err
+			}
+			return oracle.Check(ops)
+		}
+		return env, bodies, check, rec.Reset
+	}
+	return h, oracle
 }
 
 // buildFAI builds the speculative fetch-and-increment harness: two tickets

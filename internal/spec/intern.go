@@ -1,0 +1,96 @@
+package spec
+
+// State interning: the memoization substrate of the linearizability
+// checkers. An Interner maps each distinct state of one sequential type
+// (distinct by Equal) to a dense integer StateID, so checker memo keys are
+// integers rather than structural values, and caches every transition it
+// is asked to take: Apply is evaluated at most once per
+// (state, operation, argument) triple. Interning is only sound because
+// State.Apply may depend on nothing but the request's Op and Arg (see the
+// State contract).
+
+// StateID is a dense interned state identity: 0 is always the type's
+// starting state of the Interner that issued it. IDs from different
+// Interners are unrelated.
+type StateID int32
+
+// Interner assigns dense ids to the states of one sequential type and
+// memoizes its transition function. It is not safe for concurrent use;
+// each checker owns one.
+type Interner struct {
+	states  []State
+	buckets map[uint64][]StateID
+	ops     map[string]uint16
+	opNames []string
+	trans   map[transKey]transVal
+}
+
+type transKey struct {
+	state StateID
+	op    uint16
+	arg   int64
+}
+
+type transVal struct {
+	next StateID
+	resp int64
+}
+
+// NewInterner returns an interner for t with t.Start() interned as id 0.
+func NewInterner(t Type) *Interner {
+	in := &Interner{
+		buckets: make(map[uint64][]StateID),
+		ops:     make(map[string]uint16),
+		trans:   make(map[transKey]transVal),
+	}
+	in.ID(t.Start())
+	return in
+}
+
+// ID interns s, returning the id of the Equal-class it belongs to. The
+// interner retains a Clone of previously unseen states, so callers may
+// keep mutating their own value.
+func (in *Interner) ID(s State) StateID {
+	h := s.Hash()
+	for _, id := range in.buckets[h] {
+		if in.states[id].Equal(s) {
+			return id
+		}
+	}
+	id := StateID(len(in.states))
+	in.states = append(in.states, s.Clone())
+	in.buckets[h] = append(in.buckets[h], id)
+	return id
+}
+
+// State returns the canonical representative of id.
+func (in *Interner) State(id StateID) State { return in.states[id] }
+
+// Len returns the number of distinct states interned so far — the
+// checker's "states" telemetry figure.
+func (in *Interner) Len() int { return len(in.states) }
+
+// opIdx interns the operation name.
+func (in *Interner) opIdx(op string) uint16 {
+	if i, ok := in.ops[op]; ok {
+		return i
+	}
+	i := uint16(len(in.opNames))
+	in.ops[op] = i
+	in.opNames = append(in.opNames, op)
+	return i
+}
+
+// Apply takes the memoized transition from state id under r, returning the
+// successor id and the response. The first evaluation of each
+// (state, Op, Arg) triple calls State.Apply; later ones are map lookups.
+func (in *Interner) Apply(id StateID, r Request) (StateID, int64) {
+	k := transKey{state: id, op: in.opIdx(r.Op), arg: r.Arg}
+	if v, ok := in.trans[k]; ok {
+		return v.next, v.resp
+	}
+	next, resp := in.states[id].Apply(r)
+	v := transVal{next: in.ID(next), resp: resp}
+	in.trans[k] = v
+	return v.next, v.resp
+}

@@ -4,16 +4,21 @@
 // response function β, and the extension-closed equivalence ≡_I between
 // histories.
 //
-// States are represented as strings (a canonical encoding chosen by each
-// type), which keeps Apply pure, makes states directly comparable and
-// hashable for the linearizability checker's memoization, and gives a sound
-// decision procedure for ≡_I on deterministic types: two histories that
-// reach the same encoded state return the same responses in every extension.
+// States are explicit values behind the State interface (apply, equality,
+// hashing, cloning), which keeps Apply pure while letting the
+// linearizability checkers memoize over *interned* state identities: an
+// Interner maps each distinct state (by Equal) to a dense integer id, so
+// memo keys are integers and transition results are cached once per
+// (state, operation, argument) triple. Two histories that reach Equal
+// states return the same responses in every extension, which is the sound
+// decision procedure for ≡_I on deterministic types.
 package spec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // Request is an element of the input set I tagged with a unique identifier,
@@ -35,16 +40,80 @@ func (r Request) String() string {
 	return fmt.Sprintf("%s#%d@p%d", r.Op, r.ID, r.Proc)
 }
 
-// Type is a sequential object type: the deterministic specification Δ as a
-// transition function over canonically encoded states.
+// State is one sequential-object state: an immutable value the transition
+// function Δ maps to a successor state plus a response.
+//
+// Apply must be pure and total, and — so transition memoization by an
+// Interner is sound — may depend only on the request's Op and Arg fields,
+// never on its ID or Proc. Equal must be an equivalence consistent with
+// observational equality (Equal states respond identically in every
+// extension), and Hash must respect it (Equal states hash equally). Clone
+// returns a state the caller may retain while the original escapes;
+// value-typed implementations simply return themselves.
+type State interface {
+	Apply(r Request) (State, int64)
+	Equal(other State) bool
+	Hash() uint64
+	Clone() State
+}
+
+// Type is a sequential object type: a name for reports and the starting
+// state s of its deterministic specification Δ.
 type Type interface {
 	// Name identifies the type (for reports).
 	Name() string
-	// Init returns the encoded starting state s.
-	Init() string
-	// Apply performs request r in state state, returning the new state and
-	// the response. Apply must be pure and total.
-	Apply(state string, r Request) (string, int64)
+	// Start returns the starting state s of a fresh instance.
+	Start() State
+}
+
+// Stutterable is an optional Type extension marking (operation, response)
+// pairs whose response match implies a self-loop in EVERY state of the
+// type: whenever Δ(q, op) responds r, it also leaves q unchanged. Reads
+// are the canonical example (read() = r only in states storing r, which it
+// does not change); a losing test-and-set is another (losing happens only
+// in the set state, which stays set). The JIT linearizability checker
+// exploits the property: such an operation, once applicable, commutes with
+// every alternative choice and can be linearized greedily, collapsing the
+// otherwise-exponential windows of concurrent identical operations (64
+// simultaneous TAS losers, say) to linear work.
+//
+// Declaring a pair that does NOT have the property (a reset responding 0
+// both where it stutters and where it clears, a write matching in every
+// state) makes the checker incomplete — it may reject linearizable
+// histories. The cross-validation suite compares the JIT checker against
+// brute-force enumeration over every registered type to keep declarations
+// honest.
+type Stutterable interface {
+	StutterSafe(op string, resp int64) bool
+}
+
+var (
+	typesMu  sync.Mutex
+	typesReg []Type
+)
+
+// Register adds a type to the package registry enumerated by Types. The
+// concrete types in this package register themselves; checker
+// cross-validation suites iterate the registry so new types are covered
+// without editing every test.
+func Register(t Type) {
+	typesMu.Lock()
+	defer typesMu.Unlock()
+	for _, have := range typesReg {
+		if have.Name() == t.Name() {
+			panic(fmt.Sprintf("spec: duplicate type registration %q", t.Name()))
+		}
+	}
+	typesReg = append(typesReg, t)
+}
+
+// Types returns every registered type sorted by name.
+func Types() []Type {
+	typesMu.Lock()
+	defer typesMu.Unlock()
+	out := append([]Type(nil), typesReg...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
 }
 
 // History is a sequence of requests. Valid histories contain no duplicate
@@ -118,12 +187,12 @@ func (h History) Head() (Request, bool) {
 	return h[0], true
 }
 
-// FinalState returns the encoded state after applying h sequentially to a
-// fresh instance of t.
-func FinalState(t Type, h History) string {
-	s := t.Init()
+// FinalState returns the state after applying h sequentially to a fresh
+// instance of t.
+func FinalState(t Type, h History) State {
+	s := t.Start()
 	for _, r := range h {
-		s, _ = t.Apply(s, r)
+		s, _ = s.Apply(r)
 	}
 	return s
 }
@@ -134,10 +203,10 @@ func Beta(t Type, h History) (int64, bool) {
 	if len(h) == 0 {
 		return 0, false
 	}
-	s := t.Init()
+	s := t.Start()
 	var resp int64
 	for _, r := range h {
-		s, resp = t.Apply(s, r)
+		s, resp = s.Apply(r)
 	}
 	return resp, true
 }
@@ -145,10 +214,10 @@ func Beta(t Type, h History) (int64, bool) {
 // BetaAt is the paper's β(h, m): the response matching the request with the
 // given id in h. ok is false if the request does not appear in h.
 func BetaAt(t Type, h History, id int64) (int64, bool) {
-	s := t.Init()
+	s := t.Start()
 	var resp int64
 	for _, r := range h {
-		s, resp = t.Apply(s, r)
+		s, resp = s.Apply(r)
 		if r.ID == id {
 			return resp, true
 		}
@@ -159,9 +228,9 @@ func BetaAt(t Type, h History, id int64) (int64, bool) {
 // Responses returns the response to every request of h, in order.
 func Responses(t Type, h History) []int64 {
 	out := make([]int64, len(h))
-	s := t.Init()
+	s := t.Start()
 	for i, r := range h {
-		s, out[i] = t.Apply(s, r)
+		s, out[i] = s.Apply(r)
 	}
 	return out
 }
@@ -173,7 +242,7 @@ func Responses(t Type, h History) []int64 {
 //
 // Condition (ii) quantifies over all extensions; for deterministic types it
 // is implied by state equality after h1 and h2, which is what we check.
-// This is sound always, and complete for types whose encoded states are
+// This is sound always, and complete for types whose states are
 // observationally distinct (true of every type in this package).
 func EquivalentOver(t Type, ids []int64, h1, h2 History) bool {
 	for _, id := range ids {
@@ -181,7 +250,7 @@ func EquivalentOver(t Type, ids []int64, h1, h2 History) bool {
 			return false
 		}
 	}
-	if FinalState(t, h1) != FinalState(t, h2) {
+	if !FinalState(t, h1).Equal(FinalState(t, h2)) {
 		return false
 	}
 	for _, id := range ids {

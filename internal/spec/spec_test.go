@@ -11,22 +11,22 @@ func req(id int64, op string, arg int64) Request {
 
 func TestTASType(t *testing.T) {
 	ty := TASType{}
-	if ty.Name() == "" || ty.Init() != "0" {
+	if ty.Name() == "" || !ty.Start().Equal(tasState(0)) {
 		t.Fatal("bad type metadata")
 	}
-	s, r := ty.Apply(ty.Init(), req(1, OpTAS, 0))
-	if r != Winner || s != "1" {
-		t.Fatalf("first TAS: resp=%d state=%s", r, s)
+	s, r := ty.Start().Apply(req(1, OpTAS, 0))
+	if r != Winner || !s.Equal(tasState(1)) {
+		t.Fatalf("first TAS: resp=%d state=%v", r, s)
 	}
-	s, r = ty.Apply(s, req(2, OpTAS, 0))
-	if r != Loser || s != "1" {
-		t.Fatalf("second TAS: resp=%d state=%s", r, s)
+	s, r = s.Apply(req(2, OpTAS, 0))
+	if r != Loser || !s.Equal(tasState(1)) {
+		t.Fatalf("second TAS: resp=%d state=%v", r, s)
 	}
-	s, _ = ty.Apply(s, req(3, OpReset, 0))
-	if s != "0" {
-		t.Fatalf("reset state=%s", s)
+	s, _ = s.Apply(req(3, OpReset, 0))
+	if !s.Equal(ty.Start()) {
+		t.Fatalf("reset state=%v", s)
 	}
-	_, r = ty.Apply(s, req(4, OpTAS, 0))
+	_, r = s.Apply(req(4, OpTAS, 0))
 	if r != Winner {
 		t.Fatal("TAS after reset should win")
 	}
@@ -34,11 +34,11 @@ func TestTASType(t *testing.T) {
 
 func TestConsensusType(t *testing.T) {
 	ty := ConsensusType{}
-	s, r := ty.Apply(ty.Init(), req(1, OpPropose, 42))
+	s, r := ty.Start().Apply(req(1, OpPropose, 42))
 	if r != 42 {
 		t.Fatalf("first propose decides its value: %d", r)
 	}
-	_, r = ty.Apply(s, req(2, OpPropose, 7))
+	_, r = s.Apply(req(2, OpPropose, 7))
 	if r != 42 {
 		t.Fatalf("later propose must return the decision: %d", r)
 	}
@@ -46,32 +46,35 @@ func TestConsensusType(t *testing.T) {
 
 func TestQueueType(t *testing.T) {
 	ty := QueueType{}
-	s := ty.Init()
+	s := ty.Start()
 	var r int64
-	s, r = ty.Apply(s, req(1, OpDeq, 0))
+	s, r = s.Apply(req(1, OpDeq, 0))
 	if r != EmptyQueue {
 		t.Fatalf("deq on empty = %d", r)
 	}
-	s, _ = ty.Apply(s, req(2, OpEnq, 10))
-	s, _ = ty.Apply(s, req(3, OpEnq, 20))
-	s, r = ty.Apply(s, req(4, OpDeq, 0))
+	s, _ = s.Apply(req(2, OpEnq, 10))
+	s, _ = s.Apply(req(3, OpEnq, 20))
+	s, r = s.Apply(req(4, OpDeq, 0))
 	if r != 10 {
 		t.Fatalf("FIFO violated: got %d want 10", r)
 	}
-	s, r = ty.Apply(s, req(5, OpDeq, 0))
+	s, r = s.Apply(req(5, OpDeq, 0))
 	if r != 20 {
 		t.Fatalf("FIFO violated: got %d want 20", r)
 	}
-	_, r = ty.Apply(s, req(6, OpDeq, 0))
+	s, r = s.Apply(req(6, OpDeq, 0))
 	if r != EmptyQueue {
 		t.Fatalf("queue should be empty again: %d", r)
+	}
+	if !s.Equal(ty.Start()) || s.Hash() != ty.Start().Hash() {
+		t.Fatal("drained queue must equal (and hash as) the start state")
 	}
 }
 
 func TestQueueNegativeValues(t *testing.T) {
 	ty := QueueType{}
-	s, _ := ty.Apply(ty.Init(), req(1, OpEnq, -5))
-	_, r := ty.Apply(s, req(2, OpDeq, 0))
+	s, _ := ty.Start().Apply(req(1, OpEnq, -5))
+	_, r := s.Apply(req(2, OpDeq, 0))
 	if r != -5 {
 		t.Fatalf("negative payload mangled: %d", r)
 	}
@@ -79,17 +82,17 @@ func TestQueueNegativeValues(t *testing.T) {
 
 func TestFetchIncType(t *testing.T) {
 	ty := FetchIncType{}
-	s := ty.Init()
+	s := ty.Start()
 	var r int64
-	s, r = ty.Apply(s, req(1, OpInc, 0))
+	s, r = s.Apply(req(1, OpInc, 0))
 	if r != 0 {
 		t.Fatalf("first inc returns pre-value 0, got %d", r)
 	}
-	s, r = ty.Apply(s, req(2, OpInc, 0))
+	s, r = s.Apply(req(2, OpInc, 0))
 	if r != 1 {
 		t.Fatalf("second inc = %d", r)
 	}
-	_, r = ty.Apply(s, req(3, OpRead, 0))
+	_, r = s.Apply(req(3, OpRead, 0))
 	if r != 2 {
 		t.Fatalf("read = %d", r)
 	}
@@ -97,14 +100,14 @@ func TestFetchIncType(t *testing.T) {
 
 func TestRegisterType(t *testing.T) {
 	ty := RegisterType{}
-	s := ty.Init()
+	s := ty.Start()
 	var r int64
-	_, r = ty.Apply(s, req(1, OpRead, 0))
+	_, r = s.Apply(req(1, OpRead, 0))
 	if r != 0 {
 		t.Fatalf("initial read = %d", r)
 	}
-	s, _ = ty.Apply(s, req(2, OpWrite, 99))
-	_, r = ty.Apply(s, req(3, OpRead, 0))
+	s, _ = s.Apply(req(2, OpWrite, 99))
+	_, r = s.Apply(req(3, OpRead, 0))
 	if r != 99 {
 		t.Fatalf("read after write = %d", r)
 	}
@@ -215,8 +218,11 @@ func TestEquivalentOverQueueStateMatters(t *testing.T) {
 func TestFinalState(t *testing.T) {
 	ty := QueueType{}
 	h := History{req(1, OpEnq, 5), req(2, OpEnq, 6), req(3, OpDeq, 0)}
-	if got := FinalState(ty, h); got != "6" {
-		t.Fatalf("state = %q, want \"6\"", got)
+	// Enq 5, enq 6, deq leaves exactly [6]: observationally the same state
+	// a single enq 6 reaches.
+	want := FinalState(ty, History{req(9, OpEnq, 6)})
+	if got := FinalState(ty, h); !got.Equal(want) {
+		t.Fatalf("state = %v, want %v", got, want)
 	}
 }
 
@@ -358,7 +364,7 @@ func TestApplyPanicsOnWrongOp(t *testing.T) {
 					t.Fatalf("%s did not panic on %q", c.ty.Name(), c.op)
 				}
 			}()
-			c.ty.Apply(c.ty.Init(), req(1, c.op, 0))
+			c.ty.Start().Apply(req(1, c.op, 0))
 		}()
 	}
 }

@@ -2,8 +2,6 @@ package spec
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 )
 
 // Canonical operation names used by the concrete types below.
@@ -28,7 +26,38 @@ const (
 // EmptyQueue is the dequeue response on an empty queue.
 const EmptyQueue int64 = -1
 
-// TASType is the one-shot test-and-set type of Section 3: initial state 0;
+func init() {
+	Register(TASType{})
+	Register(ConsensusType{})
+	Register(QueueType{})
+	Register(FetchIncType{})
+	Register(RegisterType{})
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler turning
+// small integer states into well-spread hash values.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashInts folds a tagged int64 sequence with FNV-1a, so slice-valued
+// states (queues, stacks) hash consistently with their Equal.
+func hashInts(tag uint64, vs []int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ mix64(tag)
+	for _, v := range vs {
+		h = (h ^ uint64(v)) * prime
+	}
+	return h
+}
+
+// TASType is the one-shot test-and-set type of Section 3: starting state 0;
 // test-and-set atomically reads the value and sets it to 1. Reset reverts
 // the object to 0 (the long-lived extension of Section 6.3).
 type TASType struct{}
@@ -36,23 +65,37 @@ type TASType struct{}
 // Name implements Type.
 func (TASType) Name() string { return "test-and-set" }
 
-// Init implements Type.
-func (TASType) Init() string { return "0" }
+// Start implements Type.
+func (TASType) Start() State { return tasState(0) }
 
-// Apply implements Type.
-func (TASType) Apply(state string, r Request) (string, int64) {
+// StutterSafe implements Stutterable: losing happens only in the set
+// state, which the loss leaves set. (Winning and reset change state, and a
+// reset's 0 response also matches in the set state where it does not
+// stutter — neither is safe.)
+func (TASType) StutterSafe(op string, resp int64) bool {
+	return op == OpTAS && resp == Loser
+}
+
+// tasState is the TAS bit: 0 unset, 1 set.
+type tasState uint8
+
+func (s tasState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpTAS:
-		if state == "0" {
-			return "1", Winner
+		if s == 0 {
+			return tasState(1), Winner
 		}
-		return "1", Loser
+		return tasState(1), Loser
 	case OpReset:
-		return "0", 0
+		return tasState(0), 0
 	default:
 		panic(fmt.Sprintf("spec: TAS cannot apply %q", r.Op))
 	}
 }
+
+func (s tasState) Equal(o State) bool { v, ok := o.(tasState); return ok && v == s }
+func (s tasState) Hash() uint64       { return mix64(uint64(s)) }
+func (s tasState) Clone() State       { return s }
 
 // ConsensusType is binary/multivalued consensus as a sequential type: the
 // first propose fixes the decision; every propose returns it.
@@ -61,23 +104,33 @@ type ConsensusType struct{}
 // Name implements Type.
 func (ConsensusType) Name() string { return "consensus" }
 
-// Init implements Type.
-func (ConsensusType) Init() string { return "" }
+// Start implements Type.
+func (ConsensusType) Start() State { return consensusState{} }
 
-// Apply implements Type.
-func (ConsensusType) Apply(state string, r Request) (string, int64) {
+// consensusState is the decision cell: undecided, or decided with a value.
+type consensusState struct {
+	decided bool
+	v       int64
+}
+
+func (s consensusState) Apply(r Request) (State, int64) {
 	if r.Op != OpPropose {
 		panic(fmt.Sprintf("spec: consensus cannot apply %q", r.Op))
 	}
-	if state == "" {
-		state = strconv.FormatInt(r.Arg, 10)
+	if !s.decided {
+		s = consensusState{decided: true, v: r.Arg}
 	}
-	v, err := strconv.ParseInt(state, 10, 64)
-	if err != nil {
-		panic("spec: corrupt consensus state " + state)
-	}
-	return state, v
+	return s, s.v
 }
+
+func (s consensusState) Equal(o State) bool { v, ok := o.(consensusState); return ok && v == s }
+func (s consensusState) Hash() uint64 {
+	if !s.decided {
+		return mix64(0x5eed)
+	}
+	return mix64(uint64(s.v) ^ 0xdec1ded)
+}
+func (s consensusState) Clone() State { return s }
 
 // QueueType is an unbounded FIFO queue (one of the "more complex objects"
 // the conclusion proposes as future work; we use it to exercise the
@@ -87,32 +140,53 @@ type QueueType struct{}
 // Name implements Type.
 func (QueueType) Name() string { return "fifo-queue" }
 
-// Init implements Type.
-func (QueueType) Init() string { return "" }
+// Start implements Type.
+func (QueueType) Start() State { return queueState{} }
 
-// Apply implements Type.
-func (QueueType) Apply(state string, r Request) (string, int64) {
-	var items []string
-	if state != "" {
-		items = strings.Split(state, ",")
-	}
+// StutterSafe implements Stutterable: an empty-queue dequeue responds
+// EmptyQueue only on the empty queue, which it leaves empty.
+func (QueueType) StutterSafe(op string, resp int64) bool {
+	return op == OpDeq && resp == EmptyQueue
+}
+
+// queueState holds the queued values front-first. Enq allocates a fresh
+// backing array (never appends into one another state may share), so deq
+// may cheaply reslice: no reachable state ever mutates shared backing.
+type queueState struct {
+	items []int64
+}
+
+func (s queueState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpEnq:
-		items = append(items, strconv.FormatInt(r.Arg, 10))
-		return strings.Join(items, ","), 0
+		items := make([]int64, len(s.items)+1)
+		copy(items, s.items)
+		items[len(s.items)] = r.Arg
+		return queueState{items: items}, 0
 	case OpDeq:
-		if len(items) == 0 {
-			return state, EmptyQueue
+		if len(s.items) == 0 {
+			return s, EmptyQueue
 		}
-		v, err := strconv.ParseInt(items[0], 10, 64)
-		if err != nil {
-			panic("spec: corrupt queue state " + state)
-		}
-		return strings.Join(items[1:], ","), v
+		return queueState{items: s.items[1:]}, s.items[0]
 	default:
 		panic(fmt.Sprintf("spec: queue cannot apply %q", r.Op))
 	}
 }
+
+func (s queueState) Equal(o State) bool {
+	v, ok := o.(queueState)
+	if !ok || len(v.items) != len(s.items) {
+		return false
+	}
+	for i := range s.items {
+		if s.items[i] != v.items[i] {
+			return false
+		}
+	}
+	return true
+}
+func (s queueState) Hash() uint64 { return hashInts('q', s.items) }
+func (s queueState) Clone() State { return s }
 
 // FetchIncType is a fetch-and-increment register (the conclusion's other
 // future-work object): inc returns the pre-increment value; read returns
@@ -122,24 +196,32 @@ type FetchIncType struct{}
 // Name implements Type.
 func (FetchIncType) Name() string { return "fetch-and-increment" }
 
-// Init implements Type.
-func (FetchIncType) Init() string { return "0" }
+// Start implements Type.
+func (FetchIncType) Start() State { return counterState(0) }
 
-// Apply implements Type.
-func (FetchIncType) Apply(state string, r Request) (string, int64) {
-	v, err := strconv.ParseInt(state, 10, 64)
-	if err != nil {
-		panic("spec: corrupt counter state " + state)
-	}
+// StutterSafe implements Stutterable: a read returning r matches only in
+// the state storing r, which it does not change.
+func (FetchIncType) StutterSafe(op string, resp int64) bool {
+	return op == OpRead
+}
+
+// counterState is the counter value.
+type counterState int64
+
+func (s counterState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpInc:
-		return strconv.FormatInt(v+1, 10), v
+		return s + 1, int64(s)
 	case OpRead:
-		return state, v
+		return s, int64(s)
 	default:
 		panic(fmt.Sprintf("spec: fetch-and-increment cannot apply %q", r.Op))
 	}
 }
+
+func (s counterState) Equal(o State) bool { v, ok := o.(counterState); return ok && v == s }
+func (s counterState) Hash() uint64       { return mix64(uint64(s)) }
+func (s counterState) Clone() State       { return s }
 
 // RegisterType is a multi-writer register: write stores Arg and returns 0;
 // read returns the last written value (initially 0).
@@ -148,21 +230,30 @@ type RegisterType struct{}
 // Name implements Type.
 func (RegisterType) Name() string { return "register" }
 
-// Init implements Type.
-func (RegisterType) Init() string { return "0" }
+// Start implements Type.
+func (RegisterType) Start() State { return registerState(0) }
 
-// Apply implements Type.
-func (RegisterType) Apply(state string, r Request) (string, int64) {
+// StutterSafe implements Stutterable: reads only. A write's 0 response
+// matches in every state but stutters only where the stored value already
+// equals the argument — not safe.
+func (RegisterType) StutterSafe(op string, resp int64) bool {
+	return op == OpRead
+}
+
+// registerState is the stored value.
+type registerState int64
+
+func (s registerState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpWrite:
-		return strconv.FormatInt(r.Arg, 10), 0
+		return registerState(r.Arg), 0
 	case OpRead:
-		v, err := strconv.ParseInt(state, 10, 64)
-		if err != nil {
-			panic("spec: corrupt register state " + state)
-		}
-		return state, v
+		return s, int64(s)
 	default:
 		panic(fmt.Sprintf("spec: register cannot apply %q", r.Op))
 	}
 }
+
+func (s registerState) Equal(o State) bool { v, ok := o.(registerState); return ok && v == s }
+func (s registerState) Hash() uint64       { return mix64(uint64(s) ^ 0x5e6) }
+func (s registerState) Clone() State       { return s }

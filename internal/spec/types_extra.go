@@ -2,8 +2,6 @@ package spec
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 )
 
 // Additional operation names for the extra types below.
@@ -17,6 +15,11 @@ const (
 // EmptyStack is the pop response on an empty stack.
 const EmptyStack int64 = -1
 
+func init() {
+	Register(StackType{})
+	Register(MaxRegisterType{})
+}
+
 // StackType is an unbounded LIFO stack — together with QueueType it covers
 // the "more complex objects" family of the paper's conclusion, and gives
 // the linearizability checkers a second ordering-sensitive type to chew on.
@@ -25,32 +28,53 @@ type StackType struct{}
 // Name implements Type.
 func (StackType) Name() string { return "lifo-stack" }
 
-// Init implements Type.
-func (StackType) Init() string { return "" }
+// Start implements Type.
+func (StackType) Start() State { return stackState{} }
 
-// Apply implements Type.
-func (StackType) Apply(state string, r Request) (string, int64) {
-	var items []string
-	if state != "" {
-		items = strings.Split(state, ",")
-	}
+// StutterSafe implements Stutterable: an empty-stack pop responds
+// EmptyStack only on the empty stack, which it leaves empty.
+func (StackType) StutterSafe(op string, resp int64) bool {
+	return op == OpPop && resp == EmptyStack
+}
+
+// stackState holds the stacked values bottom-first. Push allocates a fresh
+// backing array (never appends into one another state may share), so pop
+// may cheaply reslice: no reachable state ever mutates shared backing.
+type stackState struct {
+	items []int64
+}
+
+func (s stackState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpPush:
-		items = append(items, strconv.FormatInt(r.Arg, 10))
-		return strings.Join(items, ","), 0
+		items := make([]int64, len(s.items)+1)
+		copy(items, s.items)
+		items[len(s.items)] = r.Arg
+		return stackState{items: items}, 0
 	case OpPop:
-		if len(items) == 0 {
-			return state, EmptyStack
+		if len(s.items) == 0 {
+			return s, EmptyStack
 		}
-		v, err := strconv.ParseInt(items[len(items)-1], 10, 64)
-		if err != nil {
-			panic("spec: corrupt stack state " + state)
-		}
-		return strings.Join(items[:len(items)-1], ","), v
+		return stackState{items: s.items[:len(s.items)-1]}, s.items[len(s.items)-1]
 	default:
 		panic(fmt.Sprintf("spec: stack cannot apply %q", r.Op))
 	}
 }
+
+func (s stackState) Equal(o State) bool {
+	v, ok := o.(stackState)
+	if !ok || len(v.items) != len(s.items) {
+		return false
+	}
+	for i := range s.items {
+		if s.items[i] != v.items[i] {
+			return false
+		}
+	}
+	return true
+}
+func (s stackState) Hash() uint64 { return hashInts('s', s.items) }
+func (s stackState) Clone() State { return s }
 
 // MaxRegisterType is a max-register: writemax(v) raises the stored maximum
 // (monotone), readmax returns it. Max registers are a classic example of an
@@ -62,24 +86,33 @@ type MaxRegisterType struct{}
 // Name implements Type.
 func (MaxRegisterType) Name() string { return "max-register" }
 
-// Init implements Type.
-func (MaxRegisterType) Init() string { return "0" }
+// Start implements Type.
+func (MaxRegisterType) Start() State { return maxRegState(0) }
 
-// Apply implements Type.
-func (MaxRegisterType) Apply(state string, r Request) (string, int64) {
-	cur, err := strconv.ParseInt(state, 10, 64)
-	if err != nil {
-		panic("spec: corrupt max-register state " + state)
-	}
+// StutterSafe implements Stutterable: reads only. A writemax's 0 response
+// matches in every state but raises the maximum wherever the argument
+// exceeds it — not safe.
+func (MaxRegisterType) StutterSafe(op string, resp int64) bool {
+	return op == OpReadMax
+}
+
+// maxRegState is the maximum written so far.
+type maxRegState int64
+
+func (s maxRegState) Apply(r Request) (State, int64) {
 	switch r.Op {
 	case OpWriteMax:
-		if r.Arg > cur {
-			cur = r.Arg
+		if r.Arg > int64(s) {
+			s = maxRegState(r.Arg)
 		}
-		return strconv.FormatInt(cur, 10), 0
+		return s, 0
 	case OpReadMax:
-		return state, cur
+		return s, int64(s)
 	default:
 		panic(fmt.Sprintf("spec: max-register cannot apply %q", r.Op))
 	}
 }
+
+func (s maxRegState) Equal(o State) bool { v, ok := o.(maxRegState); return ok && v == s }
+func (s maxRegState) Hash() uint64       { return mix64(uint64(s) ^ 0x3a7) }
+func (s maxRegState) Clone() State       { return s }

@@ -7,39 +7,42 @@ import (
 
 func TestStackType(t *testing.T) {
 	ty := StackType{}
-	s := ty.Init()
+	s := ty.Start()
 	var r int64
-	s, r = ty.Apply(s, req(1, OpPop, 0))
+	s, r = s.Apply(req(1, OpPop, 0))
 	if r != EmptyStack {
 		t.Fatalf("pop on empty = %d", r)
 	}
-	s, _ = ty.Apply(s, req(2, OpPush, 10))
-	s, _ = ty.Apply(s, req(3, OpPush, 20))
-	s, r = ty.Apply(s, req(4, OpPop, 0))
+	s, _ = s.Apply(req(2, OpPush, 10))
+	s, _ = s.Apply(req(3, OpPush, 20))
+	s, r = s.Apply(req(4, OpPop, 0))
 	if r != 20 {
 		t.Fatalf("LIFO violated: got %d, want 20", r)
 	}
-	s, r = ty.Apply(s, req(5, OpPop, 0))
+	s, r = s.Apply(req(5, OpPop, 0))
 	if r != 10 {
 		t.Fatalf("LIFO violated: got %d, want 10", r)
 	}
-	_, r = ty.Apply(s, req(6, OpPop, 0))
+	s, r = s.Apply(req(6, OpPop, 0))
 	if r != EmptyStack {
 		t.Fatalf("stack should be empty: %d", r)
+	}
+	if !s.Equal(ty.Start()) {
+		t.Fatal("drained stack must equal the start state")
 	}
 }
 
 func TestMaxRegisterType(t *testing.T) {
 	ty := MaxRegisterType{}
-	s := ty.Init()
+	s := ty.Start()
 	var r int64
-	_, r = ty.Apply(s, req(1, OpReadMax, 0))
+	_, r = s.Apply(req(1, OpReadMax, 0))
 	if r != 0 {
 		t.Fatalf("initial readmax = %d", r)
 	}
-	s, _ = ty.Apply(s, req(2, OpWriteMax, 7))
-	s, _ = ty.Apply(s, req(3, OpWriteMax, 3)) // lower write must not lower the max
-	_, r = ty.Apply(s, req(4, OpReadMax, 0))
+	s, _ = s.Apply(req(2, OpWriteMax, 7))
+	s, _ = s.Apply(req(3, OpWriteMax, 3)) // lower write must not lower the max
+	_, r = s.Apply(req(4, OpReadMax, 0))
 	if r != 7 {
 		t.Fatalf("readmax = %d, want 7", r)
 	}
@@ -56,7 +59,7 @@ func TestExtraTypesPanicOnWrongOp(t *testing.T) {
 					t.Fatalf("%s did not panic on %q", c.ty.Name(), c.op)
 				}
 			}()
-			c.ty.Apply(c.ty.Init(), req(1, c.op, 0))
+			c.ty.Start().Apply(req(1, c.op, 0))
 		}()
 	}
 }
@@ -65,22 +68,22 @@ func TestExtraTypesPanicOnWrongOp(t *testing.T) {
 func TestQuickStackLIFO(t *testing.T) {
 	ty := StackType{}
 	f := func(vals []int16) bool {
-		s := ty.Init()
+		s := ty.Start()
 		id := int64(1)
 		for _, v := range vals {
-			s, _ = ty.Apply(s, Request{ID: id, Op: OpPush, Arg: int64(v)})
+			s, _ = s.Apply(Request{ID: id, Op: OpPush, Arg: int64(v)})
 			id++
 		}
 		for i := len(vals) - 1; i >= 0; i-- {
 			var r int64
-			s, r = ty.Apply(s, Request{ID: id, Op: OpPop})
+			s, r = s.Apply(Request{ID: id, Op: OpPop})
 			id++
 			if r != int64(vals[i]) {
 				return false
 			}
 		}
 		var r int64
-		_, r = ty.Apply(s, Request{ID: id, Op: OpPop})
+		_, r = s.Apply(Request{ID: id, Op: OpPop})
 		return r == EmptyStack
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -93,7 +96,7 @@ func TestQuickStackLIFO(t *testing.T) {
 func TestQuickMaxRegisterMonotone(t *testing.T) {
 	ty := MaxRegisterType{}
 	f := func(vals []int16) bool {
-		s := ty.Init()
+		s := ty.Start()
 		id := int64(1)
 		max := int64(0)
 		for _, v := range vals {
@@ -101,13 +104,13 @@ func TestQuickMaxRegisterMonotone(t *testing.T) {
 			if w < 0 {
 				w = -w
 			}
-			s, _ = ty.Apply(s, Request{ID: id, Op: OpWriteMax, Arg: w})
+			s, _ = s.Apply(Request{ID: id, Op: OpWriteMax, Arg: w})
 			id++
 			if w > max {
 				max = w
 			}
 			var r int64
-			s, r = ty.Apply(s, Request{ID: id, Op: OpReadMax})
+			s, r = s.Apply(Request{ID: id, Op: OpReadMax})
 			id++
 			if r != max {
 				return false
@@ -128,13 +131,13 @@ func TestQuickStackQueueDiffer(t *testing.T) {
 		if a == b {
 			return true
 		}
-		q, s := QueueType{}.Init(), StackType{}.Init()
-		q, _ = QueueType{}.Apply(q, Request{ID: 1, Op: OpEnq, Arg: int64(a)})
-		q, _ = QueueType{}.Apply(q, Request{ID: 2, Op: OpEnq, Arg: int64(b)})
-		s, _ = StackType{}.Apply(s, Request{ID: 1, Op: OpPush, Arg: int64(a)})
-		s, _ = StackType{}.Apply(s, Request{ID: 2, Op: OpPush, Arg: int64(b)})
-		_, qv := QueueType{}.Apply(q, Request{ID: 3, Op: OpDeq})
-		_, sv := StackType{}.Apply(s, Request{ID: 3, Op: OpPop})
+		q, s := QueueType{}.Start(), StackType{}.Start()
+		q, _ = q.Apply(Request{ID: 1, Op: OpEnq, Arg: int64(a)})
+		q, _ = q.Apply(Request{ID: 2, Op: OpEnq, Arg: int64(b)})
+		s, _ = s.Apply(Request{ID: 1, Op: OpPush, Arg: int64(a)})
+		s, _ = s.Apply(Request{ID: 2, Op: OpPush, Arg: int64(b)})
+		_, qv := q.Apply(Request{ID: 3, Op: OpDeq})
+		_, sv := s.Apply(Request{ID: 3, Op: OpPop})
 		return qv == int64(a) && sv == int64(b)
 	}
 	if err := quick.Check(f, nil); err != nil {

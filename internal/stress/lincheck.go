@@ -1,0 +1,216 @@
+package stress
+
+// The stress tier's history-recording linearizability modes. The spot-check
+// (Config.CheckEvery) samples: it judges only the rounds it looks at. The
+// modes here verify: every recorded operation of every round flows through
+// the streaming JIT checker (internal/linearize), either concurrently with
+// the workload (online) or after it (post). Rounds are object-instance
+// resets, so each round is fed as a stream segment closed by a Barrier;
+// within a round the checker still cuts at quiescent points, so G-goroutine
+// rounds far beyond the brute-force 64-op boundary verify in bounded
+// memory.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/linearize"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// LinMode selects the stress tier's linearizability checking mode.
+type LinMode int
+
+// The modes. The zero value preserves the historical driver behavior.
+const (
+	// LinSpot is the default: sampled spot-checks through the scenario's
+	// own check function every CheckEvery rounds, no history streaming.
+	LinSpot LinMode = iota
+	// LinOff disables correctness checking entirely (pure throughput).
+	LinOff
+	// LinOnline streams every round's recorded history through the JIT
+	// checker concurrently with the workload.
+	LinOnline
+	// LinPost records every round's history compactly and verifies it all
+	// after the run completes.
+	LinPost
+)
+
+// ParseLinMode parses a -lincheck mode name.
+func ParseLinMode(s string) (LinMode, error) {
+	switch s {
+	case "spot":
+		return LinSpot, nil
+	case "off":
+		return LinOff, nil
+	case "online":
+		return LinOnline, nil
+	case "post":
+		return LinPost, nil
+	}
+	return LinSpot, fmt.Errorf("stress: unknown lincheck mode %q (want off, spot, online or post)", s)
+}
+
+// String renders the mode name.
+func (m LinMode) String() string {
+	switch m {
+	case LinOff:
+		return "off"
+	case LinOnline:
+		return "online"
+	case LinPost:
+		return "post"
+	default:
+		return "spot"
+	}
+}
+
+// linChecker drives one JIT stream per object of the scenario's oracle,
+// feeding it round histories and closing each round with a Barrier (a
+// round reset starts a fresh object instance). A round whose history fails
+// to linearize is counted and its stream restarted, so one bad round does
+// not mask later ones.
+type linChecker struct {
+	types   map[string]spec.Type // module -> sequential type ("" = single object)
+	order   []string
+	cfg     linearize.JITConfig
+	streams map[string]*linearize.Stream
+	single  bool
+
+	maxOps int64
+
+	opsC    *obs.Counter
+	roundsC *obs.Counter
+	failC   *obs.Counter
+
+	fed       int64
+	truncated bool
+	failures  int64
+	firstErr  string
+	err       error
+	stats     linearize.Stats
+	wall      time.Duration
+}
+
+// newLinChecker validates that the oracle is checkable by history and
+// builds the per-object streams.
+func newLinChecker(o scenario.Oracle, cfg linearize.JITConfig, maxOps int64, m *obs.Metrics) (*linChecker, error) {
+	if o.Kind != scenario.OracleLinearize {
+		return nil, fmt.Errorf("stress: -lincheck online/post needs a linearize oracle, scenario has %s", o)
+	}
+	lc := &linChecker{
+		cfg:     cfg,
+		maxOps:  maxOps,
+		types:   map[string]spec.Type{},
+		streams: map[string]*linearize.Stream{},
+		opsC:    m.Counter("stress_lincheck_ops_total", "Operations verified by the streaming linearizability checker."),
+		roundsC: m.Counter("stress_lincheck_rounds_total", "Round histories fed to the streaming linearizability checker."),
+		failC:   m.Counter("stress_lincheck_failures_total", "Round histories the streaming checker found non-linearizable."),
+	}
+	if o.Objects != nil {
+		for mod, t := range o.Objects {
+			lc.order = append(lc.order, mod)
+			lc.types[mod] = t
+		}
+		sort.Strings(lc.order)
+	} else {
+		lc.single = true
+		lc.order = []string{""}
+		lc.types[""] = o.Type
+	}
+	for _, mod := range lc.order {
+		lc.streams[mod] = linearize.NewStream(lc.types[mod], cfg)
+	}
+	return lc, nil
+}
+
+// feedRound streams one round's recorded operations and closes the round.
+// Aborted operations are projected to pending invocations (Theorem 3's
+// projection), exactly as Oracle.Check does.
+func (lc *linChecker) feedRound(ops []trace.Op) {
+	if lc.err != nil {
+		return
+	}
+	t0 := time.Now()
+	defer func() { lc.wall += time.Since(t0) }()
+	lc.roundsC.Add(0, 1)
+	for _, op := range ops {
+		if lc.maxOps > 0 && lc.fed >= lc.maxOps {
+			lc.truncated = true
+			break
+		}
+		if op.Aborted {
+			op.Aborted = false
+			op.Pending = true
+			op.Ret = 0
+		}
+		mod := op.Module
+		if lc.single {
+			mod = ""
+		}
+		s, ok := lc.streams[mod]
+		if !ok {
+			lc.err = fmt.Errorf("stress: operation %v labeled with unknown module %q", op.Req, op.Module)
+			return
+		}
+		if err := s.Push(op); err != nil {
+			lc.err = err
+			return
+		}
+		lc.fed++
+		lc.opsC.Add(0, 1)
+	}
+	for _, mod := range lc.order {
+		if err := lc.streams[mod].Barrier(); err != nil {
+			lc.err = err
+			return
+		}
+		lc.noteFailure(mod)
+	}
+}
+
+// noteFailure counts a failed stream and restarts it so later rounds keep
+// being verified.
+func (lc *linChecker) noteFailure(mod string) {
+	s := lc.streams[mod]
+	f := s.Failed()
+	if f == nil {
+		return
+	}
+	lc.failures++
+	lc.failC.Add(0, 1)
+	if lc.firstErr == "" {
+		lc.firstErr = fmt.Sprintf("not linearizable (%s): %s", lc.types[mod].Name(), f.Reason)
+	}
+	lc.stats.Fold(s.Stats())
+	lc.streams[mod] = linearize.NewStream(lc.types[mod], lc.cfg)
+}
+
+// finish closes every stream and folds the telemetry.
+func (lc *linChecker) finish() {
+	if lc.err != nil {
+		return
+	}
+	t0 := time.Now()
+	for _, mod := range lc.order {
+		s := lc.streams[mod]
+		r, err := s.Finish()
+		if err != nil {
+			lc.err = err
+			break
+		}
+		if !r.Ok {
+			lc.failures++
+			lc.failC.Add(0, 1)
+			if lc.firstErr == "" {
+				lc.firstErr = fmt.Sprintf("not linearizable (%s): %s", lc.types[mod].Name(), r.Reason)
+			}
+		}
+		lc.stats.Fold(s.Stats())
+	}
+	lc.wall += time.Since(t0)
+}

@@ -34,11 +34,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/linearize"
 	"repro/internal/memory"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config parameterizes one stress run (one sweep point).
@@ -67,6 +69,20 @@ type Config struct {
 	CheckEvery int
 	// Seed seeds the arrival-gap generators (deterministic per worker).
 	Seed int64
+	// LinMode selects the linearizability tier: the default sampled
+	// spot-check, off, or full history verification through the streaming
+	// JIT checker — online (concurrent with the workload) or post (after
+	// it). online and post need a linearize-oracle scenario that exposes
+	// its recorder (memory.Env.SetHistorySource); they replace the
+	// sampled spot-check.
+	LinMode LinMode
+	// LinWindow and LinMaxConfigs override the streaming checker's
+	// budgets (linearize.JITConfig defaults when zero).
+	LinWindow     int
+	LinMaxConfigs int
+	// LinMaxOps, when positive, caps the operations fed to the checker;
+	// later rounds run unverified and the result notes the truncation.
+	LinMaxOps int64
 	// Procs, when positive, pins GOMAXPROCS for the duration of the run
 	// (restored afterwards). Zero leaves the runtime setting alone.
 	Procs int
@@ -104,6 +120,22 @@ type Result struct {
 	CheckRounds   int64  `json:"check_rounds"`
 	CheckFailures int64  `json:"check_failures"`
 	FirstCheckErr string `json:"first_check_err,omitempty"`
+
+	// Streaming linearizability telemetry (populated when LinMode is not
+	// the default spot tier; all omitted otherwise so existing reports
+	// stay byte-identical).
+	LinMode         string  `json:"lincheck,omitempty"`
+	LinOps          int64   `json:"lincheck_ops,omitempty"`
+	LinWindows      int64   `json:"lincheck_windows,omitempty"`
+	LinPeakWindow   int     `json:"lincheck_peak_window,omitempty"`
+	LinPeakConfigs  int     `json:"lincheck_peak_configs,omitempty"`
+	LinPeakStates   int     `json:"lincheck_peak_states,omitempty"`
+	LinPeakFrontier int     `json:"lincheck_peak_frontier,omitempty"`
+	LinWallMS       float64 `json:"lincheck_wall_ms,omitempty"`
+	LinFailures     int64   `json:"lincheck_failures,omitempty"`
+	FirstLinErr     string  `json:"first_lincheck_err,omitempty"`
+	LinTruncated    bool    `json:"lincheck_truncated,omitempty"`
+	LinErr          string  `json:"lincheck_err,omitempty"`
 
 	// Latency is the merged distribution (not serialized; quantile fields
 	// above carry the reporting surface).
@@ -191,6 +223,11 @@ func Run(cfg Config) (Result, error) {
 	if checkEvery == 0 {
 		checkEvery = 64
 	}
+	if cfg.LinMode != LinSpot {
+		// off turns correctness checking off entirely; online/post replace
+		// the sampled spot-check with full history verification.
+		checkEvery = -1
+	}
 	if cfg.Procs > 0 {
 		prev := runtime.GOMAXPROCS(cfg.Procs)
 		defer runtime.GOMAXPROCS(prev)
@@ -241,8 +278,10 @@ func Run(cfg Config) (Result, error) {
 		defer removeG()
 	}
 
+	var oracle scenario.Oracle
 	build := func() (*memory.Env, []func(p *memory.Proc), func(res *sched.Result) error, func(), error) {
-		h, _ := sc.Build(n, scenario.Options{})
+		h, orc := sc.Build(n, scenario.Options{})
+		oracle = orc
 		env, bodies, check, reset := h()
 		if len(bodies) != n {
 			return nil, nil, nil, nil, fmt.Errorf("stress: harness returned %d bodies for n=%d", len(bodies), n)
@@ -253,6 +292,36 @@ func Run(cfg Config) (Result, error) {
 	env, bodies, check, reset, err := build()
 	if err != nil {
 		return Result{}, err
+	}
+
+	// Full-history verification: drain each round's recorded operations
+	// from the scenario's trace source into per-object JIT streams —
+	// concurrently via a bounded channel (online) or after the run (post).
+	var lc *linChecker
+	var src trace.Source
+	var linCh chan []trace.Op
+	var linDone chan struct{}
+	var recorded [][]trace.Op
+	var recordedOps int64
+	if cfg.LinMode == LinOnline || cfg.LinMode == LinPost {
+		jcfg := linearize.JITConfig{Window: cfg.LinWindow, MaxConfigs: cfg.LinMaxConfigs}
+		if lc, err = newLinChecker(oracle, jcfg, cfg.LinMaxOps, m); err != nil {
+			return Result{}, err
+		}
+		var ok bool
+		if src, ok = env.HistorySource().(trace.Source); !ok {
+			return Result{}, fmt.Errorf("stress: scenario %q does not expose a recorded history; -lincheck %s needs a trace source", sc.Name, cfg.LinMode)
+		}
+		if cfg.LinMode == LinOnline {
+			linCh = make(chan []trace.Op, 256)
+			linDone = make(chan struct{})
+			go func() {
+				defer close(linDone)
+				for ops := range linCh {
+					lc.feedRound(ops)
+				}
+			}()
+		}
 	}
 
 	// Persistent workers: one per process, round-driven over a channel.
@@ -299,6 +368,18 @@ func Run(cfg Config) (Result, error) {
 		rounds++
 		roundsC.Add(0, 1)
 
+		if lc != nil {
+			ops := src()
+			if cfg.LinMode == LinOnline {
+				linCh <- ops
+			} else if cfg.LinMaxOps <= 0 || recordedOps < cfg.LinMaxOps {
+				recorded = append(recorded, ops)
+				recordedOps += int64(len(ops))
+			} else {
+				lc.truncated = true // cap reached: later rounds go unverified
+			}
+		}
+
 		if check != nil && checkEvery > 0 && rounds%int64(checkEvery) == 0 {
 			checksC.Add(0, 1)
 			if cerr := check(res); cerr != nil {
@@ -325,6 +406,13 @@ func Run(cfg Config) (Result, error) {
 			if err != nil {
 				break
 			}
+			if lc != nil {
+				var ok bool
+				if src, ok = env.HistorySource().(trace.Source); !ok {
+					err = fmt.Errorf("stress: rebuilt scenario %q lost its trace source", sc.Name)
+					break
+				}
+			}
 		}
 	}
 	wall := time.Since(start)
@@ -332,6 +420,17 @@ func Run(cfg Config) (Result, error) {
 		close(chans[i])
 	}
 	workersDone.Wait()
+	if lc != nil {
+		if cfg.LinMode == LinOnline {
+			close(linCh)
+			<-linDone
+		} else {
+			for _, ops := range recorded {
+				lc.feedRound(ops)
+			}
+		}
+		lc.finish()
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -359,6 +458,24 @@ func Run(cfg Config) (Result, error) {
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		out.OpsPerSec = float64(out.Ops) / secs
+	}
+	if cfg.LinMode != LinSpot {
+		out.LinMode = cfg.LinMode.String()
+	}
+	if lc != nil {
+		out.LinOps = lc.fed
+		out.LinWindows = lc.stats.Windows
+		out.LinPeakWindow = lc.stats.PeakWindow
+		out.LinPeakConfigs = lc.stats.PeakConfigs
+		out.LinPeakStates = lc.stats.PeakStates
+		out.LinPeakFrontier = lc.stats.PeakFrontier
+		out.LinWallMS = float64(lc.wall.Nanoseconds()) / 1e6
+		out.LinFailures = lc.failures
+		out.FirstLinErr = lc.firstErr
+		out.LinTruncated = lc.truncated
+		if lc.err != nil {
+			out.LinErr = lc.err.Error()
+		}
 	}
 	return out, nil
 }

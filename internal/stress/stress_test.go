@@ -202,3 +202,116 @@ func TestSweepEventsAndTable(t *testing.T) {
 		t.Errorf("table has %d pipe rows, want 3 (header + 2 points):\n%s", got, table)
 	}
 }
+
+// TestRunLincheckOnline streams every tasfai round through the JIT
+// checker concurrently with the workload: all 3·G·rounds recorded
+// operations verify, the telemetry lands in the result, and the live
+// counters agree.
+func TestRunLincheckOnline(t *testing.T) {
+	m := obs.New(8)
+	r, err := Run(Config{
+		Scenario:  mustScenario(t, "tasfai"),
+		G:         8,
+		Duration:  time.Minute,
+		MaxRounds: 150,
+		LinMode:   LinOnline,
+		Seed:      6,
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinErr != "" {
+		t.Fatalf("lincheck contract error: %s", r.LinErr)
+	}
+	if r.LinMode != "online" {
+		t.Fatalf("LinMode = %q, want online", r.LinMode)
+	}
+	want := 3 * int64(r.G) * r.Rounds // tasfai records 1 TAS + 2 incs per proc
+	if r.LinOps != want {
+		t.Fatalf("LinOps = %d, want %d", r.LinOps, want)
+	}
+	if r.LinFailures != 0 {
+		t.Fatalf("lincheck failures = %d (%s)", r.LinFailures, r.FirstLinErr)
+	}
+	if r.LinWindows < r.Rounds {
+		t.Errorf("LinWindows = %d < rounds = %d: round barriers should close at least one window each", r.LinWindows, r.Rounds)
+	}
+	s := m.Snapshot()
+	if got := s.Counters["stress_lincheck_ops_total"]; got != r.LinOps {
+		t.Errorf("stress_lincheck_ops_total = %d, want %d", got, r.LinOps)
+	}
+	if got := s.Counters["stress_lincheck_rounds_total"]; got != r.Rounds {
+		t.Errorf("stress_lincheck_rounds_total = %d, want %d", got, r.Rounds)
+	}
+	if got := s.Counters["stress_lincheck_failures_total"]; got != 0 {
+		t.Errorf("stress_lincheck_failures_total = %d, want 0", got)
+	}
+}
+
+// TestRunLincheckPost verifies the record-then-check mode, including the
+// LinMaxOps truncation guard.
+func TestRunLincheckPost(t *testing.T) {
+	r, err := Run(Config{
+		Scenario:  mustScenario(t, "tasfai"),
+		G:         4,
+		Duration:  time.Minute,
+		MaxRounds: 100,
+		LinMode:   LinPost,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinErr != "" {
+		t.Fatalf("lincheck contract error: %s", r.LinErr)
+	}
+	if want := 3 * int64(r.G) * r.Rounds; r.LinOps != want || r.LinFailures != 0 {
+		t.Fatalf("LinOps=%d (want %d) failures=%d (%s)", r.LinOps, want, r.LinFailures, r.FirstLinErr)
+	}
+	if r.LinTruncated {
+		t.Fatal("full post-hoc check reported truncation")
+	}
+
+	capped, err := Run(Config{
+		Scenario:  mustScenario(t, "tasfai"),
+		G:         4,
+		Duration:  time.Minute,
+		MaxRounds: 100,
+		LinMode:   LinPost,
+		LinMaxOps: 60,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.LinTruncated {
+		t.Fatal("LinMaxOps=60 over 1200 recorded ops did not report truncation")
+	}
+	if capped.LinOps > 72 {
+		t.Fatalf("LinOps = %d: cap not enforced (round granularity allows one overshoot)", capped.LinOps)
+	}
+}
+
+// TestRunLincheckOffDisablesChecks: pure-throughput mode runs no spot
+// checks and records no streaming telemetry.
+func TestRunLincheckOff(t *testing.T) {
+	r, err := Run(Config{
+		Scenario:   mustScenario(t, "tasfai"),
+		G:          2,
+		Duration:   time.Minute,
+		MaxRounds:  20,
+		CheckEvery: 1,
+		LinMode:    LinOff,
+		Seed:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CheckRounds != 0 {
+		t.Fatalf("LinOff still spot-checked %d rounds", r.CheckRounds)
+	}
+	if r.LinOps != 0 || r.LinWindows != 0 {
+		t.Fatalf("LinOff recorded streaming telemetry: ops=%d windows=%d", r.LinOps, r.LinWindows)
+	}
+}

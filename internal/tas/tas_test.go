@@ -198,7 +198,7 @@ func checkLemma4Invariants(outs []a1Outcome, ops []trace.Op, res *sched.Result) 
 			committed = append(committed, pendingOp)
 		}
 	}
-	if lr := linearize.CheckTAS(committed); !lr.Ok {
+	if lr, lerr := linearize.CheckTAS(committed); lerr != nil || !lr.Ok {
 		return fmt.Errorf("committed projection not linearizable: %s", lr.Reason)
 	}
 	return nil
@@ -374,7 +374,7 @@ func composedHarness(n int, withDef2 bool) explore.Harness {
 			if winners != 1 {
 				return fmt.Errorf("composed TAS produced %d winners", winners)
 			}
-			if lr := linearize.CheckTAS(recAll.Ops()); !lr.Ok {
+			if lr, lerr := linearize.CheckTAS(recAll.Ops()); lerr != nil || !lr.Ok {
 				return fmt.Errorf("composed execution not linearizable: %s", lr.Reason)
 			}
 			if withDef2 {
@@ -461,7 +461,7 @@ func crashComposedHarness(n int) explore.Harness {
 					return fmt.Errorf("survivor %d did not finish", i)
 				}
 			}
-			if lr := linearize.CheckTAS(ops); !lr.Ok {
+			if lr, lerr := linearize.CheckTAS(ops); lerr != nil || !lr.Ok {
 				return fmt.Errorf("not linearizable: %s", lr.Reason)
 			}
 			return nil
@@ -1039,7 +1039,7 @@ func TestSoloFastComposedStillCorrect(t *testing.T) {
 			if winners != 1 {
 				return fmt.Errorf("%d winners", winners)
 			}
-			if lr := linearize.CheckTAS(rec.Ops()); !lr.Ok {
+			if lr, lerr := linearize.CheckTAS(rec.Ops()); lerr != nil || !lr.Ok {
 				return fmt.Errorf("not linearizable: %s", lr.Reason)
 			}
 			return nil
